@@ -1,0 +1,224 @@
+// Command zapc-bench regenerates every table and figure of the paper's
+// evaluation (§6) plus the design-choice ablations from DESIGN.md.
+//
+// Usage:
+//
+//	zapc-bench -fig 5          # Figure 5: completion time, Base vs ZapC
+//	zapc-bench -fig 6a         # Figure 6a: checkpoint times
+//	zapc-bench -fig 6b         # Figure 6b: restart times
+//	zapc-bench -fig 6c         # Figure 6c: checkpoint image sizes
+//	zapc-bench -fig net        # §6.2 in-text network-state series
+//	zapc-bench -fig timeline   # Figure 2: per-agent checkpoint timeline
+//	zapc-bench -fig sync       # ablation A1: sync placement
+//	zapc-bench -fig redirect   # ablation A2: send-queue redirect
+//	zapc-bench -fig reconnect  # ablation A3: reconnection scaling
+//	zapc-bench -fig all        # everything
+//
+// -scale 1.0 reproduces paper-scale image sizes in memory (expensive);
+// the default 1/16 shrinks footprints while the cost model still charges
+// paper-scale times, so every reported number is directly comparable to
+// the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zapc"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, net, timeline, sync, redirect, reconnect, all")
+	scale := flag.Float64("scale", 1.0/16, "memory footprint scale (1.0 = paper scale)")
+	work := flag.Float64("work", 0.25, "application runtime scale")
+	ckpts := flag.Int("ckpts", 10, "checkpoints per measured run")
+	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all four)")
+	seed := flag.Int64("seed", 2005, "simulation seed")
+	flag.Parse()
+
+	cfg := zapc.ExperimentConfig{
+		Scale:       *scale,
+		Work:        *work,
+		Checkpoints: *ckpts,
+		Seed:        *seed,
+		WithDaemons: true,
+	}
+	appList := zapc.Apps()
+	if *appsFlag != "" {
+		appList = strings.Split(*appsFlag, ",")
+	}
+
+	run := func(name string, fn func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "zapc-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	var fig6 []zapc.Fig6Row
+	fig6For := func() ([]zapc.Fig6Row, error) {
+		if fig6 != nil {
+			return fig6, nil
+		}
+		for _, app := range appList {
+			for _, n := range zapc.NodeCounts(app) {
+				row, err := zapc.RunFig6(cfg, app, n)
+				if err != nil {
+					return nil, err
+				}
+				fig6 = append(fig6, row)
+			}
+		}
+		return fig6, nil
+	}
+
+	run("5", func() error {
+		fmt.Println("== Figure 5: application completion time, Base (vanilla) vs ZapC pods ==")
+		var rows []zapc.Fig5Row
+		for _, app := range appList {
+			for _, n := range zapc.NodeCounts(app) {
+				row, err := zapc.RunFig5(cfg, app, n)
+				if err != nil {
+					return err
+				}
+				rows = append(rows, row)
+			}
+		}
+		fmt.Println(zapc.Fig5Table(rows))
+		return nil
+	})
+
+	run("6a", func() error {
+		rows, err := fig6For()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 6a: coordinated checkpoint times (10 snapshots/run) ==")
+		fmt.Println(zapc.Fig6aTable(rows))
+		return nil
+	})
+
+	run("6b", func() error {
+		rows, err := fig6For()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 6b: coordinated restart times (from a mid-run image) ==")
+		fmt.Println(zapc.Fig6bTable(rows))
+		return nil
+	})
+
+	run("6c", func() error {
+		rows, err := fig6For()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Figure 6c: largest-pod checkpoint image sizes ==")
+		fmt.Println(zapc.Fig6cTable(rows, cfg.Scale))
+		return nil
+	})
+
+	run("net", func() error {
+		rows, err := fig6For()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== §6.2 in-text: network-state checkpoint time and size ==")
+		for _, r := range rows {
+			fmt.Printf("%-7s n=%-2d  net-ckpt(max)=%-12v net-restore(max)=%-12v net-state=%d B\n",
+				r.App, r.Endpoints, r.NetCkptMax, r.NetRestoreMax, r.NetStateBytes)
+		}
+		fmt.Println()
+		return nil
+	})
+
+	run("timeline", func() error {
+		fmt.Println("== Figure 2: coordinated checkpoint timeline (one bar per agent) ==")
+		fmt.Println("   S=suspend+block  N=network ckpt  C=standalone ckpt  .=sync/ctrl wait")
+		c := zapc.New(zapc.Config{Nodes: 4, Seed: cfg.Seed})
+		job, err := c.Launch(zapc.JobSpec{App: "bt", Endpoints: 4, Work: cfg.Work, Scale: cfg.Scale, WithDaemons: true})
+		if err != nil {
+			return err
+		}
+		if err := c.Drive(func() bool { return job.Progress() >= 0.4 }, 3600*zapc.Second); err != nil {
+			return err
+		}
+		res, err := c.Checkpoint(job, zapc.CheckpointOptions{Mode: zapc.Snapshot})
+		if err != nil {
+			return err
+		}
+		var maxT zapc.Duration
+		for _, a := range res.Stats.Agents {
+			if a.Total > maxT {
+				maxT = a.Total
+			}
+		}
+		const width = 64
+		for _, a := range res.Stats.Agents {
+			seg := func(d zapc.Duration, ch byte) string {
+				n := int(float64(d) / float64(maxT) * width)
+				if d > 0 && n == 0 {
+					n = 1
+				}
+				out := make([]byte, n)
+				for i := range out {
+					out[i] = ch
+				}
+				return string(out)
+			}
+			rest := a.Total - a.Suspend - a.NetCkpt - a.Standalone
+			bar := seg(a.Suspend, 'S') + seg(a.NetCkpt, 'N') + seg(a.Standalone, 'C') + seg(rest, '.')
+			if len(bar) > width {
+				bar = bar[:width]
+			}
+			fmt.Printf("  %-10s |%-*s| %v\n", a.Pod, width, bar, a.Total)
+		}
+		fmt.Printf("  manager total %v; single sync overlapped with the standalone save\n\n", res.Stats.Total)
+		return nil
+	})
+
+	run("sync", func() error {
+		fmt.Println("== Ablation A1: single-sync overlap (Figure 2) vs naive ordering ==")
+		for _, app := range appList {
+			row, err := zapc.RunSyncAblation(cfg, app, 4)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-7s n=4  overlapped=%-12v naive=%-12v saved=%v\n",
+				row.App, row.Overlapped, row.Naive, row.Naive-row.Overlapped)
+		}
+		fmt.Println()
+		return nil
+	})
+
+	run("redirect", func() error {
+		fmt.Println("== Ablation A2: send-queue redirect during migration (§5) ==")
+		row, err := zapc.RunRedirectAblation(cfg, "bt", 4)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bt n=4  restart wire bytes: plain=%d redirect=%d (saved %d)\n",
+			row.PlainWireBytes, row.RedirWireBytes, row.PlainWireBytes-row.RedirWireBytes)
+		fmt.Printf("        restart time: plain=%v redirect=%v\n\n", row.PlainRestart, row.RedirectRestart)
+		return nil
+	})
+
+	run("reconnect", func() error {
+		fmt.Println("== Ablation A3: two-actor reconnection scaling (no deadlock schedule) ==")
+		for _, n := range []int{4, 9, 16} {
+			row, err := zapc.RunReconnectScaling(cfg, n)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("bt n=%-2d  connections=%-4d net-restore(max)=%v\n",
+				row.Endpoints, row.Connections, row.NetRestore)
+		}
+		fmt.Println()
+		return nil
+	})
+}

@@ -1,0 +1,92 @@
+// Faultrecovery: periodic coordinated checkpoints to shared storage,
+// a node failure, and a restart of the whole application from the most
+// recent checkpoint on the surviving nodes — the fault-resilience use
+// case that motivates the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zapc"
+)
+
+const deadline = 3600 * zapc.Second
+
+func main() {
+	c := zapc.New(zapc.Config{Nodes: 4, Seed: 23})
+	job, err := c.Launch(zapc.JobSpec{
+		App:         "bratu", // PETSc solid-fuel-ignition solver
+		Endpoints:   4,
+		Work:        0.25,
+		Scale:       1.0 / 16,
+		WithDaemons: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reference result from an undisturbed run with the same seed.
+	ref := zapc.New(zapc.Config{Nodes: 4, Seed: 23})
+	refJob, err := ref.Launch(zapc.JobSpec{
+		App: "bratu", Endpoints: 4, Work: 0.25, Scale: 1.0 / 16, WithDaemons: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ref.RunJob(refJob, deadline); err != nil {
+		log.Fatal(err)
+	}
+
+	// Take a checkpoint every 20% of progress, like a cron-driven
+	// checkpointing policy would.
+	var last *zapc.CheckpointResult
+	for _, pct := range []float64{0.2, 0.4, 0.6} {
+		if err := c.Drive(func() bool { return job.Progress() >= pct }, deadline); err != nil {
+			log.Fatal(err)
+		}
+		res, err := c.Checkpoint(job, zapc.CheckpointOptions{
+			Mode:    zapc.Snapshot,
+			FlushTo: fmt.Sprintf("checkpoints/pct%02.0f", pct*100),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		last = res
+		fmt.Printf("t=%v  checkpoint at %.0f%% took %v (largest image %.1f MB)\n",
+			c.W.Now(), 100*pct, res.Stats.Total, float64(res.Stats.MaxImageBytes())/(1<<20))
+	}
+
+	// Disaster strikes at ~70%.
+	if err := c.Drive(func() bool { return job.Progress() >= 0.7 }, deadline); err != nil {
+		log.Fatal(err)
+	}
+	victim := c.Nodes[2]
+	victim.Fail()
+	fmt.Printf("t=%v  node %s FAILED — pods on it are gone\n", c.W.Now(), victim.Name())
+
+	// Tear down the crippled application and restart the whole thing
+	// from the 60%% checkpoint on the three healthy nodes (pods simply
+	// double up; the virtual namespace keeps every PID and address
+	// valid).
+	for _, p := range job.Pods {
+		p.Destroy()
+	}
+	survivors := append(c.Nodes[:2:2], c.Nodes[3])
+	rr, err := c.Restart(job, last, survivors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%v  restarted %d pods on %d healthy nodes in %v\n",
+		c.W.Now(), len(rr.Pods), len(survivors), rr.Stats.Total)
+
+	if _, err := c.RunJob(job, deadline); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%v  done: residual = %v\n", c.W.Now(), job.Result())
+	if job.Result() == refJob.Result() {
+		fmt.Println("result identical to the undisturbed run: recovery was exact")
+	} else {
+		log.Fatalf("results diverged: %v vs %v", job.Result(), refJob.Result())
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: run a distributed MPI application on the virtual cluster,
+// take a coordinated checkpoint mid-run, and let it finish — the
+// simplest use of the zapc public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"zapc"
+)
+
+func main() {
+	// A four-node cluster with the calibrated 2005-era hardware model.
+	c := zapc.New(zapc.Config{Nodes: 4, Seed: 7})
+
+	// Launch the MPICH-2 CPI example: four endpoints, one pod each,
+	// plus the middleware daemon the paper's setup runs in every pod.
+	job, err := c.Launch(zapc.JobSpec{
+		App:         "cpi",
+		Endpoints:   4,
+		Work:        0.25,
+		Scale:       1.0 / 16,
+		WithDaemons: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("launched cpi on 4 pods")
+
+	// Run to the halfway point.
+	deadline := 3600 * zapc.Second
+	if err := c.Drive(func() bool { return job.Progress() >= 0.5 }, deadline); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%v  progress %.0f%%\n", c.W.Now(), 100*job.Progress())
+
+	// Coordinated checkpoint: every pod is saved consistently — socket
+	// queues, sequence numbers and all — then the application resumes.
+	res, err := c.Checkpoint(job, zapc.CheckpointOptions{
+		Mode:    zapc.Snapshot,
+		FlushTo: "checkpoints/quickstart",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%v  checkpointed %d pods in %v (network state: %v, largest image %.1f MB)\n",
+		c.W.Now(), len(res.Images), res.Stats.Total, res.Stats.MaxNetCkpt(),
+		float64(res.Stats.MaxImageBytes())/(1<<20))
+
+	// The application never noticed.
+	if _, err := c.RunJob(job, deadline); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%v  done: pi = %.15f (error %.2e)\n",
+		c.W.Now(), job.Result(), math.Abs(job.Result()-math.Pi))
+}

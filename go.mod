@@ -1,0 +1,3 @@
+module zapc
+
+go 1.23

@@ -1,0 +1,305 @@
+package apps
+
+import (
+	"math"
+
+	"zapc/internal/imgfmt"
+	"zapc/internal/mpi"
+	"zapc/internal/sim"
+	"zapc/internal/vos"
+)
+
+// Bratu tags.
+const (
+	tagGhostUp   uint32 = 21 // ghost row arriving from the strip above
+	tagGhostDown uint32 = 22 // ghost row arriving from the strip below
+)
+
+// Bratu is a miniature of the PETSc SFI (solid fuel ignition) example:
+// a damped Jacobi solver for the Bratu equation ∆u + λeᵘ = 0 on the
+// unit square with Dirichlet boundaries, the domain strip-partitioned
+// across ranks using distributed arrays. Each iteration exchanges ghost
+// rows with the two strip neighbors; every CheckEvery iterations the
+// global residual is reduced and the continue/stop decision broadcast —
+// the paper's moderate-communication workload.
+type Bratu struct {
+	Comm *mpi.Comm
+	Cfg  Config
+
+	NX, NY     int // global grid
+	Rows       int // rows owned by this rank (excluding ghost rows)
+	Row0       int // first owned global row
+	Lambda     float64
+	U          []float64 // (Rows+2) x NX including ghost rows
+	Iter       int
+	MaxIters   int
+	CheckEvery int
+	Phase      int
+	recvdUp    bool
+	recvdDown  bool
+	Pending    sim.Duration // simulated compute not yet charged
+	localRes   float64
+	Residual   float64
+	Tol        float64
+	Done       bool
+	bcast      []byte
+}
+
+// bratuGlobalDim is the fixed global grid dimension.
+const bratuGlobalDim = 96
+
+// NewBratu builds a Bratu endpoint. Work scales simulated duration
+// only; the numerical problem is fixed.
+func NewBratu(cfg Config) *Bratu {
+	nx := bratuGlobalDim
+	ny := nx
+	rows := ny / cfg.Size
+	row0 := cfg.Rank * rows
+	if cfg.Rank == cfg.Size-1 {
+		rows = ny - row0
+	}
+	b := &Bratu{
+		Comm:       cfg.comm(),
+		Cfg:        cfg,
+		NX:         nx,
+		NY:         ny,
+		Rows:       rows,
+		Row0:       row0,
+		Lambda:     6.0,
+		MaxIters:   400,
+		CheckEvery: 10,
+		Tol:        1e-6,
+	}
+	b.U = make([]float64, (rows+2)*nx)
+	return b
+}
+
+func (b *Bratu) idx(i, j int) int { return i*b.NX + j }
+
+func (b *Bratu) upRank() int   { return b.Cfg.Rank - 1 }
+func (b *Bratu) downRank() int { return b.Cfg.Rank + 1 }
+
+// Step implements vos.Program.
+func (b *Bratu) Step(ctx *vos.Context) vos.StepResult {
+	switch b.Phase {
+	case 0:
+		if !b.Comm.Init(ctx) {
+			return b.Comm.Block()
+		}
+		ensureBallast(ctx, "bratu", b.Cfg.Size, b.Cfg.scale())
+		b.Phase = 1
+		return vos.Yield(0)
+	case 1: // Jacobi sweep over owned rows; then post ghost rows
+		h2 := 1.0 / float64((b.NX-1)*(b.NX-1))
+		res := 0.0
+		next := append([]float64(nil), b.U...)
+		for i := 1; i <= b.Rows; i++ {
+			gi := b.Row0 + i - 1
+			if gi == 0 || gi == b.NY-1 {
+				continue // Dirichlet boundary rows stay zero
+			}
+			for j := 1; j < b.NX-1; j++ {
+				u := b.U[b.idx(i, j)]
+				lap := b.U[b.idx(i-1, j)] + b.U[b.idx(i+1, j)] +
+					b.U[b.idx(i, j-1)] + b.U[b.idx(i, j+1)] - 4*u
+				f := lap + h2*b.Lambda*math.Exp(u)
+				nv := u + 0.2*f
+				next[b.idx(i, j)] = nv
+				if r := math.Abs(f); r > res {
+					res = r
+				}
+			}
+		}
+		b.U = next
+		b.localRes = res
+		// Charge the sweep's simulated cost in bounded slices, then post
+		// ghost rows.
+		b.Pending = sim.Duration(float64(b.Rows*b.NX) * 17000 * b.Cfg.work()) // 17 µs/cell at Work=1
+		b.Phase = 5
+		return vos.Yield(0)
+	case 5:
+		res, done := drainPending(&b.Pending)
+		if !done {
+			return res
+		}
+		if up := b.upRank(); up >= 0 {
+			b.Comm.Send(ctx, up, tagGhostDown, f64Bytes(b.U[b.idx(1, 0):b.idx(2, 0)]))
+		}
+		if dn := b.downRank(); dn < b.Cfg.Size {
+			b.Comm.Send(ctx, dn, tagGhostUp, f64Bytes(b.U[b.idx(b.Rows, 0):b.idx(b.Rows+1, 0)]))
+		}
+		b.recvdUp = b.upRank() < 0
+		b.recvdDown = b.downRank() >= b.Cfg.Size
+		b.Phase = 2
+		return res
+	case 2: // receive ghost rows
+		if !b.recvdUp {
+			m, ok := b.Comm.Recv(ctx, b.upRank(), tagGhostUp)
+			if !ok {
+				return b.Comm.Block()
+			}
+			copy(b.U[b.idx(0, 0):b.idx(1, 0)], bytesF64(m.Data))
+			b.recvdUp = true
+		}
+		if !b.recvdDown {
+			m, ok := b.Comm.Recv(ctx, b.downRank(), tagGhostDown)
+			if !ok {
+				return b.Comm.Block()
+			}
+			copy(b.U[b.idx(b.Rows+1, 0):b.idx(b.Rows+2, 0)], bytesF64(m.Data))
+			b.recvdDown = true
+		}
+		b.Iter++
+		if b.Iter%b.CheckEvery == 0 || b.Iter >= b.MaxIters {
+			b.Phase = 3
+		} else {
+			b.Phase = 1
+		}
+		return vos.Yield(computeCost(float64(b.NX) * 2))
+	case 3: // global residual reduce
+		r, done := b.Comm.ReduceFloat64(ctx, b.localRes, 0, math.Max)
+		if !done {
+			return b.Comm.Block()
+		}
+		if b.Cfg.Rank == 0 {
+			stop := 0.0
+			if r < b.Tol || b.Iter >= b.MaxIters {
+				stop = 1
+			}
+			b.bcast = f64Bytes([]float64{r, stop})
+		}
+		b.Phase = 4
+		return vos.Yield(0)
+	case 4: // broadcast residual + continue/stop
+		if !b.Comm.Bcast(ctx, &b.bcast, 0) {
+			return b.Comm.Block()
+		}
+		vals := bytesF64(b.bcast)
+		b.Residual = vals[0]
+		if vals[1] != 0 {
+			b.Done = true
+			return vos.Exit(0)
+		}
+		b.Phase = 1
+		return vos.Yield(0)
+	}
+	return vos.Exit(9)
+}
+
+// Finished implements Status.
+func (b *Bratu) Finished() bool { return b.Done }
+
+// Result implements Status (the final global residual).
+func (b *Bratu) Result() float64 { return b.Residual }
+
+// Progress implements Status.
+func (b *Bratu) Progress() float64 {
+	if b.Done {
+		return 1
+	}
+	if b.MaxIters == 0 {
+		return 0
+	}
+	return float64(b.Iter) / float64(b.MaxIters)
+}
+
+// Kind implements vos.Program.
+func (b *Bratu) Kind() string { return KindBratu }
+
+// Save implements vos.Program.
+func (b *Bratu) Save(e *imgfmt.Encoder) error {
+	e.Begin(1)
+	if err := b.Comm.Save(e); err != nil {
+		return err
+	}
+	e.End()
+	e.Int(2, int64(b.Cfg.Rank))
+	e.Int(3, int64(b.Cfg.Size))
+	e.Float64(4, b.Cfg.Scale)
+	e.Float64(5, b.Cfg.Work)
+	for i, v := range []int{b.NX, b.NY, b.Rows, b.Row0, b.Iter, b.MaxIters, b.CheckEvery, b.Phase} {
+		e.Int(uint64(6+i), int64(v))
+	}
+	e.Float64(14, b.Lambda)
+	e.Bytes(15, f64Bytes(b.U))
+	e.Bool(16, b.recvdUp)
+	e.Bool(17, b.recvdDown)
+	e.Float64(18, b.localRes)
+	e.Float64(19, b.Residual)
+	e.Float64(20, b.Tol)
+	e.Bool(21, b.Done)
+	e.Bytes(22, b.bcast)
+	e.Int(23, int64(b.Pending))
+	return nil
+}
+
+// Restore implements vos.Program.
+func (b *Bratu) Restore(d *imgfmt.Decoder) error {
+	sec, err := d.Section(1)
+	if err != nil {
+		return err
+	}
+	b.Comm = &mpi.Comm{}
+	if err := b.Comm.Restore(sec); err != nil {
+		return err
+	}
+	rank, err := d.Int(2)
+	if err != nil {
+		return err
+	}
+	size, err := d.Int(3)
+	if err != nil {
+		return err
+	}
+	b.Cfg.Rank, b.Cfg.Size = int(rank), int(size)
+	if b.Cfg.Scale, err = d.Float64(4); err != nil {
+		return err
+	}
+	if b.Cfg.Work, err = d.Float64(5); err != nil {
+		return err
+	}
+	for i, dst := range []*int{&b.NX, &b.NY, &b.Rows, &b.Row0, &b.Iter, &b.MaxIters, &b.CheckEvery, &b.Phase} {
+		v, err := d.Int(uint64(6 + i))
+		if err != nil {
+			return err
+		}
+		*dst = int(v)
+	}
+	if b.Lambda, err = d.Float64(14); err != nil {
+		return err
+	}
+	u, err := d.Bytes(15)
+	if err != nil {
+		return err
+	}
+	b.U = bytesF64(u)
+	if b.recvdUp, err = d.Bool(16); err != nil {
+		return err
+	}
+	if b.recvdDown, err = d.Bool(17); err != nil {
+		return err
+	}
+	if b.localRes, err = d.Float64(18); err != nil {
+		return err
+	}
+	if b.Residual, err = d.Float64(19); err != nil {
+		return err
+	}
+	if b.Tol, err = d.Float64(20); err != nil {
+		return err
+	}
+	if b.Done, err = d.Bool(21); err != nil {
+		return err
+	}
+	bc, err := d.Bytes(22)
+	if err != nil {
+		return err
+	}
+	b.bcast = append([]byte(nil), bc...)
+	pend, err := d.Int(23)
+	if err != nil {
+		return err
+	}
+	b.Pending = sim.Duration(pend)
+	return nil
+}

@@ -1,0 +1,323 @@
+package apps
+
+import (
+	"math"
+
+	"zapc/internal/imgfmt"
+	"zapc/internal/mpi"
+	"zapc/internal/sim"
+	"zapc/internal/vos"
+)
+
+// Halo message tags (named by the side the receiver integrates them on).
+const (
+	tagHaloAbove uint32 = 11
+	tagHaloBelow uint32 = 12
+	tagHaloLeft  uint32 = 13
+	tagHaloRight uint32 = 14
+)
+
+// BT is a miniature of the NAS Parallel Benchmarks block-tridiagonal
+// solver: a dense local block per endpoint on a square process grid,
+// alternating relaxation sweeps with four-way halo exchanges every
+// iteration. Like the original, it requires a perfect-square process
+// count and couples substantial network traffic with the computation —
+// the paper's communication-heavy extreme.
+type BT struct {
+	Comm *mpi.Comm
+	Cfg  Config
+
+	N       int // local block is N x N
+	Iters   int
+	Iter    int
+	Phase   int
+	Px      int // process grid dimension (Px x Px)
+	Grid    []float64
+	recvd   [4]bool
+	Norm    float64
+	Done    bool
+	bcast   []byte
+	Pending sim.Duration // simulated compute not yet charged
+}
+
+// btGlobalDim is the fixed global grid dimension; local blocks shrink
+// as the process grid grows, giving the solver its parallel speedup.
+const btGlobalDim = 80
+
+// NewBT builds a BT endpoint; cfg.Size must be a perfect square. Work
+// scales simulated duration only; the numerical problem is fixed.
+func NewBT(cfg Config) *BT {
+	px := int(math.Sqrt(float64(cfg.Size)))
+	n := btGlobalDim / px
+	if n < 4 {
+		n = 4
+	}
+	b := &BT{
+		Comm:  cfg.comm(),
+		Cfg:   cfg,
+		N:     n,
+		Iters: 400,
+		Px:    px,
+	}
+	b.Grid = make([]float64, b.N*b.N)
+	for i := range b.Grid {
+		// Deterministic initial condition varying by rank.
+		b.Grid[i] = math.Sin(float64(i+1)*0.01) * float64(cfg.Rank+1)
+	}
+	return b
+}
+
+func (b *BT) at(i, j int) float64     { return b.Grid[i*b.N+j] }
+func (b *BT) set(i, j int, v float64) { b.Grid[i*b.N+j] = v }
+
+// neighbor returns the rank of the torus neighbor at (di, dj).
+func (b *BT) neighbor(di, dj int) int {
+	r, c := b.Cfg.Rank/b.Px, b.Cfg.Rank%b.Px
+	r = (r + di + b.Px) % b.Px
+	c = (c + dj + b.Px) % b.Px
+	return r*b.Px + c
+}
+
+// Step implements vos.Program.
+func (b *BT) Step(ctx *vos.Context) vos.StepResult {
+	switch b.Phase {
+	case 0:
+		if !b.Comm.Init(ctx) {
+			return b.Comm.Block()
+		}
+		ensureBallast(ctx, "bt", b.Cfg.Size, b.Cfg.scale())
+		b.Phase = 1
+		return vos.Yield(0)
+	case 1: // relaxation sweep + send halos
+		n := b.N
+		next := make([]float64, len(b.Grid))
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				up := b.at((i-1+n)%n, j)
+				dn := b.at((i+1)%n, j)
+				lf := b.at(i, (j-1+n)%n)
+				rt := b.at(i, (j+1)%n)
+				v := 0.2495*(up+dn+lf+rt) + 0.001*math.Sin(float64(b.Iter))
+				next[i*n+j] = v
+			}
+		}
+		b.Grid = next
+		// Charge the sweep's simulated cost in bounded slices, then
+		// exchange halos.
+		b.Pending = sim.Duration(float64(b.N*b.N) * 31250 * b.Cfg.work()) // 31.25 µs/cell at Work=1
+		b.Phase = 5
+		return vos.Yield(0)
+	case 5:
+		res, done := drainPending(&b.Pending)
+		if !done {
+			return res
+		}
+		n := b.N
+		// Exchange boundary rows/columns with the four torus neighbors.
+		top := b.Grid[:n]
+		bot := b.Grid[(n-1)*n:]
+		left := make([]float64, n)
+		right := make([]float64, n)
+		for i := 0; i < n; i++ {
+			left[i] = b.at(i, 0)
+			right[i] = b.at(i, n-1)
+		}
+		// My top row becomes the "halo from below" of the rank above me,
+		// and so on around the torus.
+		b.Comm.Send(ctx, b.neighbor(-1, 0), tagHaloBelow, f64Bytes(top))
+		b.Comm.Send(ctx, b.neighbor(+1, 0), tagHaloAbove, f64Bytes(bot))
+		b.Comm.Send(ctx, b.neighbor(0, -1), tagHaloRight, f64Bytes(left))
+		b.Comm.Send(ctx, b.neighbor(0, +1), tagHaloLeft, f64Bytes(right))
+		b.recvd = [4]bool{}
+		b.Phase = 2
+		return res
+	case 2: // receive the four halos
+		dirs := []struct {
+			tag  uint32
+			from int
+		}{
+			{tagHaloAbove, b.neighbor(-1, 0)},
+			{tagHaloBelow, b.neighbor(+1, 0)},
+			{tagHaloLeft, b.neighbor(0, -1)},
+			{tagHaloRight, b.neighbor(0, +1)},
+		}
+		for i, d := range dirs {
+			if b.recvd[i] {
+				continue
+			}
+			m, ok := b.Comm.Recv(ctx, d.from, d.tag)
+			if !ok {
+				return b.Comm.Block()
+			}
+			halo := bytesF64(m.Data)
+			b.applyHalo(i, halo)
+			b.recvd[i] = true
+		}
+		b.Iter++
+		if b.Iter < b.Iters {
+			b.Phase = 1
+			return vos.Yield(computeCost(float64(b.N) * 4))
+		}
+		b.Phase = 3
+		return vos.Yield(0)
+	case 3: // global norm: reduce sum of squares, broadcast
+		ss := 0.0
+		for _, v := range b.Grid {
+			ss += v * v
+		}
+		norm, done := b.Comm.ReduceFloat64(ctx, ss, 0, func(a, c float64) float64 { return a + c })
+		if !done {
+			return b.Comm.Block()
+		}
+		if b.Cfg.Rank == 0 {
+			b.bcast = f64Bytes([]float64{math.Sqrt(norm)})
+		}
+		b.Phase = 4
+		return vos.Yield(computeCost(float64(len(b.Grid))))
+	case 4:
+		if !b.Comm.Bcast(ctx, &b.bcast, 0) {
+			return b.Comm.Block()
+		}
+		b.Norm = bytesF64(b.bcast)[0]
+		b.Done = true
+		return vos.Exit(0)
+	}
+	return vos.Exit(9)
+}
+
+// applyHalo folds a received boundary into the local block edge.
+func (b *BT) applyHalo(dir int, halo []float64) {
+	n := b.N
+	if len(halo) < n {
+		return
+	}
+	switch dir {
+	case 0: // from above -> blend into top row
+		for j := 0; j < n; j++ {
+			b.set(0, j, 0.5*(b.at(0, j)+halo[j]))
+		}
+	case 1: // from below -> bottom row
+		for j := 0; j < n; j++ {
+			b.set(n-1, j, 0.5*(b.at(n-1, j)+halo[j]))
+		}
+	case 2: // from left -> left column
+		for i := 0; i < n; i++ {
+			b.set(i, 0, 0.5*(b.at(i, 0)+halo[i]))
+		}
+	case 3: // from right -> right column
+		for i := 0; i < n; i++ {
+			b.set(i, n-1, 0.5*(b.at(i, n-1)+halo[i]))
+		}
+	}
+}
+
+// Finished implements Status.
+func (b *BT) Finished() bool { return b.Done }
+
+// Result implements Status (the global grid norm).
+func (b *BT) Result() float64 { return b.Norm }
+
+// Progress implements Status.
+func (b *BT) Progress() float64 {
+	if b.Done {
+		return 1
+	}
+	if b.Iters == 0 {
+		return 0
+	}
+	return float64(b.Iter) / float64(b.Iters)
+}
+
+// Kind implements vos.Program.
+func (b *BT) Kind() string { return KindBT }
+
+// Save implements vos.Program.
+func (b *BT) Save(e *imgfmt.Encoder) error {
+	e.Begin(1)
+	if err := b.Comm.Save(e); err != nil {
+		return err
+	}
+	e.End()
+	e.Int(2, int64(b.Cfg.Rank))
+	e.Int(3, int64(b.Cfg.Size))
+	e.Float64(4, b.Cfg.Scale)
+	e.Float64(5, b.Cfg.Work)
+	e.Int(6, int64(b.N))
+	e.Int(7, int64(b.Iters))
+	e.Int(8, int64(b.Iter))
+	e.Int(9, int64(b.Phase))
+	e.Int(10, int64(b.Px))
+	e.Bytes(11, f64Bytes(b.Grid))
+	for _, r := range b.recvd {
+		e.Bool(12, r)
+	}
+	e.Float64(13, b.Norm)
+	e.Bool(14, b.Done)
+	e.Bytes(15, b.bcast)
+	e.Int(16, int64(b.Pending))
+	return nil
+}
+
+// Restore implements vos.Program.
+func (b *BT) Restore(d *imgfmt.Decoder) error {
+	sec, err := d.Section(1)
+	if err != nil {
+		return err
+	}
+	b.Comm = &mpi.Comm{}
+	if err := b.Comm.Restore(sec); err != nil {
+		return err
+	}
+	ints := make([]int64, 0, 6)
+	for _, tag := range []uint64{2, 3} {
+		v, err := d.Int(tag)
+		if err != nil {
+			return err
+		}
+		ints = append(ints, v)
+	}
+	b.Cfg.Rank, b.Cfg.Size = int(ints[0]), int(ints[1])
+	if b.Cfg.Scale, err = d.Float64(4); err != nil {
+		return err
+	}
+	if b.Cfg.Work, err = d.Float64(5); err != nil {
+		return err
+	}
+	for _, p := range []struct {
+		tag uint64
+		dst *int
+	}{{6, &b.N}, {7, &b.Iters}, {8, &b.Iter}, {9, &b.Phase}, {10, &b.Px}} {
+		v, err := d.Int(p.tag)
+		if err != nil {
+			return err
+		}
+		*p.dst = int(v)
+	}
+	grid, err := d.Bytes(11)
+	if err != nil {
+		return err
+	}
+	b.Grid = bytesF64(grid)
+	for i := range b.recvd {
+		if b.recvd[i], err = d.Bool(12); err != nil {
+			return err
+		}
+	}
+	if b.Norm, err = d.Float64(13); err != nil {
+		return err
+	}
+	if b.Done, err = d.Bool(14); err != nil {
+		return err
+	}
+	bc, err := d.Bytes(15)
+	if err != nil {
+		return err
+	}
+	b.bcast = append([]byte(nil), bc...)
+	pend, err := d.Int(16)
+	if err != nil {
+		return err
+	}
+	b.Pending = sim.Duration(pend)
+	return nil
+}

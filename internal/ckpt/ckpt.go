@@ -1,0 +1,240 @@
+// Package ckpt implements the standalone pod checkpoint-restart
+// mechanism (the Zap layer ZapC builds on): saving a suspended pod's
+// entire per-node state — processes with their program state, memory
+// regions, descriptor tables, virtual PIDs, and the pod's virtual clock
+// — into a portable image, and reinstating it into a fresh pod on any
+// node.
+//
+// The image uses the intermediate format of internal/imgfmt: it records
+// higher-level semantic state (program-defined sections, named memory
+// regions, descriptor-to-socket-slot bindings) rather than native kernel
+// data, which is what makes images portable across nodes and kernel
+// versions. Network state is embedded as a netckpt.NetImage and restored
+// by that package's Restorer before descriptors are wired.
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"zapc/internal/imgfmt"
+	"zapc/internal/memfs"
+	"zapc/internal/netckpt"
+	"zapc/internal/netstack"
+	"zapc/internal/pod"
+	"zapc/internal/sim"
+	"zapc/internal/vos"
+)
+
+// Errors returned by checkpoint and restart.
+var (
+	ErrNotQuiescent   = errors.New("ckpt: pod is not quiescent")
+	ErrUnknownProgram = errors.New("ckpt: unknown program kind")
+)
+
+// Program registry: restart must re-instantiate programs from their Kind
+// tag before feeding them their saved state.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]func() vos.Program)
+)
+
+// Register associates a program kind with a factory. Applications
+// register their programs at init time; registration is idempotent for
+// identical kinds.
+func Register(kind string, factory func() vos.Program) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[kind] = factory
+}
+
+// NewProgram instantiates a registered program kind.
+func NewProgram(kind string) (vos.Program, error) {
+	regMu.RLock()
+	f, ok := registry[kind]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProgram, kind)
+	}
+	return f(), nil
+}
+
+// FDEntry binds a process descriptor to a socket slot in the pod's
+// network image.
+type FDEntry struct {
+	FD   int
+	Slot int
+}
+
+// ProcImage is the saved state of one process.
+type ProcImage struct {
+	VPID     vos.PID
+	Kind     string
+	ProgData []byte // program-defined state (nested imgfmt stream)
+	Regions  []vos.Region
+	FDs      []FDEntry
+}
+
+// Image is a complete pod checkpoint.
+type Image struct {
+	PodName     string
+	VIP         netstack.IP
+	VirtualTime sim.Time
+	Net         *netckpt.NetImage
+	Procs       []ProcImage
+
+	sizeCache int64 // memoized Bytes(); images are immutable once built
+}
+
+// CheckpointPod saves a suspended pod. The pod must be quiescent with
+// its network blocked (the coordinated Agent guarantees both before
+// calling). The walk has no side effects on the pod.
+func CheckpointPod(p *pod.Pod) (*Image, error) {
+	if !p.Quiescent() {
+		return nil, ErrNotQuiescent
+	}
+	netImg, _, err := netckpt.CheckpointStack(p.Stack())
+	if err != nil {
+		return nil, err
+	}
+	img := &Image{
+		PodName:     p.Name(),
+		VIP:         p.VirtualIP(),
+		VirtualTime: p.VirtualNow(),
+		Net:         netImg,
+	}
+	// Socket identity -> slot, using the same enumeration order netckpt
+	// used (the pod is frozen, so the socket table is stable).
+	slotOf := make(map[*netstack.Socket]int)
+	for i, s := range p.Stack().Sockets() {
+		slotOf[s] = i
+	}
+	for _, proc := range p.Procs() {
+		pi := ProcImage{
+			VPID: proc.VPID,
+			Kind: proc.Prog.Kind(),
+		}
+		enc := imgfmt.NewEncoder()
+		if err := proc.Prog.Save(enc); err != nil {
+			return nil, fmt.Errorf("ckpt: saving %s (vpid %d): %w", pi.Kind, pi.VPID, err)
+		}
+		pi.ProgData = enc.Finish()
+		for _, r := range proc.Memory() {
+			pi.Regions = append(pi.Regions, vos.Region{
+				Name: r.Name,
+				Data: append([]byte(nil), r.Data...),
+			})
+		}
+		for _, fd := range proc.FDs() {
+			s, _ := proc.SocketFor(fd)
+			slot, ok := slotOf[s]
+			if !ok {
+				return nil, fmt.Errorf("ckpt: fd %d of vpid %d references unknown socket", fd, pi.VPID)
+			}
+			pi.FDs = append(pi.FDs, FDEntry{FD: fd, Slot: slot})
+		}
+		img.Procs = append(img.Procs, pi)
+	}
+	sort.Slice(img.Procs, func(i, j int) bool { return img.Procs[i].VPID < img.Procs[j].VPID })
+	return img, nil
+}
+
+// Remap rewrites the image's virtual addresses for a restart at
+// different network addresses.
+func (img *Image) Remap(remap map[netstack.IP]netstack.IP) {
+	if n, ok := remap[img.VIP]; ok {
+		img.VIP = n
+	}
+	netckpt.RemapImage(img.Net, remap)
+}
+
+// Bytes reports the serialized size of the image (the paper's checkpoint
+// image size, Figure 6c). The value is memoized: images are treated as
+// immutable once the checkpoint completes.
+func (img *Image) Bytes() int64 {
+	if img.sizeCache == 0 {
+		img.sizeCache = int64(len(img.Encode()))
+	}
+	return img.sizeCache
+}
+
+// MemoryBytes reports just the application memory payload.
+func (img *Image) MemoryBytes() int64 {
+	var n int64
+	for _, p := range img.Procs {
+		for _, r := range p.Regions {
+			n += int64(len(r.Data))
+		}
+		n += int64(len(p.ProgData))
+	}
+	return n
+}
+
+// RestorePod reinstates an image into a new pod on the given node,
+// following the restart agent's local procedure: create an empty pod,
+// recover network connectivity and state (asynchronously, via the
+// netckpt Restorer and the manager-provided plan), then perform the
+// standalone restart — re-create every process with its preserved
+// virtual PID, program state, memory, and descriptors. The restored
+// processes are left SIGSTOPped; the caller resumes them once the whole
+// operation concludes. onDone receives the new pod or the first error.
+func RestorePod(img *Image, name string, node *vos.Node, nw *netstack.Network,
+	fs *memfs.FS, plan *netckpt.EndpointPlan, onDone func(*pod.Pod, error)) {
+
+	newPod, err := pod.New(name, node, nw, fs, img.VIP)
+	if err != nil {
+		onDone(nil, err)
+		return
+	}
+	var restorer *netckpt.Restorer
+	restorer = netckpt.NewRestorer(newPod.Stack(), img.Net, plan, func(err error) {
+		if err != nil {
+			newPod.Destroy()
+			onDone(nil, err)
+			return
+		}
+		if err := restoreProcs(img, newPod, restorer.Sockets()); err != nil {
+			newPod.Destroy()
+			onDone(nil, err)
+			return
+		}
+		// Virtualize time: the pod's clock resumes from its checkpoint
+		// value so application timeouts never observe the gap.
+		newPod.SetTimeBias(img.VirtualTime)
+		onDone(newPod, nil)
+	})
+	restorer.Start()
+}
+
+func restoreProcs(img *Image, newPod *pod.Pod, socks []*netstack.Socket) error {
+	for _, pi := range img.Procs {
+		prog, err := NewProgram(pi.Kind)
+		if err != nil {
+			return err
+		}
+		dec, err := imgfmt.NewDecoder(pi.ProgData)
+		if err != nil {
+			return fmt.Errorf("ckpt: program data of vpid %d: %w", pi.VPID, err)
+		}
+		if err := prog.Restore(dec); err != nil {
+			return fmt.Errorf("ckpt: restoring %s (vpid %d): %w", pi.Kind, pi.VPID, err)
+		}
+		proc, err := newPod.AddRestoredProcess(prog, pi.VPID)
+		if err != nil {
+			return err
+		}
+		for _, r := range pi.Regions {
+			proc.SetRegion(r.Name, append([]byte(nil), r.Data...))
+		}
+		for _, fe := range pi.FDs {
+			if fe.Slot < 0 || fe.Slot >= len(socks) || socks[fe.Slot] == nil {
+				return fmt.Errorf("ckpt: fd %d of vpid %d references unrestored socket slot %d",
+					fe.FD, pi.VPID, fe.Slot)
+			}
+			proc.InstallFD(fe.FD, socks[fe.Slot])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package ckpt
+
+import (
+	"errors"
+
+	"zapc/internal/imgfmt"
+	"zapc/internal/netckpt"
+	"zapc/internal/netstack"
+	"zapc/internal/sim"
+	"zapc/internal/vos"
+)
+
+// Pod image field tags.
+const (
+	tagPodName = 1
+	tagVIP     = 2
+	tagVTime   = 3
+	tagNet     = 4
+	tagProc    = 5
+
+	tagVPID     = 1
+	tagKind     = 2
+	tagProgData = 3
+	tagRegion   = 4
+	tagFD       = 5
+
+	tagRegName = 1
+	tagRegData = 2
+
+	tagFDNum  = 1
+	tagFDSlot = 2
+)
+
+// Encode serializes the image into the intermediate checkpoint format.
+func (img *Image) Encode() []byte {
+	e := imgfmt.NewEncoder()
+	e.String(tagPodName, img.PodName)
+	e.Uint(tagVIP, uint64(img.VIP))
+	e.Int(tagVTime, int64(img.VirtualTime))
+	e.Begin(tagNet)
+	img.Net.Encode(e)
+	e.End()
+	for _, p := range img.Procs {
+		e.Begin(tagProc)
+		e.Int(tagVPID, int64(p.VPID))
+		e.String(tagKind, p.Kind)
+		e.Bytes(tagProgData, p.ProgData)
+		for _, r := range p.Regions {
+			e.Begin(tagRegion)
+			e.String(tagRegName, r.Name)
+			e.Bytes(tagRegData, r.Data)
+			e.End()
+		}
+		for _, fd := range p.FDs {
+			e.Begin(tagFD)
+			e.Int(tagFDNum, int64(fd.FD))
+			e.Int(tagFDSlot, int64(fd.Slot))
+			e.End()
+		}
+		e.End()
+	}
+	return e.Finish()
+}
+
+// DecodeImage parses a serialized pod image.
+func DecodeImage(data []byte) (*Image, error) {
+	d, err := imgfmt.NewDecoder(data)
+	if err != nil {
+		return nil, err
+	}
+	img := &Image{}
+	if img.PodName, err = d.String(tagPodName); err != nil {
+		return nil, err
+	}
+	vip, err := d.Uint(tagVIP)
+	if err != nil {
+		return nil, err
+	}
+	img.VIP = netstack.IP(vip)
+	vt, err := d.Int(tagVTime)
+	if err != nil {
+		return nil, err
+	}
+	img.VirtualTime = sim.Time(vt)
+	netSec, err := d.Section(tagNet)
+	if err != nil {
+		return nil, err
+	}
+	if img.Net, err = netckpt.DecodeImage(netSec); err != nil {
+		return nil, err
+	}
+	for d.More() {
+		tag, _, err := d.Peek()
+		if err != nil {
+			return nil, err
+		}
+		if tag != tagProc {
+			if err := d.Skip(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		sec, err := d.Section(tagProc)
+		if err != nil {
+			return nil, err
+		}
+		p, err := decodeProc(sec)
+		if err != nil {
+			return nil, err
+		}
+		img.Procs = append(img.Procs, p)
+	}
+	return img, nil
+}
+
+func decodeProc(d *imgfmt.Decoder) (ProcImage, error) {
+	var p ProcImage
+	vpid, err := d.Int(tagVPID)
+	if err != nil {
+		return p, err
+	}
+	p.VPID = vos.PID(vpid)
+	if p.Kind, err = d.String(tagKind); err != nil {
+		return p, err
+	}
+	pd, err := d.Bytes(tagProgData)
+	if err != nil {
+		return p, err
+	}
+	p.ProgData = append([]byte(nil), pd...)
+	for d.More() {
+		tag, _, err := d.Peek()
+		if err != nil {
+			return p, err
+		}
+		switch tag {
+		case tagRegion:
+			sec, err := d.Section(tagRegion)
+			if err != nil {
+				return p, err
+			}
+			name, e1 := sec.String(tagRegName)
+			data, e2 := sec.Bytes(tagRegData)
+			if err := errors.Join(e1, e2); err != nil {
+				return p, err
+			}
+			p.Regions = append(p.Regions, vos.Region{Name: name, Data: append([]byte(nil), data...)})
+		case tagFD:
+			sec, err := d.Section(tagFD)
+			if err != nil {
+				return p, err
+			}
+			fd, e1 := sec.Int(tagFDNum)
+			slot, e2 := sec.Int(tagFDSlot)
+			if err := errors.Join(e1, e2); err != nil {
+				return p, err
+			}
+			p.FDs = append(p.FDs, FDEntry{FD: int(fd), Slot: int(slot)})
+		default:
+			if err := d.Skip(); err != nil {
+				return p, err
+			}
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,323 @@
+// Package cluster assembles the full virtual testbed: nodes, the
+// interconnect, shared storage, the coordination manager, and
+// application deployment. It is the layer the experiment harness and
+// the public API drive.
+//
+// A Job deploys one distributed application across a set of pods
+// (one endpoint per pod, pods placed round-robin across nodes — on
+// dual-CPU nodes two pods per node, exactly the paper's sixteen-node
+// configuration). Jobs can also run in Base mode: the same processes on
+// the same nodes without pod virtualization, which is the paper's
+// vanilla-Linux baseline for the Figure 5 overhead measurement.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"zapc/internal/apps"
+	"zapc/internal/ckpt"
+	"zapc/internal/core"
+	"zapc/internal/memfs"
+	"zapc/internal/mpi"
+	"zapc/internal/netstack"
+	"zapc/internal/pod"
+	"zapc/internal/sim"
+	"zapc/internal/vos"
+)
+
+// Config sizes the virtual cluster.
+type Config struct {
+	Nodes       int
+	CPUsPerNode int
+	Seed        int64
+	LossRate    float64
+	// Costs optionally overrides the calibrated hardware model.
+	Costs *sim.Costs
+}
+
+// Cluster is a running virtual testbed.
+type Cluster struct {
+	W     *sim.World
+	Net   *netstack.Network
+	FS    *memfs.FS
+	Nodes []*vos.Node
+	Mgr   *core.Manager
+
+	nextVIP netstack.IP
+}
+
+// New builds a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.CPUsPerNode < 1 {
+		cfg.CPUsPerNode = 1
+	}
+	w := sim.NewWorld(cfg.Seed)
+	if cfg.Costs != nil {
+		w.Costs = *cfg.Costs
+	}
+	c := &Cluster{
+		W:       w,
+		Net:     netstack.NewNetwork(w),
+		FS:      memfs.New(),
+		nextVIP: 0x0a000001,
+	}
+	c.Net.SetLossRate(cfg.LossRate)
+	for i := 0; i < cfg.Nodes; i++ {
+		c.Nodes = append(c.Nodes, vos.NewNode(w, fmt.Sprintf("node%02d", i), cfg.CPUsPerNode))
+	}
+	c.Mgr = core.NewManager(w, c.Net, c.FS)
+	return c
+}
+
+// AddNodes grows the cluster (e.g. spare nodes to migrate onto).
+func (c *Cluster) AddNodes(n int, cpus int) []*vos.Node {
+	var out []*vos.Node
+	for i := 0; i < n; i++ {
+		node := vos.NewNode(c.W, fmt.Sprintf("node%02d", len(c.Nodes)), cpus)
+		c.Nodes = append(c.Nodes, node)
+		out = append(out, node)
+	}
+	return out
+}
+
+// JobSpec describes one distributed application deployment.
+type JobSpec struct {
+	// App is one of cpi, bt, bratu, povray.
+	App string
+	// Endpoints is the number of application endpoints (pods). BT
+	// requires a perfect square.
+	Endpoints int
+	// Work and Scale tune problem size and memory ballast.
+	Work  float64
+	Scale float64
+	// WithDaemons adds the middleware daemon (mpd/pvmd stand-in) to
+	// every pod, as the paper's setup runs.
+	WithDaemons bool
+	// Base disables pod virtualization: processes run directly on the
+	// host nodes (the vanilla baseline of Figure 5). Base jobs cannot be
+	// checkpointed.
+	Base bool
+	// Port is the application's base port (default 7100).
+	Port netstack.Port
+}
+
+// Job is a deployed application.
+type Job struct {
+	Name  string
+	Spec  JobSpec
+	Pods  []*pod.Pod // nil entries/empty in Base mode
+	Progs []apps.Status
+
+	cluster *Cluster
+	started sim.Time
+	// base-mode environments kept so completion can be observed
+	baseEnvs []*vos.Env
+}
+
+var jobCounter int
+
+// Launch deploys a job across the cluster's nodes, pods placed
+// round-robin.
+func (c *Cluster) Launch(spec JobSpec) (*Job, error) {
+	if spec.Endpoints < 1 {
+		return nil, errors.New("cluster: need at least one endpoint")
+	}
+	if spec.App == "bt" && !apps.SquareOK(spec.Endpoints) {
+		return nil, fmt.Errorf("cluster: bt requires a square endpoint count, got %d", spec.Endpoints)
+	}
+	if spec.Port == 0 {
+		spec.Port = 7100
+	}
+	jobCounter++
+	job := &Job{
+		Name:    fmt.Sprintf("%s-%d", spec.App, jobCounter),
+		Spec:    spec,
+		cluster: c,
+		started: c.W.Now(),
+	}
+	ips := make([]netstack.IP, spec.Endpoints)
+	for i := range ips {
+		ips[i] = c.nextVIP
+		c.nextVIP++
+	}
+	for i := 0; i < spec.Endpoints; i++ {
+		node := c.Nodes[i%len(c.Nodes)]
+		prog := apps.NewByName(spec.App, apps.Config{
+			Rank: i, Size: spec.Endpoints, Port: spec.Port, PeerIPs: ips,
+			Work: spec.Work, Scale: spec.Scale,
+		})
+		if prog == nil {
+			return nil, fmt.Errorf("cluster: unknown app %q", spec.App)
+		}
+		st := prog.(apps.Status)
+		if spec.Base {
+			stack, err := c.Net.NewStack(ips[i])
+			if err != nil {
+				return nil, err
+			}
+			env := &vos.Env{Stack: stack, FS: c.FS}
+			node.Spawn(prog, env)
+			job.baseEnvs = append(job.baseEnvs, env)
+		} else {
+			p, err := pod.New(fmt.Sprintf("%s-%d", job.Name, i), node, c.Net, c.FS, ips[i])
+			if err != nil {
+				return nil, err
+			}
+			p.AddProcess(prog)
+			if spec.WithDaemons {
+				p.AddProcess(mpi.NewDaemon(i, spec.Port+1, ips))
+			}
+			job.Pods = append(job.Pods, p)
+		}
+		job.Progs = append(job.Progs, st)
+	}
+	return job, nil
+}
+
+// Finished reports whether every endpoint has completed.
+func (j *Job) Finished() bool {
+	for _, p := range j.Progs {
+		if !p.Finished() {
+			return false
+		}
+	}
+	return true
+}
+
+// Progress reports the maximum endpoint progress (rank 0 is
+// authoritative for master/worker apps).
+func (j *Job) Progress() float64 {
+	best := 0.0
+	for _, p := range j.Progs {
+		if v := p.Progress(); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Result returns rank 0's deterministic result.
+func (j *Job) Result() float64 { return j.Progs[0].Result() }
+
+// Rebind replaces the job's pods and program references after a restart
+// or migration returned new pods.
+func (j *Job) Rebind(pods []*pod.Pod) error {
+	progs := make([]apps.Status, 0, len(pods))
+	for _, np := range pods {
+		proc, ok := np.Lookup(1)
+		if !ok {
+			return fmt.Errorf("cluster: pod %s has no vpid 1 after restore", np.Name())
+		}
+		st, ok := proc.Prog.(apps.Status)
+		if !ok {
+			return fmt.Errorf("cluster: pod %s program is not a workload", np.Name())
+		}
+		progs = append(progs, st)
+	}
+	j.Pods = pods
+	j.Progs = progs
+	return nil
+}
+
+// Errors from driving the simulation.
+var (
+	ErrDeadline = errors.New("cluster: simulation deadline exceeded")
+	ErrStalled  = errors.New("cluster: event queue drained before condition")
+)
+
+// Drive steps the simulation until cond holds, a generous simulated
+// deadline passes, or the event queue stalls.
+func (c *Cluster) Drive(cond func() bool, deadline sim.Duration) error {
+	limit := c.W.Now() + sim.Time(deadline)
+	for !cond() {
+		if c.W.Now() > limit {
+			return ErrDeadline
+		}
+		if !c.W.Step() {
+			if cond() {
+				return nil
+			}
+			return ErrStalled
+		}
+	}
+	return nil
+}
+
+// RunJob drives the cluster until the job finishes and returns the
+// completion time (launch to finish) — the Figure 5 metric.
+func (c *Cluster) RunJob(j *Job, deadline sim.Duration) (sim.Duration, error) {
+	if err := c.Drive(j.Finished, deadline); err != nil {
+		return 0, err
+	}
+	return sim.Duration(c.W.Now() - j.started), nil
+}
+
+// Checkpoint coordinates a checkpoint of the job's pods.
+func (c *Cluster) Checkpoint(j *Job, opts core.Options) (*core.CheckpointResult, error) {
+	if j.Spec.Base {
+		return nil, errors.New("cluster: base jobs are not virtualized and cannot be checkpointed")
+	}
+	var res *core.CheckpointResult
+	c.Mgr.Checkpoint(j.Pods, opts, func(r *core.CheckpointResult) { res = r })
+	if err := c.Drive(func() bool { return res != nil }, 60*sim.Second); err != nil {
+		return nil, err
+	}
+	if res.Err != nil {
+		return res, res.Err
+	}
+	return res, nil
+}
+
+// Migrate moves the job to the target nodes and rebinds it.
+func (c *Cluster) Migrate(j *Job, targets []*vos.Node, redirect bool) (*core.MigrateResult, error) {
+	var res *core.MigrateResult
+	c.Mgr.Migrate(j.Pods, targets, redirect, nil, func(r *core.MigrateResult) { res = r })
+	if err := c.Drive(func() bool { return res != nil }, 120*sim.Second); err != nil {
+		return nil, err
+	}
+	if res.Err != nil {
+		return res, res.Err
+	}
+	return res, j.Rebind(res.Pods)
+}
+
+// Restart restores a job from checkpoint images onto the given nodes
+// and rebinds it.
+func (c *Cluster) Restart(j *Job, images *core.CheckpointResult, targets []*vos.Node) (*core.RestartResult, error) {
+	placements := make([]core.Placement, 0, len(images.Images))
+	i := 0
+	for _, a := range images.Stats.Agents {
+		img := imageByName(images, a.Pod)
+		if img == nil {
+			return nil, fmt.Errorf("cluster: missing image for %s", a.Pod)
+		}
+		placements = append(placements, core.Placement{
+			Image:   img,
+			PodName: a.Pod,
+			Node:    targets[i%len(targets)],
+		})
+		i++
+	}
+	var res *core.RestartResult
+	c.Mgr.Restart(placements, nil, func(r *core.RestartResult) { res = r })
+	if err := c.Drive(func() bool { return res != nil }, 120*sim.Second); err != nil {
+		return nil, err
+	}
+	if res.Err != nil {
+		return res, res.Err
+	}
+	return res, j.Rebind(res.Pods)
+}
+
+func imageByName(r *core.CheckpointResult, name string) *ckpt.Image {
+	for _, img := range r.Images {
+		if img.PodName == name {
+			return img
+		}
+	}
+	return nil
+}

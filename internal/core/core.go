@@ -1,0 +1,582 @@
+// Package core implements ZapC's primary contribution: coordinated
+// checkpoint-restart of an entire distributed application across a set
+// of cluster nodes (paper §4).
+//
+// A Manager client orchestrates one Agent per participating pod. The
+// checkpoint follows Figure 1: every agent suspends its pod and blocks
+// its network independently, takes the (fast) network-state checkpoint
+// first, reports its meta-data to the manager, and proceeds with the
+// standalone pod checkpoint in parallel with the manager's single
+// synchronization — agents may not finish (and re-enable their
+// networks) until the manager has collected meta-data from everyone,
+// which is the one and only synchronization point the algorithm needs
+// (Figure 2). Restart follows Figure 3: the manager derives a
+// connect/accept schedule from the merged meta-data and each agent
+// recovers connectivity, restores network state, and runs the
+// standalone restart, resuming its pod without any end-of-restart
+// barrier.
+//
+// Manager↔agent control traffic, suspension, netfilter manipulation,
+// and image serialization are charged to the calibrated cost model;
+// connection re-establishment runs as real (simulated) packet exchanges,
+// so the reported times have the same structure as the paper's
+// measurements.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"zapc/internal/ckpt"
+	"zapc/internal/memfs"
+	"zapc/internal/netckpt"
+	"zapc/internal/netstack"
+	"zapc/internal/pod"
+	"zapc/internal/sim"
+	"zapc/internal/vos"
+)
+
+// Errors returned by coordinated operations.
+var (
+	ErrAborted        = errors.New("core: operation aborted")
+	ErrAgentFailure   = errors.New("core: agent failure detected")
+	ErrManagerFailure = errors.New("core: manager failure detected")
+)
+
+// Mode selects what happens to the pods after a checkpoint.
+type Mode int
+
+// Checkpoint modes.
+const (
+	// Snapshot resumes the application on the same nodes afterwards.
+	Snapshot Mode = iota
+	// Migrate destroys the source pods after the checkpoint (they are
+	// restarted elsewhere from the images).
+	Migrate
+)
+
+// Options tunes a coordinated checkpoint.
+type Options struct {
+	Mode Mode
+	// Redirect applies the §5 send-queue redirect optimization during
+	// migration: post-overlap send-queue data is folded into the peer's
+	// checkpoint stream instead of being retransmitted after restart.
+	Redirect bool
+	// NaiveSync, when set, reproduces the strawman ordering for the
+	// ablation study: agents wait for the manager's continue before
+	// starting the standalone checkpoint instead of overlapping it with
+	// the synchronization (the Figure 2 design).
+	NaiveSync bool
+	// FlushTo, when non-empty, writes each image to the shared
+	// filesystem under this prefix after the pods resume (excluded from
+	// the reported checkpoint time, matching the paper's methodology).
+	FlushTo string
+	// SnapshotFS takes a point-in-time snapshot of the shared
+	// filesystem immediately prior to reactivating the pods, as the
+	// paper does with SAN/unionfs snapshot functionality, so the
+	// checkpoint also has a consistent file-system image.
+	SnapshotFS bool
+}
+
+// AgentStats reports one agent's timing breakdown.
+type AgentStats struct {
+	Pod         string
+	Suspend     sim.Duration // SIGSTOP + quiescence + network block
+	NetCkpt     sim.Duration // network-state checkpoint
+	Standalone  sim.Duration // standalone pod checkpoint
+	Total       sim.Duration // agent start -> done reported
+	ImageBytes  int64
+	NetBytes    int64 // serialized network-state size
+	NetQueueLen int64 // payload bytes captured from socket queues
+}
+
+// CheckpointStats aggregates a coordinated checkpoint.
+type CheckpointStats struct {
+	Total  sim.Duration // manager invocation -> all agents done
+	Agents []AgentStats
+}
+
+// MaxNetCkpt returns the slowest per-agent network checkpoint.
+func (s *CheckpointStats) MaxNetCkpt() sim.Duration {
+	var m sim.Duration
+	for _, a := range s.Agents {
+		if a.NetCkpt > m {
+			m = a.NetCkpt
+		}
+	}
+	return m
+}
+
+// MaxImageBytes returns the largest pod image (the paper's Figure 6c
+// metric).
+func (s *CheckpointStats) MaxImageBytes() int64 {
+	var m int64
+	for _, a := range s.Agents {
+		if a.ImageBytes > m {
+			m = a.ImageBytes
+		}
+	}
+	return m
+}
+
+// CheckpointResult carries the images plus measurements.
+type CheckpointResult struct {
+	Images map[netstack.IP]*ckpt.Image
+	Stats  CheckpointStats
+	// FSSnapshot is the consistent file-system image captured before
+	// the pods resumed (nil unless Options.SnapshotFS).
+	FSSnapshot *memfs.FS
+	Err        error
+}
+
+// Manager is the front-end client coordinating checkpoints and restarts.
+// It can run anywhere; it reaches agents over reliable control
+// connections whose latency is modeled by Costs.CtrlLatency.
+type Manager struct {
+	w      *sim.World
+	nw     *netstack.Network
+	fs     *memfs.FS
+	failed bool
+}
+
+// Fail simulates a crash of the Manager client. Agents notice their
+// control connection break and gracefully abort in-flight operations,
+// resuming their pods (§4: "a failure of the Manager itself will be
+// noted by the Agents ... the operation will be gracefully aborted, and
+// the application will resume its execution").
+func (m *Manager) Fail() { m.failed = true }
+
+// NewManager creates a manager for the given cluster substrate.
+func NewManager(w *sim.World, nw *netstack.Network, fs *memfs.FS) *Manager {
+	return &Manager{w: w, nw: nw, fs: fs}
+}
+
+// ctrl models one manager<->agent control message.
+func (m *Manager) ctrl(fn func()) {
+	m.w.After(m.w.Costs.CtrlLatency, fn)
+}
+
+// Checkpoint coordinates a checkpoint of the given pods (one agent
+// each). onDone receives the images and the timing breakdown. The
+// operation aborts gracefully — pods resume — if any hosting node fails
+// mid-flight.
+func (m *Manager) Checkpoint(pods []*pod.Pod, opts Options, onDone func(*CheckpointResult)) {
+	if len(pods) == 0 {
+		onDone(&CheckpointResult{Err: errors.New("core: no pods to checkpoint")})
+		return
+	}
+	op := &ckptOp{
+		m:      m,
+		opts:   opts,
+		start:  m.w.Now(),
+		agents: make([]*ckptAgent, len(pods)),
+		result: &CheckpointResult{Images: make(map[netstack.IP]*ckpt.Image)},
+		onDone: onDone,
+	}
+	for i, p := range pods {
+		op.agents[i] = &ckptAgent{op: op, pod: p}
+	}
+	// Step M1: broadcast 'checkpoint' to all agents.
+	for _, a := range op.agents {
+		a := a
+		m.ctrl(func() { a.start() })
+	}
+}
+
+type ckptOp struct {
+	m        *Manager
+	opts     Options
+	start    sim.Time
+	agents   []*ckptAgent
+	metas    int
+	dones    int
+	contSent bool
+	aborted  bool
+	result   *CheckpointResult
+	onDone   func(*CheckpointResult)
+}
+
+type ckptAgent struct {
+	op        *ckptOp
+	pod       *pod.Pod
+	began     sim.Time
+	suspend   sim.Duration
+	netTime   sim.Duration
+	saTime    sim.Duration
+	img       *ckpt.Image
+	netBytes  int64
+	queueLen  int64
+	saDone    bool
+	contRecvd bool
+	finished  bool
+}
+
+func (op *ckptOp) abort(err error) {
+	if op.aborted {
+		return
+	}
+	op.aborted = true
+	// Graceful abort: resume every surviving pod.
+	for _, a := range op.agents {
+		if !a.pod.Destroyed() && !a.pod.Node().Failed() {
+			a.pod.UnblockNetwork()
+			a.pod.Resume()
+		}
+	}
+	op.result.Err = err
+	op.onDone(op.result)
+}
+
+func (op *ckptOp) checkFailure() bool {
+	if op.m.failed {
+		op.abort(ErrManagerFailure)
+		return true
+	}
+	for _, a := range op.agents {
+		if a.pod.Node().Failed() {
+			op.abort(fmt.Errorf("%w: node %s", ErrAgentFailure, a.pod.Node().Name()))
+			return true
+		}
+	}
+	return false
+}
+
+// start is agent step 1: suspend the pod and block its network.
+func (a *ckptAgent) start() {
+	if a.op.aborted || a.op.checkFailure() {
+		return
+	}
+	a.began = a.op.m.w.Now()
+	costs := a.op.m.w.Costs
+	procs := a.pod.Procs()
+	a.pod.Suspend()
+	a.pod.BlockNetwork()
+	cost := costs.SignalDeliver*sim.Duration(len(procs)) +
+		costs.FilterRule*sim.Duration(len(a.pod.Stack().Sockets())+1)
+	a.op.m.w.After(cost, a.waitQuiescent)
+}
+
+func (a *ckptAgent) waitQuiescent() {
+	if a.op.aborted || a.op.checkFailure() {
+		return
+	}
+	if !a.pod.Quiescent() {
+		a.op.m.w.After(200*sim.Microsecond, a.waitQuiescent)
+		return
+	}
+	a.suspend = sim.Duration(a.op.m.w.Now() - a.began)
+	a.netCheckpoint()
+}
+
+// netCheckpoint is agent step 2: take the network-state checkpoint, then
+// (2a) report the meta-data to the manager.
+func (a *ckptAgent) netCheckpoint() {
+	costs := a.op.m.w.Costs
+	netImg, _, err := netckpt.CheckpointStack(a.pod.Stack())
+	if err != nil {
+		a.op.abort(err)
+		return
+	}
+	a.netBytes = netImg.Bytes()
+	a.queueLen = netImg.QueueBytes()
+	// Cost: read the full option set per socket plus copy queue payload.
+	nSocks := len(netImg.Sockets)
+	cost := costs.SockOptRead*sim.Duration(nSocks*len(netstack.AllOpts())) +
+		costs.MemCopyTime(a.netBytes) +
+		500*sim.Microsecond // walk kernel tables
+	a.op.m.w.After(cost, func() {
+		if a.op.aborted {
+			return
+		}
+		a.netTime = cost
+		// 2a: report meta-data (the manager only needs the connectivity
+		// map; transferring it costs latency plus wire time).
+		report := costs.CtrlLatency + costs.NetTransferTime(a.netBytes)
+		a.op.m.w.After(report, func() { a.op.metaArrived() })
+		if a.op.opts.NaiveSync {
+			// Ablation: wait for 'continue' before the standalone save.
+			return
+		}
+		a.standalone()
+	})
+}
+
+// standalone is agent step 3: the standalone pod checkpoint, overlapped
+// with the manager synchronization.
+func (a *ckptAgent) standalone() {
+	if a.op.aborted || a.op.checkFailure() {
+		return
+	}
+	w := a.op.m.w
+	costs := w.Costs
+	img, err := ckpt.CheckpointPod(a.pod)
+	if err != nil {
+		a.op.abort(err)
+		return
+	}
+	a.img = img
+	bytes := costs.EffImageBytes(img.Bytes())
+	cost := w.Jitter(costs.CheckpointFixed, 0.25) + costs.MemCopyTime(bytes)
+	w.After(cost, func() {
+		if a.op.aborted {
+			return
+		}
+		a.saTime = cost
+		a.saDone = true
+		a.maybeFinish()
+	})
+}
+
+// metaArrived is manager step M2/M3: collect meta-data; once all have
+// reported, send 'continue' to everyone (the single synchronization).
+func (op *ckptOp) metaArrived() {
+	if op.aborted {
+		return
+	}
+	op.metas++
+	if op.metas < len(op.agents) || op.contSent {
+		return
+	}
+	op.contSent = true
+	for _, a := range op.agents {
+		a := a
+		op.m.ctrl(func() {
+			a.contRecvd = true
+			if op.opts.NaiveSync && !a.saDone && a.img == nil {
+				a.standalone()
+				return
+			}
+			a.maybeFinish()
+		})
+	}
+}
+
+// maybeFinish is agent steps 3a/4/4a: the agent completes only after
+// both its standalone checkpoint is done and 'continue' has arrived;
+// then it unblocks (or tears down) its pod and reports done.
+func (a *ckptAgent) maybeFinish() {
+	if a.op.aborted || a.finished || !a.saDone || !a.contRecvd {
+		return
+	}
+	a.finished = true
+	w := a.op.m.w
+	costs := w.Costs
+	if a.op.opts.SnapshotFS && a.op.result.FSSnapshot == nil {
+		// File-system snapshot immediately prior to reactivating the
+		// first pod; the shared FS is frozen consistently because every
+		// pod is still suspended at this point.
+		a.op.result.FSSnapshot = a.op.m.fs.Snapshot()
+	}
+	var cost sim.Duration
+	switch a.op.opts.Mode {
+	case Snapshot:
+		a.pod.UnblockNetwork()
+		a.pod.Resume()
+		cost = costs.FilterRule + costs.SignalDeliver*sim.Duration(len(a.pod.Procs()))
+	case Migrate:
+		a.pod.Destroy()
+		cost = sim.Millisecond
+	}
+	// 4: report 'done'.
+	w.After(cost+costs.CtrlLatency, func() { a.op.doneArrived(a) })
+}
+
+// doneArrived is manager step M4: collect completion reports.
+func (op *ckptOp) doneArrived(a *ckptAgent) {
+	if op.aborted {
+		return
+	}
+	a2 := a
+	total := sim.Duration(op.m.w.Now() - a2.began)
+	op.result.Stats.Agents = append(op.result.Stats.Agents, AgentStats{
+		Pod:         a.pod.Name(),
+		Suspend:     a.suspend,
+		NetCkpt:     a.netTime,
+		Standalone:  a.saTime,
+		Total:       total,
+		ImageBytes:  a.img.Bytes(),
+		NetBytes:    a.netBytes,
+		NetQueueLen: a.queueLen,
+	})
+	op.result.Images[a.img.VIP] = a.img
+	op.dones++
+	if op.dones < len(op.agents) {
+		return
+	}
+	if op.opts.Redirect && op.opts.Mode == Migrate {
+		nets := make(map[netstack.IP]*netckpt.NetImage, len(op.result.Images))
+		for ip, img := range op.result.Images {
+			nets[ip] = img.Net
+		}
+		netckpt.ApplyRedirect(nets)
+	}
+	op.result.Stats.Total = sim.Duration(op.m.w.Now() - op.start)
+	if op.opts.FlushTo != "" {
+		// Flush after resume; charged to the SAN, not to checkpoint time.
+		for ip, img := range op.result.Images {
+			path := fmt.Sprintf("%s/%s.img", op.opts.FlushTo, img.PodName)
+			data := img.Encode()
+			_ = ip
+			if err := op.m.fs.WriteFile(path, data); err != nil {
+				op.result.Err = err
+			}
+		}
+	}
+	op.onDone(op.result)
+}
+
+// Placement names the target node for one pod image.
+type Placement struct {
+	Image   *ckpt.Image
+	PodName string // name for the restored pod
+	Node    *vos.Node
+	// Delay postpones this agent's restart (e.g. while its image is
+	// still streaming in during a direct migration).
+	Delay sim.Duration
+}
+
+// RestartStats aggregates a coordinated restart.
+type RestartStats struct {
+	Total  sim.Duration
+	Agents []RestartAgentStats
+}
+
+// RestartAgentStats is one agent's restart breakdown.
+type RestartAgentStats struct {
+	Pod        string
+	NetRestore sim.Duration // connectivity recovery + queue restore
+	Standalone sim.Duration // standalone restart (dominates, per §6)
+	Total      sim.Duration
+}
+
+// RestartResult reports the restored pods and measurements.
+type RestartResult struct {
+	Pods  []*pod.Pod
+	Stats RestartStats
+	Err   error
+}
+
+// Restart coordinates a restart of a checkpointed application onto the
+// given placement (generally different nodes, possibly a different
+// number of them). remap optionally rewrites virtual addresses for a
+// target cluster on different subnets.
+func (m *Manager) Restart(placements []Placement, remap map[netstack.IP]netstack.IP, onDone func(*RestartResult)) {
+	if len(placements) == 0 {
+		onDone(&RestartResult{Err: errors.New("core: no placements to restart")})
+		return
+	}
+	// Manager step R1: derive the schedule from the merged meta-data.
+	nets := make(map[netstack.IP]*netckpt.NetImage, len(placements))
+	for _, pl := range placements {
+		if remap != nil {
+			pl.Image.Remap(remap)
+		}
+		nets[pl.Image.VIP] = pl.Image.Net
+	}
+	plans, err := netckpt.PlanRestart(nets)
+	if err != nil {
+		onDone(&RestartResult{Err: err})
+		return
+	}
+	op := &restartOp{
+		m:      m,
+		start:  m.w.Now(),
+		total:  len(placements),
+		result: &RestartResult{},
+		onDone: onDone,
+	}
+	// Routing for the restored virtual addresses is in place before any
+	// agent starts, so early reconnection attempts are refused (and
+	// promptly retried) rather than lost.
+	for _, pl := range placements {
+		m.nw.Claim(pl.Image.VIP)
+	}
+	for _, pl := range placements {
+		pl := pl
+		plan := plans[pl.Image.VIP]
+		// R1: send 'restart' plus modified meta-data to each agent.
+		m.w.After(m.w.Costs.CtrlLatency+pl.Delay, func() { op.runAgent(pl, plan) })
+	}
+}
+
+type restartOp struct {
+	m       *Manager
+	start   sim.Time
+	total   int
+	dones   int
+	aborted bool
+	result  *RestartResult
+	onDone  func(*RestartResult)
+}
+
+// runAgent executes the agent-side restart of Figure 3: create a pod,
+// recover connectivity, restore network state, standalone restart,
+// report done. The pod resumes as soon as its own restart concludes —
+// no cross-agent barrier.
+func (op *restartOp) runAgent(pl Placement, plan *netckpt.EndpointPlan) {
+	if op.aborted {
+		return
+	}
+	w := op.m.w
+	costs := w.Costs
+	began := w.Now()
+	// Pod creation cost precedes connectivity recovery.
+	w.After(costs.PodCreate, func() {
+		if op.aborted {
+			return
+		}
+		netStart := w.Now()
+		ckpt.RestorePod(pl.Image, pl.PodName, pl.Node, op.m.nw, op.m.fs, plan,
+			func(np *pod.Pod, err error) {
+				if err != nil {
+					op.fail(err)
+					return
+				}
+				// Network restore time includes the real (simulated)
+				// reconnection exchanges plus the agent-side
+				// per-connection cost and the queue-restore copy.
+				queueCopy := costs.MemCopyTime(pl.Image.Net.QueueBytes()) +
+					costs.ConnSetup*sim.Duration(len(plan.Entries))
+				netTime := sim.Duration(w.Now()-netStart) + queueCopy
+				// Standalone restart cost: fixed + restore bandwidth +
+				// per-process creation.
+				bytes := costs.EffImageBytes(pl.Image.Bytes())
+				saCost := w.Jitter(costs.RestartFixed, 0.25) +
+					costs.RestoreTime(bytes) +
+					costs.ProcCreate*sim.Duration(len(pl.Image.Procs))
+				w.After(queueCopy+saCost, func() {
+					if op.aborted {
+						return
+					}
+					np.Resume() // no further delay, per the paper
+					w.After(costs.CtrlLatency, func() {
+						op.agentDone(pl.PodName, netTime, saCost, sim.Duration(w.Now()-began), np)
+					})
+				})
+			})
+	})
+}
+
+func (op *restartOp) fail(err error) {
+	if op.aborted {
+		return
+	}
+	op.aborted = true
+	op.result.Err = fmt.Errorf("%w: %v", ErrAborted, err)
+	op.onDone(op.result)
+}
+
+func (op *restartOp) agentDone(name string, netT, saT, total sim.Duration, np *pod.Pod) {
+	if op.aborted {
+		return
+	}
+	op.result.Pods = append(op.result.Pods, np)
+	op.result.Stats.Agents = append(op.result.Stats.Agents, RestartAgentStats{
+		Pod: name, NetRestore: netT, Standalone: saT, Total: total,
+	})
+	op.dones++
+	if op.dones == op.total {
+		op.result.Stats.Total = sim.Duration(op.m.w.Now() - op.start)
+		op.onDone(op.result)
+	}
+}

@@ -1,0 +1,205 @@
+package gm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"zapc/internal/sim"
+)
+
+func setup(t *testing.T, nodes int) (*sim.World, *Fabric, []*Device, []*Library) {
+	t.Helper()
+	w := sim.NewWorld(17)
+	f := NewFabric(w)
+	devs := make([]*Device, nodes)
+	libs := make([]*Library, nodes)
+	for i := range devs {
+		d, err := f.Attach(NodeID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = d
+		libs[i] = NewLibrary(NewHandle(d))
+		if err := libs[i].Open(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w, f, devs, libs
+}
+
+func TestUserLevelSendRecv(t *testing.T) {
+	w, _, _, libs := setup(t, 2)
+	if err := libs[0].Send(1, 1, []byte("bypass")); err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	m, err := libs[1].Recv(1)
+	if err != nil || string(m.Data) != "bypass" || m.From != 0 {
+		t.Fatalf("m = %+v, %v", m, err)
+	}
+	if _, err := libs[1].Recv(1); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("empty recv: %v", err)
+	}
+}
+
+func TestPortValidation(t *testing.T) {
+	_, _, _, libs := setup(t, 1)
+	if err := libs[0].Open(1); !errors.Is(err, ErrPortInUse) {
+		t.Fatalf("double open: %v", err)
+	}
+	if err := libs[0].Send(9, 0, nil); !errors.Is(err, ErrNoPort) {
+		t.Fatalf("send on closed port: %v", err)
+	}
+	if _, err := libs[0].Recv(9); !errors.Is(err, ErrNoPort) {
+		t.Fatalf("recv on closed port: %v", err)
+	}
+}
+
+func TestSendRingBackpressure(t *testing.T) {
+	w, f, devs, libs := setup(t, 2)
+	// Detach the receiver so nothing is ever acknowledged.
+	f.Detach(devs[1])
+	var err error
+	n := 0
+	for ; n < sendRingSize+10; n++ {
+		if err = libs[0].Send(1, 1, []byte{byte(n)}); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrRingFull) || n != sendRingSize {
+		t.Fatalf("ring accepted %d entries, err=%v", n, err)
+	}
+	_ = w
+}
+
+// TestMigrationReplay is the §5 extension end-to-end: a device with
+// unacknowledged sends and pending receives is extracted, destroyed,
+// reattached at the same node id, reinstated, and the library —
+// unmodified, still holding the same virtualized Handle — sees every
+// message exactly once.
+func TestMigrationReplay(t *testing.T) {
+	w, f, devs, libs := setup(t, 3)
+
+	// Node 0 sends to 1 and 2; node 1's device vanishes mid-flight so
+	// some messages stay unacknowledged in 0's send ring.
+	f.Detach(devs[1])
+	for i := 0; i < 5; i++ {
+		if err := libs[0].Send(1, 1, []byte{0x10 + byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := libs[0].Send(1, 2, []byte{0x20 + byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Run()
+	// Node 2 already received its five messages; node 1 received none.
+	got2 := drain(libs[2])
+	if len(got2) != 5 {
+		t.Fatalf("node2 got %d", len(got2))
+	}
+
+	// Quiesce + checkpoint node 0's driver state (with five unacked
+	// entries toward node 1) and node 1's (empty, device gone — imagine
+	// it was extracted before the migration).
+	img0 := Extract(devs[0])
+	if len(img0.Ports[0].SendQ) != 5 {
+		t.Fatalf("unacked ring = %d", len(img0.Ports[0].SendQ))
+	}
+	// Destroy and re-create node 0's device too (full migration).
+	f.Detach(devs[0])
+	newDev0, err := f.Attach(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDev1, err := f.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The library keeps its handle; the pod layer rebinds it
+	// (requirement 1: virtualized interface).
+	libs[0].h.Rebind(newDev0)
+	libs[1].h.Rebind(newDev1)
+	if err := newDev1.open(1); err != nil { // node 1 restores its (empty) port
+		t.Fatal(err)
+	}
+	// Requirement 2: reinstate driver state; unacked entries replay.
+	if err := Reinstate(newDev0, img0, func(m Message) NodeID { return 1 }); err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	got1 := drain(libs[1])
+	if len(got1) != 5 {
+		t.Fatalf("node1 got %d after replay", len(got1))
+	}
+	for i, m := range got1 {
+		if m.Data[0] != 0x10+byte(i) {
+			t.Fatalf("out of order or corrupted: %x at %d", m.Data, i)
+		}
+	}
+	// The library still works over the rebound handle.
+	if err := libs[0].Send(1, 1, []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	if m, err := libs[1].Recv(1); err != nil || string(m.Data) != "post" {
+		t.Fatalf("post-migration send: %v %v", m, err)
+	}
+}
+
+// TestReplayExactlyOnce: if the receiver had already gotten some of the
+// replayed messages before the checkpoint (the ack was lost to the
+// freeze), the sequence filter suppresses duplicates — the kernel-bypass
+// analog of the Figure 4 overlap discard.
+func TestReplayExactlyOnce(t *testing.T) {
+	w, f, devs, libs := setup(t, 2)
+	for i := 0; i < 3; i++ {
+		libs[0].Send(1, 1, []byte{byte(i)})
+	}
+	w.Run()
+	// Receiver has all three; sender's ring is empty (acked). Fake the
+	// paper's race: pretend acks were lost by re-adding entries, then
+	// extract and replay.
+	img := Extract(devs[0])
+	img.Ports[0].SendQ = []Message{
+		{From: 0, Port: 1, Data: []byte{1}, Seq: 1},
+		{From: 0, Port: 1, Data: []byte{2}, Seq: 2},
+	}
+	f.Detach(devs[0])
+	nd, _ := f.Attach(0)
+	libs[0].h.Rebind(nd)
+	if err := Reinstate(nd, img, func(Message) NodeID { return 1 }); err != nil {
+		t.Fatal(err)
+	}
+	w.Run()
+	got := drain(libs[1])
+	if len(got) != 3 {
+		t.Fatalf("duplicates delivered: %d messages", len(got))
+	}
+}
+
+func TestExtractIsDeterministic(t *testing.T) {
+	_, _, devs, libs := setup(t, 1)
+	for p := 2; p <= 5; p++ {
+		libs[0].Open(p)
+	}
+	a := Extract(devs[0])
+	b := Extract(devs[0])
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("extraction not deterministic")
+	}
+	if len(a.Ports) != 5 {
+		t.Fatalf("ports = %d", len(a.Ports))
+	}
+}
+
+func drain(l *Library) []Message {
+	var out []Message
+	for {
+		m, err := l.Recv(1)
+		if err != nil {
+			return out
+		}
+		out = append(out, m)
+	}
+}

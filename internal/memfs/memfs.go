@@ -1,0 +1,186 @@
+// Package memfs implements the virtual shared filesystem that stands in
+// for the paper's SAN/GFS storage infrastructure. Every node in the
+// virtual cluster mounts the same FS, which is what lets ZapC assume
+// shared storage and exclude file-system state from checkpoint images.
+//
+// The FS supports whole-file read/write (checkpoint images are write-once
+// blobs), directory listing, and cheap copy-on-write snapshots standing in
+// for the file-system snapshot functionality the paper points at (NetApp,
+// unionfs) for capturing a consistent file-system image alongside a pod
+// checkpoint.
+package memfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Common errors.
+var (
+	ErrNotExist = errors.New("memfs: file does not exist")
+	ErrExist    = errors.New("memfs: file already exists")
+	ErrBadPath  = errors.New("memfs: invalid path")
+)
+
+type file struct {
+	data []byte // treated as immutable once stored; writes replace the slice
+	ver  uint64
+}
+
+// FS is an in-memory filesystem shared by all cluster nodes. It is safe
+// for concurrent use (the coordination layer may be exercised from real
+// goroutines in tests).
+type FS struct {
+	mu    sync.RWMutex
+	files map[string]*file
+	ver   uint64
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{files: make(map[string]*file)}
+}
+
+// Clean validates and canonicalizes a path: must be non-empty, use '/'
+// separators, no "." or ".." components.
+func Clean(path string) (string, error) {
+	if path == "" {
+		return "", ErrBadPath
+	}
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		switch p {
+		case "", ".":
+			continue
+		case "..":
+			return "", fmt.Errorf("%w: %q", ErrBadPath, path)
+		default:
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return "", fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	return strings.Join(out, "/"), nil
+}
+
+// WriteFile stores data at path, replacing any existing file. The data
+// slice is copied.
+func (fs *FS) WriteFile(path string, data []byte) error {
+	p, err := Clean(path)
+	if err != nil {
+		return err
+	}
+	cp := append([]byte(nil), data...)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.ver++
+	fs.files[p] = &file{data: cp, ver: fs.ver}
+	return nil
+}
+
+// ReadFile returns the contents stored at path. The returned slice must
+// not be modified by the caller.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	p, err := Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	return f.data, nil
+}
+
+// Remove deletes the file at path.
+func (fs *FS) Remove(path string) error {
+	p, err := Clean(path)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[p]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	delete(fs.files, p)
+	return nil
+}
+
+// Exists reports whether a file is stored at path.
+func (fs *FS) Exists(path string) bool {
+	p, err := Clean(path)
+	if err != nil {
+		return false
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[p]
+	return ok
+}
+
+// Size returns the length of the file at path.
+func (fs *FS) Size(path string) (int64, error) {
+	b, err := fs.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(b)), nil
+}
+
+// List returns the sorted paths of all files under the given directory
+// prefix ("" lists everything).
+func (fs *FS) List(prefix string) []string {
+	var want string
+	if prefix != "" {
+		p, err := Clean(prefix)
+		if err != nil {
+			return nil
+		}
+		want = p + "/"
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for p := range fs.files {
+		if want == "" || strings.HasPrefix(p, want) || p == strings.TrimSuffix(want, "/") {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes reports the sum of all file sizes (for storage accounting in
+// experiments).
+func (fs *FS) TotalBytes() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var n int64
+	for _, f := range fs.files {
+		n += int64(len(f.data))
+	}
+	return n
+}
+
+// Snapshot returns a point-in-time copy of the filesystem. File contents
+// are shared copy-on-write: since WriteFile replaces slices rather than
+// mutating them, sharing is safe and snapshots are O(files), standing in
+// for the SAN-level snapshot the paper takes immediately prior to
+// reactivating a pod.
+func (fs *FS) Snapshot() *FS {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	clone := &FS{files: make(map[string]*file, len(fs.files)), ver: fs.ver}
+	for p, f := range fs.files {
+		clone.files[p] = &file{data: f.data, ver: f.ver}
+	}
+	return clone
+}

@@ -1,0 +1,167 @@
+package memfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteRead(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("ckpt/pod1.img", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("ckpt/pod1.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := New()
+	if _, err := fs.ReadFile("nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteCopiesData(t *testing.T) {
+	fs := New()
+	buf := []byte("abc")
+	fs.WriteFile("f", buf)
+	buf[0] = 'x'
+	got, _ := fs.ReadFile("f")
+	if string(got) != "abc" {
+		t.Fatalf("stored data aliased caller buffer: %q", got)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	fs := New()
+	fs.WriteFile("f", []byte("one"))
+	fs.WriteFile("f", []byte("two"))
+	got, _ := fs.ReadFile("f")
+	if string(got) != "two" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New()
+	fs.WriteFile("f", []byte("x"))
+	if err := fs.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("f") {
+		t.Fatal("file still exists")
+	}
+	if err := fs.Remove("f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("second remove: %v", err)
+	}
+}
+
+func TestCleanPaths(t *testing.T) {
+	good := map[string]string{
+		"a/b/c":   "a/b/c",
+		"/a/b/":   "a/b",
+		"a//b":    "a/b",
+		"./a/./b": "a/b",
+	}
+	for in, want := range good {
+		got, err := Clean(in)
+		if err != nil || got != want {
+			t.Errorf("Clean(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "/", "..", "a/../b", "."} {
+		if _, err := Clean(in); err == nil {
+			t.Errorf("Clean(%q) should fail", in)
+		}
+	}
+}
+
+func TestEquivalentPathsAlias(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/a/b", []byte("x"))
+	got, err := fs.ReadFile("a//b")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := New()
+	fs.WriteFile("ckpt/a", []byte("1"))
+	fs.WriteFile("ckpt/b", []byte("2"))
+	fs.WriteFile("other/c", []byte("3"))
+	got := fs.List("ckpt")
+	if len(got) != 2 || got[0] != "ckpt/a" || got[1] != "ckpt/b" {
+		t.Fatalf("List = %v", got)
+	}
+	if all := fs.List(""); len(all) != 3 {
+		t.Fatalf("List all = %v", all)
+	}
+}
+
+func TestSizeAndTotal(t *testing.T) {
+	fs := New()
+	fs.WriteFile("a", make([]byte, 100))
+	fs.WriteFile("b", make([]byte, 50))
+	if n, _ := fs.Size("a"); n != 100 {
+		t.Fatalf("Size = %d", n)
+	}
+	if fs.TotalBytes() != 150 {
+		t.Fatalf("TotalBytes = %d", fs.TotalBytes())
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	fs := New()
+	fs.WriteFile("f", []byte("before"))
+	snap := fs.Snapshot()
+	fs.WriteFile("f", []byte("after"))
+	fs.WriteFile("g", []byte("new"))
+	fs.Remove("f")
+
+	got, err := snap.ReadFile("f")
+	if err != nil || string(got) != "before" {
+		t.Fatalf("snapshot f = %q, %v", got, err)
+	}
+	if snap.Exists("g") {
+		t.Fatal("snapshot sees post-snapshot file")
+	}
+}
+
+func TestSnapshotIndependentWrites(t *testing.T) {
+	fs := New()
+	fs.WriteFile("f", []byte("v0"))
+	snap := fs.Snapshot()
+	snap.WriteFile("f", []byte("snap-side"))
+	got, _ := fs.ReadFile("f")
+	if string(got) != "v0" {
+		t.Fatalf("origin affected by snapshot write: %q", got)
+	}
+}
+
+// Property: write/read round-trips arbitrary contents for arbitrary valid
+// paths.
+func TestQuickRoundTrip(t *testing.T) {
+	fs := New()
+	f := func(name string, data []byte) bool {
+		p, err := Clean("q/" + name)
+		if err != nil {
+			return true // invalid path; nothing to check
+		}
+		if err := fs.WriteFile(p, data); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile(p)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

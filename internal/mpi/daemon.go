@@ -1,0 +1,124 @@
+package mpi
+
+import (
+	"encoding/binary"
+
+	"zapc/internal/imgfmt"
+	"zapc/internal/netstack"
+	"zapc/internal/sim"
+	"zapc/internal/vos"
+)
+
+// Daemon models the per-pod middleware daemon (mpd for MPICH-2, pvmd
+// for PVM): each pod in the paper's setup runs one alongside the
+// application endpoint. It exchanges periodic UDP heartbeats with its
+// peers, which keeps live UDP socket state in every pod so checkpoints
+// exercise the unreliable-protocol path of the network-state mechanism.
+type Daemon struct {
+	Phase    int
+	FD       int
+	Rank     int
+	Port     netstack.Port
+	PeerIPs  []netstack.IP
+	Interval sim.Duration
+	Sent     uint64
+	Seen     uint64
+}
+
+// DefaultHeartbeat is the daemon heartbeat period.
+const DefaultHeartbeat = 250 * sim.Millisecond
+
+// NewDaemon creates a daemon for the given rank.
+func NewDaemon(rank int, port netstack.Port, peers []netstack.IP) *Daemon {
+	return &Daemon{Rank: rank, Port: port, PeerIPs: peers, Interval: DefaultHeartbeat}
+}
+
+// Step implements vos.Program.
+func (d *Daemon) Step(ctx *vos.Context) vos.StepResult {
+	switch d.Phase {
+	case 0:
+		d.FD = ctx.Socket(netstack.UDP)
+		if err := ctx.Bind(d.FD, d.Port); err != nil {
+			return vos.Exit(1)
+		}
+		d.Phase = 1
+		return vos.Yield(0)
+	default:
+		for {
+			if _, err := ctx.RecvFrom(d.FD, false); err != nil {
+				break
+			}
+			d.Seen++
+		}
+		var beat [8]byte
+		binary.BigEndian.PutUint64(beat[:], d.Sent)
+		for i, ip := range d.PeerIPs {
+			if i == d.Rank {
+				continue
+			}
+			ctx.SendTo(d.FD, beat[:], netstack.Addr{IP: ip, Port: d.Port})
+		}
+		d.Sent++
+		return vos.Sleep(d.Interval)
+	}
+}
+
+// Save implements vos.Program.
+func (d *Daemon) Save(e *imgfmt.Encoder) error {
+	e.Int(1, int64(d.Phase))
+	e.Int(2, int64(d.FD))
+	e.Int(3, int64(d.Rank))
+	e.Uint(4, uint64(d.Port))
+	for _, ip := range d.PeerIPs {
+		e.Uint(5, uint64(ip))
+	}
+	e.Int(6, int64(d.Interval))
+	e.Uint(7, d.Sent)
+	e.Uint(8, d.Seen)
+	return nil
+}
+
+// Restore implements vos.Program.
+func (d *Daemon) Restore(dec *imgfmt.Decoder) error {
+	ph, err := dec.Int(1)
+	if err != nil {
+		return err
+	}
+	fd, err := dec.Int(2)
+	if err != nil {
+		return err
+	}
+	rank, err := dec.Int(3)
+	if err != nil {
+		return err
+	}
+	port, err := dec.Uint(4)
+	if err != nil {
+		return err
+	}
+	d.Phase, d.FD, d.Rank, d.Port = int(ph), int(fd), int(rank), netstack.Port(port)
+	for {
+		tag, _, perr := dec.Peek()
+		if perr != nil || tag != 5 {
+			break
+		}
+		v, err := dec.Uint(5)
+		if err != nil {
+			return err
+		}
+		d.PeerIPs = append(d.PeerIPs, netstack.IP(v))
+	}
+	iv, err := dec.Int(6)
+	if err != nil {
+		return err
+	}
+	d.Interval = sim.Duration(iv)
+	if d.Sent, err = dec.Uint(7); err != nil {
+		return err
+	}
+	d.Seen, err = dec.Uint(8)
+	return err
+}
+
+// Kind implements vos.Program.
+func (d *Daemon) Kind() string { return "mpi.daemon" }

@@ -1,0 +1,417 @@
+// Package mpi implements the message-passing middleware the workloads
+// run on, playing the role MPICH-2 and PVM play in the paper's
+// evaluation. It offers ranked point-to-point messaging with tags,
+// any-source receive, and resumable collectives (broadcast, gather,
+// reduce, barrier) over the virtual TCP stack.
+//
+// Everything about a Comm is explicit, serializable state: connection
+// phase, per-peer descriptors, partially parsed frames, queued outbound
+// bytes, and collective progress. That is what makes applications built
+// on it checkpointable at any instant — the standalone checkpoint saves
+// the Comm along with the rest of the program state, and the restored
+// descriptors keep working because the network checkpoint restored the
+// underlying sockets byte-exactly.
+//
+// The package is deliberately unaware of checkpointing: like real MPI
+// applications under ZapC, it runs unmodified; transparency comes from
+// the layers below.
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"zapc/internal/netstack"
+	"zapc/internal/vos"
+)
+
+// Any matches any source rank in Recv.
+const Any = -1
+
+// Collective tags live above the user tag space.
+const collBase uint32 = 1 << 20
+
+// Message is one received, framed message.
+type Message struct {
+	From int
+	Tag  uint32
+	Data []byte
+}
+
+// Config describes one rank's view of the job.
+type Config struct {
+	Rank    int
+	Size    int
+	Port    netstack.Port // every rank listens on this port on its own pod IP
+	PeerIPs []netstack.IP // rank -> pod virtual IP
+}
+
+// connState tracks one not-yet-identified inbound connection.
+type pendingConn struct {
+	FD  int
+	Buf []byte
+}
+
+// Comm is one rank's communicator. Create with New, then call Init each
+// step until it reports true; thereafter use Send/Recv/collectives.
+type Comm struct {
+	Cfg Config
+
+	InitPhase int
+	LFD       int
+	FDs       []int // rank -> fd, -1 when not connected
+	pending   []pendingConn
+	hello     []int // ranks we still must send our rank header to
+
+	partial [][]byte  // rank -> unparsed inbound bytes
+	inbox   []Message // parsed, undelivered messages
+	outq    [][]byte  // rank -> queued outbound bytes (middleware buffering)
+
+	Seq      uint64 // collective sequence number
+	barMid   bool   // barrier is in its broadcast half
+	arMid    bool   // allreduce is in its broadcast half
+	arBuf    []byte // allreduce broadcast buffer
+	gathered map[int][]byte
+	closed   []bool // rank -> peer hung up
+}
+
+// New creates an uninitialized communicator.
+func New(cfg Config) *Comm {
+	c := &Comm{Cfg: cfg, LFD: -1}
+	c.FDs = make([]int, cfg.Size)
+	for i := range c.FDs {
+		c.FDs[i] = -1
+	}
+	c.partial = make([][]byte, cfg.Size)
+	c.outq = make([][]byte, cfg.Size)
+	c.closed = make([]bool, cfg.Size)
+	c.gathered = make(map[int][]byte)
+	return c
+}
+
+// Init advances connection setup: every rank listens on Cfg.Port, and
+// rank i initiates connections to all lower ranks (lower rank accepts),
+// identifying itself with a 4-byte rank header. Call it once per step
+// until it returns true; when false, return Block().
+func (c *Comm) Init(ctx *vos.Context) bool {
+	switch c.InitPhase {
+	case 0:
+		c.LFD = ctx.Socket(netstack.TCP)
+		if err := ctx.Bind(c.LFD, c.Cfg.Port); err != nil {
+			panic(fmt.Sprintf("mpi rank %d: bind: %v", c.Cfg.Rank, err))
+		}
+		ctx.Listen(c.LFD, c.Cfg.Size)
+		c.InitPhase = 1
+		// Initiate to all lower ranks.
+		for peer := 0; peer < c.Cfg.Rank; peer++ {
+			fd := ctx.Socket(netstack.TCP)
+			ctx.Connect(fd, netstack.Addr{IP: c.Cfg.PeerIPs[peer], Port: c.Cfg.Port})
+			c.FDs[peer] = fd
+			c.hello = append(c.hello, peer)
+		}
+		return c.Cfg.Size == 1
+	default:
+		// Send rank headers on connections that completed.
+		remaining := c.hello[:0]
+		for _, peer := range c.hello {
+			fd := c.FDs[peer]
+			if ctx.SockState(fd) == netstack.StateConnecting {
+				remaining = append(remaining, peer)
+				continue
+			}
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], uint32(c.Cfg.Rank))
+			if _, err := ctx.Send(fd, hdr[:], false); err != nil {
+				remaining = append(remaining, peer)
+				continue
+			}
+		}
+		c.hello = remaining
+		// Accept from higher ranks.
+		for {
+			fd, err := ctx.Accept(c.LFD)
+			if err != nil {
+				break
+			}
+			c.pending = append(c.pending, pendingConn{FD: fd})
+		}
+		// Identify pending inbound connections by their rank header.
+		kept := c.pending[:0]
+		for _, pc := range c.pending {
+			data, err := ctx.Recv(pc.FD, 4-len(pc.Buf), false, false)
+			if err == nil {
+				pc.Buf = append(pc.Buf, data...)
+			}
+			if len(pc.Buf) == 4 {
+				rank := int(binary.BigEndian.Uint32(pc.Buf))
+				if rank >= 0 && rank < c.Cfg.Size {
+					c.FDs[rank] = pc.FD
+				}
+				continue
+			}
+			kept = append(kept, pc)
+		}
+		c.pending = kept
+		if len(c.hello) > 0 {
+			return false
+		}
+		for r, fd := range c.FDs {
+			if r != c.Cfg.Rank && fd < 0 {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Block builds the step result that parks the program until any
+// communicator descriptor has activity.
+func (c *Comm) Block() vos.StepResult {
+	r := vos.StepResult{Block: true}
+	add := func(fd int, mask netstack.PollMask) {
+		if fd >= 0 {
+			r.WaitFDs = append(r.WaitFDs, vos.FDWait{FD: fd, Mask: mask})
+		}
+	}
+	add(c.LFD, netstack.PollIn)
+	for rank, fd := range c.FDs {
+		if rank == c.Cfg.Rank {
+			continue
+		}
+		mask := netstack.PollIn | netstack.PollHUP
+		if len(c.outq[rank]) > 0 {
+			mask |= netstack.PollOut
+		}
+		if c.InitPhase > 0 && containsInt(c.hello, rank) {
+			mask |= netstack.PollOut | netstack.PollErr
+		}
+		add(fd, mask)
+	}
+	for _, pc := range c.pending {
+		add(pc.FD, netstack.PollIn)
+	}
+	return r
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// pump flushes queued outbound bytes and drains every connection's
+// inbound bytes into parsed messages.
+func (c *Comm) pump(ctx *vos.Context) {
+	for rank, q := range c.outq {
+		fd := c.FDs[rank]
+		for len(q) > 0 && fd >= 0 {
+			n, err := ctx.Send(fd, q, false)
+			q = q[n:]
+			if err != nil {
+				break
+			}
+		}
+		c.outq[rank] = q
+	}
+	for rank, fd := range c.FDs {
+		if fd < 0 || rank == c.Cfg.Rank {
+			continue
+		}
+		for {
+			data, err := ctx.Recv(fd, 1<<16, false, false)
+			if errors.Is(err, netstack.ErrEOF) {
+				c.closed[rank] = true
+				break
+			}
+			if err != nil || len(data) == 0 {
+				break
+			}
+			c.partial[rank] = append(c.partial[rank], data...)
+		}
+		c.parse(rank)
+	}
+}
+
+// parse extracts complete [len][tag][payload] frames.
+func (c *Comm) parse(rank int) {
+	buf := c.partial[rank]
+	for len(buf) >= 8 {
+		n := binary.BigEndian.Uint32(buf[:4])
+		tag := binary.BigEndian.Uint32(buf[4:8])
+		if uint32(len(buf)-8) < n {
+			break
+		}
+		payload := append([]byte(nil), buf[8:8+n]...)
+		c.inbox = append(c.inbox, Message{From: rank, Tag: tag, Data: payload})
+		buf = buf[8+n:]
+	}
+	c.partial[rank] = buf
+}
+
+// Send transmits a tagged message to a peer rank. It never blocks: bytes
+// the kernel cannot take yet are buffered in the middleware and flushed
+// by later pumps (MPI buffered-mode semantics).
+func (c *Comm) Send(ctx *vos.Context, to int, tag uint32, data []byte) {
+	if to == c.Cfg.Rank {
+		c.inbox = append(c.inbox, Message{From: to, Tag: tag, Data: append([]byte(nil), data...)})
+		return
+	}
+	frame := make([]byte, 8+len(data))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(data)))
+	binary.BigEndian.PutUint32(frame[4:8], tag)
+	copy(frame[8:], data)
+	c.outq[to] = append(c.outq[to], frame...)
+	c.pump(ctx)
+}
+
+// Recv returns the first undelivered message matching (from, tag); from
+// may be Any. ok=false means nothing matched yet — block and retry.
+func (c *Comm) Recv(ctx *vos.Context, from int, tag uint32) (Message, bool) {
+	c.pump(ctx)
+	for i, m := range c.inbox {
+		if (from == Any || m.From == from) && m.Tag == tag {
+			c.inbox = append(c.inbox[:i], c.inbox[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
+}
+
+// PeerClosed reports whether a peer has hung up (its process exited).
+func (c *Comm) PeerClosed(rank int) bool { return c.closed[rank] }
+
+// collective tag helpers
+
+func (c *Comm) collTag(off uint64) uint32 { return collBase + uint32(c.Seq+off) }
+
+// Bcast distributes root's buf to every rank. SPMD programs call it in
+// the same order on all ranks; it returns false while waiting (block and
+// re-call with the same arguments).
+func (c *Comm) Bcast(ctx *vos.Context, buf *[]byte, root int) bool {
+	tag := c.collTag(0)
+	if c.Cfg.Rank == root {
+		for r := 0; r < c.Cfg.Size; r++ {
+			if r != root {
+				c.Send(ctx, r, tag, *buf)
+			}
+		}
+		c.Seq++
+		return true
+	}
+	m, ok := c.Recv(ctx, root, tag)
+	if !ok {
+		return false
+	}
+	*buf = m.Data
+	c.Seq++
+	return true
+}
+
+// Gather collects one buffer from every rank at root. On completion at
+// the root, out[rank] holds each contribution; non-roots complete as
+// soon as their contribution is sent and get out=nil.
+func (c *Comm) Gather(ctx *vos.Context, mine []byte, root int) (out [][]byte, done bool) {
+	tag := c.collTag(0)
+	if c.Cfg.Rank != root {
+		c.Send(ctx, root, tag, mine)
+		c.Seq++
+		return nil, true
+	}
+	if _, ok := c.gathered[c.Cfg.Rank]; !ok {
+		c.gathered[c.Cfg.Rank] = append([]byte(nil), mine...)
+	}
+	for {
+		m, ok := c.Recv(ctx, Any, tag)
+		if !ok {
+			break
+		}
+		c.gathered[m.From] = m.Data
+	}
+	if len(c.gathered) < c.Cfg.Size {
+		return nil, false
+	}
+	out = make([][]byte, c.Cfg.Size)
+	for r := range out {
+		out[r] = c.gathered[r]
+	}
+	c.gathered = make(map[int][]byte)
+	c.Seq++
+	return out, true
+}
+
+// ReduceFloat64 folds float64 contributions at the root with the given
+// operator. Non-roots complete immediately after sending; the root
+// reports done only once every contribution has arrived.
+func (c *Comm) ReduceFloat64(ctx *vos.Context, val float64, root int, op func(a, b float64) float64) (float64, bool) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(val))
+	parts, done := c.Gather(ctx, buf[:], root)
+	if !done {
+		return 0, false
+	}
+	if c.Cfg.Rank != root {
+		return 0, true
+	}
+	acc := 0.0
+	first := true
+	for _, p := range parts {
+		if len(p) != 8 {
+			continue
+		}
+		v := math.Float64frombits(binary.BigEndian.Uint64(p))
+		if first {
+			acc = v
+			first = false
+		} else {
+			acc = op(acc, v)
+		}
+	}
+	return acc, true
+}
+
+// AllreduceFloat64 folds contributions at rank 0 and broadcasts the
+// result to every rank: a reduce followed by a bcast, each resumable.
+// Returns (value, done); re-call with the same arguments until done.
+func (c *Comm) AllreduceFloat64(ctx *vos.Context, val float64, op func(a, b float64) float64) (float64, bool) {
+	if !c.arMid {
+		r, done := c.ReduceFloat64(ctx, val, 0, op)
+		if !done {
+			return 0, false
+		}
+		if c.Cfg.Rank == 0 {
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(r))
+			c.arBuf = buf[:]
+		}
+		c.arMid = true
+	}
+	if !c.Bcast(ctx, &c.arBuf, 0) {
+		return 0, false
+	}
+	out := math.Float64frombits(binary.BigEndian.Uint64(c.arBuf))
+	c.arMid = false
+	c.arBuf = nil
+	return out, true
+}
+
+// Barrier blocks until every rank has arrived: a gather at rank 0
+// followed by a broadcast. Return false -> block and re-call.
+func (c *Comm) Barrier(ctx *vos.Context) bool {
+	if !c.barMid {
+		if _, done := c.Gather(ctx, nil, 0); !done {
+			return false
+		}
+		c.barMid = true
+	}
+	var empty []byte
+	if !c.Bcast(ctx, &empty, 0) {
+		return false
+	}
+	c.barMid = false
+	return true
+}

@@ -1,0 +1,362 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"zapc/internal/imgfmt"
+	"zapc/internal/memfs"
+	"zapc/internal/netstack"
+	"zapc/internal/pod"
+	"zapc/internal/sim"
+	"zapc/internal/vos"
+)
+
+// ranker is a test program exercising the full Comm API: init, then
+// Iters rounds of (barrier, reduce-sum of rank+iter at root, bcast of
+// the result), recording every broadcast value.
+type ranker struct {
+	Comm    *Comm
+	Phase   int
+	Iter    int
+	Iters   int
+	Results []float64
+	P2PDone bool
+
+	pendingBcast []byte // in-flight broadcast buffer between steps
+}
+
+func (r *ranker) Step(ctx *vos.Context) vos.StepResult {
+	switch r.Phase {
+	case 0:
+		if !r.Comm.Init(ctx) {
+			return r.Comm.Block()
+		}
+		r.Phase = 1
+		return vos.Yield(0)
+	case 1: // point-to-point warmup: ring send
+		if !r.P2PDone {
+			next := (r.Comm.Cfg.Rank + 1) % r.Comm.Cfg.Size
+			r.Comm.Send(ctx, next, 7, []byte(fmt.Sprintf("hi from %d", r.Comm.Cfg.Rank)))
+			r.P2PDone = true
+		}
+		prev := (r.Comm.Cfg.Rank + r.Comm.Cfg.Size - 1) % r.Comm.Cfg.Size
+		m, ok := r.Comm.Recv(ctx, prev, 7)
+		if !ok {
+			return r.Comm.Block()
+		}
+		if string(m.Data) != fmt.Sprintf("hi from %d", prev) {
+			return vos.Exit(10)
+		}
+		r.Phase = 2
+		return vos.Yield(0)
+	case 2: // barrier
+		if !r.Comm.Barrier(ctx) {
+			return r.Comm.Block()
+		}
+		r.Phase = 3
+		return vos.Yield(0)
+	case 3: // reduce at root
+		val := float64(r.Comm.Cfg.Rank + r.Iter)
+		sum, done := r.Comm.ReduceFloat64(ctx, val, 0, func(a, b float64) float64 { return a + b })
+		if !done {
+			return r.Comm.Block()
+		}
+		if r.Comm.Cfg.Rank == 0 {
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], mathBits(sum))
+			b := buf[:]
+			r.pendingBcast = b
+		}
+		r.Phase = 4
+		return vos.Yield(0)
+	case 4: // broadcast result
+		if !r.Comm.Bcast(ctx, &r.pendingBcast, 0) {
+			return r.Comm.Block()
+		}
+		r.Results = append(r.Results, mathFrom(binary.BigEndian.Uint64(r.pendingBcast)))
+		r.Iter++
+		if r.Iter < r.Iters {
+			r.Phase = 2
+			return vos.Yield(0)
+		}
+		return vos.Exit(0)
+	}
+	return vos.Exit(99)
+}
+
+// pendingBcast holds the in-flight broadcast buffer between steps.
+func (r *ranker) Save(e *imgfmt.Encoder) error    { return nil }
+func (r *ranker) Restore(d *imgfmt.Decoder) error { return nil }
+func (r *ranker) Kind() string                    { return "mpitest.ranker" }
+
+func mathBits(f float64) uint64 {
+	return uint64(int64(f * 1000)) // fixed-point for test stability
+}
+func mathFrom(b uint64) float64 { return float64(int64(b)) / 1000 }
+
+type rankHarness struct {
+	w    *sim.World
+	pods []*pod.Pod
+	rs   []*ranker
+}
+
+func launchRanks(t *testing.T, size, iters int) *rankHarness {
+	t.Helper()
+	w := sim.NewWorld(8)
+	nw := netstack.NewNetwork(w)
+	fs := memfs.New()
+	h := &rankHarness{w: w}
+	ips := make([]netstack.IP, size)
+	for i := range ips {
+		ips[i] = netstack.IP(i + 1)
+	}
+	for i := 0; i < size; i++ {
+		node := vos.NewNode(w, fmt.Sprintf("n%d", i), 1)
+		p, err := pod.New(fmt.Sprintf("rank%d", i), node, nw, fs, ips[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &ranker{
+			Comm:  New(Config{Rank: i, Size: size, Port: 6000, PeerIPs: ips}),
+			Iters: iters,
+		}
+		p.AddProcess(r)
+		h.pods = append(h.pods, p)
+		h.rs = append(h.rs, r)
+	}
+	return h
+}
+
+func (h *rankHarness) run(t *testing.T) {
+	t.Helper()
+	deadline := sim.Time(120 * sim.Second)
+	for {
+		done := true
+		for _, p := range h.pods {
+			if len(p.Procs()) > 0 {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		if h.w.Now() > deadline {
+			t.Fatal("ranks did not finish")
+		}
+		if !h.w.Step() {
+			t.Fatal("queue drained with live ranks")
+		}
+	}
+}
+
+func TestCollectivesAcrossSizes(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8} {
+		size := size
+		t.Run(fmt.Sprintf("size=%d", size), func(t *testing.T) {
+			const iters = 4
+			h := launchRanks(t, size, iters)
+			h.run(t)
+			for rank, r := range h.rs {
+				if len(r.Results) != iters {
+					t.Fatalf("rank %d: %d results", rank, len(r.Results))
+				}
+				for it := 0; it < iters; it++ {
+					// sum over ranks of (rank+iter)
+					want := float64(size*(size-1)/2 + it*size)
+					if r.Results[it] != want {
+						t.Fatalf("rank %d iter %d: got %v want %v", rank, it, r.Results[it], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// allreducer exercises AllreduceFloat64 across several iterations.
+type allreducer struct {
+	Comm    *Comm
+	Phase   int
+	Iter    int
+	Iters   int
+	Results []float64
+}
+
+func (a *allreducer) Step(ctx *vos.Context) vos.StepResult {
+	switch a.Phase {
+	case 0:
+		if !a.Comm.Init(ctx) {
+			return a.Comm.Block()
+		}
+		a.Phase = 1
+		return vos.Yield(0)
+	default:
+		v, done := a.Comm.AllreduceFloat64(ctx, float64((a.Comm.Cfg.Rank+1)*(a.Iter+1)),
+			func(x, y float64) float64 { return x + y })
+		if !done {
+			return a.Comm.Block()
+		}
+		a.Results = append(a.Results, v)
+		a.Iter++
+		if a.Iter < a.Iters {
+			return vos.Yield(0)
+		}
+		return vos.Exit(0)
+	}
+}
+func (a *allreducer) Save(e *imgfmt.Encoder) error    { return nil }
+func (a *allreducer) Restore(d *imgfmt.Decoder) error { return nil }
+func (a *allreducer) Kind() string                    { return "mpitest.allreducer" }
+
+func TestAllreduceEveryRankGetsResult(t *testing.T) {
+	const size, iters = 4, 3
+	w := sim.NewWorld(12)
+	nw := netstack.NewNetwork(w)
+	fs := memfs.New()
+	ips := make([]netstack.IP, size)
+	for i := range ips {
+		ips[i] = netstack.IP(i + 1)
+	}
+	var ars []*allreducer
+	var pods []*pod.Pod
+	for i := 0; i < size; i++ {
+		node := vos.NewNode(w, fmt.Sprintf("n%d", i), 1)
+		p, _ := pod.New(fmt.Sprintf("ar%d", i), node, nw, fs, ips[i])
+		a := &allreducer{Comm: New(Config{Rank: i, Size: size, Port: 6100, PeerIPs: ips}), Iters: iters}
+		p.AddProcess(a)
+		ars = append(ars, a)
+		pods = append(pods, p)
+	}
+	deadline := sim.Time(60 * sim.Second)
+	for {
+		live := false
+		for _, p := range pods {
+			if len(p.Procs()) > 0 {
+				live = true
+			}
+		}
+		if !live {
+			break
+		}
+		if w.Now() > deadline || !w.Step() {
+			t.Fatal("allreduce ranks did not finish")
+		}
+	}
+	// sum over ranks of (rank+1)*(iter+1)
+	base := float64(size * (size + 1) / 2)
+	for rank, a := range ars {
+		if len(a.Results) != iters {
+			t.Fatalf("rank %d results = %d", rank, len(a.Results))
+		}
+		for it, v := range a.Results {
+			if v != base*float64(it+1) {
+				t.Fatalf("rank %d iter %d: %v want %v", rank, it, v, base*float64(it+1))
+			}
+		}
+	}
+}
+
+func TestCommSerializationRoundTrip(t *testing.T) {
+	c := New(Config{Rank: 2, Size: 4, Port: 6000, PeerIPs: []netstack.IP{1, 2, 3, 4}})
+	c.InitPhase = 1
+	c.LFD = 3
+	c.FDs = []int{7, 8, -1, 9}
+	c.pending = []pendingConn{{FD: 11, Buf: []byte{0, 0}}}
+	c.hello = []int{1}
+	c.partial[0] = []byte{1, 2, 3}
+	c.inbox = []Message{{From: 3, Tag: 42, Data: []byte("msg")}}
+	c.outq[1] = []byte{9, 9}
+	c.Seq = 17
+	c.barMid = true
+	c.gathered[0] = []byte("g0")
+	c.closed[3] = true
+
+	e := imgfmt.NewEncoder()
+	if err := c.Save(e); err != nil {
+		t.Fatal(err)
+	}
+	d, err := imgfmt.NewDecoder(e.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := &Comm{}
+	if err := c2.Restore(d); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Cfg.Rank != 2 || c2.Cfg.Size != 4 || c2.Cfg.Port != 6000 || len(c2.Cfg.PeerIPs) != 4 {
+		t.Fatalf("cfg: %+v", c2.Cfg)
+	}
+	if c2.InitPhase != 1 || c2.LFD != 3 || c2.FDs[3] != 9 || c2.FDs[2] != -1 {
+		t.Fatalf("fds: %+v", c2)
+	}
+	if len(c2.pending) != 1 || c2.pending[0].FD != 11 || len(c2.pending[0].Buf) != 2 {
+		t.Fatalf("pending: %+v", c2.pending)
+	}
+	if len(c2.hello) != 1 || c2.hello[0] != 1 {
+		t.Fatalf("hello: %v", c2.hello)
+	}
+	if string(c2.partial[0]) != string([]byte{1, 2, 3}) {
+		t.Fatal("partial lost")
+	}
+	if len(c2.inbox) != 1 || c2.inbox[0].Tag != 42 || string(c2.inbox[0].Data) != "msg" {
+		t.Fatalf("inbox: %+v", c2.inbox)
+	}
+	if string(c2.outq[1]) != string([]byte{9, 9}) {
+		t.Fatal("outq lost")
+	}
+	if c2.Seq != 17 || !c2.barMid {
+		t.Fatalf("coll state: seq=%d barMid=%v", c2.Seq, c2.barMid)
+	}
+	if string(c2.gathered[0]) != "g0" {
+		t.Fatal("gathered lost")
+	}
+	if !c2.closed[3] || c2.closed[0] {
+		t.Fatal("closed flags lost")
+	}
+}
+
+func TestDaemonHeartbeats(t *testing.T) {
+	w := sim.NewWorld(9)
+	nw := netstack.NewNetwork(w)
+	fs := memfs.New()
+	ips := []netstack.IP{1, 2, 3}
+	var daemons []*Daemon
+	for i := range ips {
+		node := vos.NewNode(w, fmt.Sprintf("n%d", i), 1)
+		p, _ := pod.New(fmt.Sprintf("d%d", i), node, nw, fs, ips[i])
+		d := NewDaemon(i, 5999, ips)
+		p.AddProcess(d)
+		daemons = append(daemons, d)
+	}
+	w.RunUntil(sim.Time(3 * sim.Second))
+	for i, d := range daemons {
+		if d.Sent < 8 {
+			t.Fatalf("daemon %d sent only %d beats", i, d.Sent)
+		}
+		if d.Seen < 8 {
+			t.Fatalf("daemon %d saw only %d beats", i, d.Seen)
+		}
+	}
+}
+
+func TestDaemonSerialization(t *testing.T) {
+	d := NewDaemon(1, 5999, []netstack.IP{1, 2})
+	d.Phase = 1
+	d.FD = 4
+	d.Sent = 100
+	d.Seen = 99
+	e := imgfmt.NewEncoder()
+	if err := d.Save(e); err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := imgfmt.NewDecoder(e.Finish())
+	d2 := &Daemon{}
+	if err := d2.Restore(dec); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Rank != 1 || d2.FD != 4 || d2.Sent != 100 || d2.Seen != 99 ||
+		len(d2.PeerIPs) != 2 || d2.Interval != DefaultHeartbeat {
+		t.Fatalf("restored: %+v", d2)
+	}
+}

@@ -1,0 +1,263 @@
+package mpi
+
+import (
+	"zapc/internal/imgfmt"
+	"zapc/internal/netstack"
+)
+
+// Comm serialization: the communicator is part of an application's
+// checkpointable state, so every field — descriptors, partial frames,
+// queued output, collective progress — round-trips through the
+// intermediate image format.
+
+const (
+	tagRank      = 1
+	tagSize      = 2
+	tagPort      = 3
+	tagPeerIP    = 4
+	tagInitPhase = 5
+	tagLFD       = 6
+	tagFD        = 7
+	tagPending   = 8
+	tagPendFD    = 1
+	tagPendBuf   = 2
+	tagHello     = 9
+	tagPartial   = 10
+	tagMsg       = 11
+	tagMsgFrom   = 1
+	tagMsgTag    = 2
+	tagMsgData   = 3
+	tagOutq      = 12
+	tagSeq       = 13
+	tagBarMid    = 14
+	tagGathered  = 15
+	tagGathRank  = 1
+	tagGathData  = 2
+	tagClosed    = 16
+	tagArMid     = 17
+	tagArBuf     = 18
+)
+
+// Save serializes the communicator.
+func (c *Comm) Save(e *imgfmt.Encoder) error {
+	e.Int(tagRank, int64(c.Cfg.Rank))
+	e.Int(tagSize, int64(c.Cfg.Size))
+	e.Uint(tagPort, uint64(c.Cfg.Port))
+	for _, ip := range c.Cfg.PeerIPs {
+		e.Uint(tagPeerIP, uint64(ip))
+	}
+	e.Int(tagInitPhase, int64(c.InitPhase))
+	e.Int(tagLFD, int64(c.LFD))
+	for _, fd := range c.FDs {
+		e.Int(tagFD, int64(fd))
+	}
+	for _, pc := range c.pending {
+		e.Begin(tagPending)
+		e.Int(tagPendFD, int64(pc.FD))
+		e.Bytes(tagPendBuf, pc.Buf)
+		e.End()
+	}
+	for _, h := range c.hello {
+		e.Int(tagHello, int64(h))
+	}
+	for _, p := range c.partial {
+		e.Bytes(tagPartial, p)
+	}
+	for _, m := range c.inbox {
+		e.Begin(tagMsg)
+		e.Int(tagMsgFrom, int64(m.From))
+		e.Uint(tagMsgTag, uint64(m.Tag))
+		e.Bytes(tagMsgData, m.Data)
+		e.End()
+	}
+	for _, q := range c.outq {
+		e.Bytes(tagOutq, q)
+	}
+	e.Uint(tagSeq, c.Seq)
+	e.Bool(tagBarMid, c.barMid)
+	for r := 0; r < c.Cfg.Size; r++ {
+		if data, ok := c.gathered[r]; ok {
+			e.Begin(tagGathered)
+			e.Int(tagGathRank, int64(r))
+			e.Bytes(tagGathData, data)
+			e.End()
+		}
+	}
+	for _, cl := range c.closed {
+		e.Bool(tagClosed, cl)
+	}
+	e.Bool(tagArMid, c.arMid)
+	e.Bytes(tagArBuf, c.arBuf)
+	return nil
+}
+
+// Restore reinstates a communicator saved by Save.
+func (c *Comm) Restore(d *imgfmt.Decoder) error {
+	rank, err := d.Int(tagRank)
+	if err != nil {
+		return err
+	}
+	size, err := d.Int(tagSize)
+	if err != nil {
+		return err
+	}
+	port, err := d.Uint(tagPort)
+	if err != nil {
+		return err
+	}
+	*c = *New(Config{Rank: int(rank), Size: int(size), Port: netstack.Port(port)})
+	repeat := func(tag uint64, fn func() error) error {
+		for {
+			t, _, err := d.Peek()
+			if err != nil || t != tag {
+				return nil
+			}
+			if err := fn(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := repeat(tagPeerIP, func() error {
+		v, err := d.Uint(tagPeerIP)
+		c.Cfg.PeerIPs = append(c.Cfg.PeerIPs, netstack.IP(v))
+		return err
+	}); err != nil {
+		return err
+	}
+	ph, err := d.Int(tagInitPhase)
+	if err != nil {
+		return err
+	}
+	c.InitPhase = int(ph)
+	lfd, err := d.Int(tagLFD)
+	if err != nil {
+		return err
+	}
+	c.LFD = int(lfd)
+	i := 0
+	if err := repeat(tagFD, func() error {
+		v, err := d.Int(tagFD)
+		if i < len(c.FDs) {
+			c.FDs[i] = int(v)
+		}
+		i++
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := repeat(tagPending, func() error {
+		sec, err := d.Section(tagPending)
+		if err != nil {
+			return err
+		}
+		fd, e1 := sec.Int(tagPendFD)
+		buf, e2 := sec.Bytes(tagPendBuf)
+		if e1 != nil {
+			return e1
+		}
+		if e2 != nil {
+			return e2
+		}
+		c.pending = append(c.pending, pendingConn{FD: int(fd), Buf: append([]byte(nil), buf...)})
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := repeat(tagHello, func() error {
+		v, err := d.Int(tagHello)
+		c.hello = append(c.hello, int(v))
+		return err
+	}); err != nil {
+		return err
+	}
+	i = 0
+	if err := repeat(tagPartial, func() error {
+		b, err := d.Bytes(tagPartial)
+		if i < len(c.partial) {
+			c.partial[i] = append([]byte(nil), b...)
+		}
+		i++
+		return err
+	}); err != nil {
+		return err
+	}
+	if err := repeat(tagMsg, func() error {
+		sec, err := d.Section(tagMsg)
+		if err != nil {
+			return err
+		}
+		from, e1 := sec.Int(tagMsgFrom)
+		tg, e2 := sec.Uint(tagMsgTag)
+		data, e3 := sec.Bytes(tagMsgData)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return firstErr(e1, e2, e3)
+		}
+		c.inbox = append(c.inbox, Message{From: int(from), Tag: uint32(tg), Data: append([]byte(nil), data...)})
+		return nil
+	}); err != nil {
+		return err
+	}
+	i = 0
+	if err := repeat(tagOutq, func() error {
+		b, err := d.Bytes(tagOutq)
+		if i < len(c.outq) {
+			c.outq[i] = append([]byte(nil), b...)
+		}
+		i++
+		return err
+	}); err != nil {
+		return err
+	}
+	if c.Seq, err = d.Uint(tagSeq); err != nil {
+		return err
+	}
+	if c.barMid, err = d.Bool(tagBarMid); err != nil {
+		return err
+	}
+	if err := repeat(tagGathered, func() error {
+		sec, err := d.Section(tagGathered)
+		if err != nil {
+			return err
+		}
+		r, e1 := sec.Int(tagGathRank)
+		data, e2 := sec.Bytes(tagGathData)
+		if e1 != nil || e2 != nil {
+			return firstErr(e1, e2)
+		}
+		c.gathered[int(r)] = append([]byte(nil), data...)
+		return nil
+	}); err != nil {
+		return err
+	}
+	i = 0
+	if err := repeat(tagClosed, func() error {
+		v, err := d.Bool(tagClosed)
+		if i < len(c.closed) {
+			c.closed[i] = v
+		}
+		i++
+		return err
+	}); err != nil {
+		return err
+	}
+	if c.arMid, err = d.Bool(tagArMid); err != nil {
+		return err
+	}
+	buf, err := d.Bytes(tagArBuf)
+	if err != nil {
+		return err
+	}
+	if len(buf) > 0 {
+		c.arBuf = append([]byte(nil), buf...)
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

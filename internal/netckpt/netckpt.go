@@ -1,0 +1,503 @@
+// Package netckpt implements ZapC's network-state checkpoint/restart
+// (paper §5): saving and restoring the complete state of every
+// communication endpoint of a pod in a transport-protocol-independent
+// way, using only the socket abstraction plus the minimal
+// protocol-control-block state (the sent/recv/acked sequence numbers).
+//
+// Checkpoint: with the pod suspended and its traffic frozen by
+// netfilter, the agent walks the pod's sockets, saving (1) the full
+// socket parameter set through the getsockopt interface, (2) the
+// receive-side data — alternate queue, processed receive queue, kernel
+// backlog queue, and out-of-band queue — without side effects, (3) the
+// send queue read through the in-kernel socket-layer interface, and
+// (4) the three PCB sequence numbers. In-flight packets are ignored:
+// reliable protocols retransmit them, unreliable protocols may lose
+// them by contract.
+//
+// Restart: the manager derives a connect/accept schedule from the merged
+// meta-data (respecting shared source ports and the original creation
+// order) and each agent re-establishes its connections with ordinary
+// connect and accept calls, using two logical threads — one accepting,
+// one connecting — so no deadlock-free ordering is ever needed. Saved
+// receive data is loaded into an alternate receive queue behind an
+// interposed dispatch vector (recvmsg, poll, release); the send queue is
+// re-sent through the new connection after discarding the overlap
+// [SndUna, peer.RcvNxt) that the peer has already received.
+package netckpt
+
+import (
+	"errors"
+	"fmt"
+
+	"zapc/internal/imgfmt"
+	"zapc/internal/netstack"
+)
+
+// ConnState is the connection state recorded in the meta-data table the
+// agent reports to the manager, exactly the four states of the paper.
+type ConnState int
+
+// Connection states.
+const (
+	ConnFullDuplex ConnState = iota + 1 // established, both directions open
+	ConnHalfDuplex                      // one direction shut down
+	ConnClosedData                      // closed, possibly unread data
+	ConnConnecting                      // transient: not yet established
+)
+
+func (c ConnState) String() string {
+	switch c {
+	case ConnFullDuplex:
+		return "full-duplex"
+	case ConnHalfDuplex:
+		return "half-duplex"
+	case ConnClosedData:
+		return "closed"
+	case ConnConnecting:
+		return "connecting"
+	default:
+		return fmt.Sprintf("connstate(%d)", int(c))
+	}
+}
+
+// SocketRecord is the saved state of one socket.
+type SocketRecord struct {
+	// Slot is the socket's index in the pod's socket table; the
+	// standalone checkpoint references sockets by slot when saving
+	// descriptor tables.
+	Slot int
+	// CreateSeq preserves original creation order (needed when several
+	// connections share a source port).
+	CreateSeq uint64
+
+	Proto  netstack.Proto
+	State  netstack.State
+	Local  netstack.Addr
+	Remote netstack.Addr
+
+	// Opts is the complete socket/protocol option set (paper: "for
+	// correctness, the entire set of the parameters is included").
+	Opts []netstack.OptValue
+
+	// RecvData is the receive-side byte stream owed to the application:
+	// alternate queue + receive queue + backlog queue, in consumption
+	// order.
+	RecvData []byte
+	// OOBData is the pending out-of-band data.
+	OOBData []byte
+	// SendChunks is the send queue: all unacknowledged (plus unsent)
+	// data starting at sequence PCB.SndUna.
+	SendChunks []netstack.Chunk
+	// PCB carries the minimal protocol-specific state.
+	PCB netstack.PCB
+
+	// Datagrams is the queued data of UDP/RAW sockets. Saved regardless
+	// of protocol reliability: restoring it avoids artificial packet
+	// loss after restart, and peeked data must be preserved for
+	// correctness.
+	Datagrams []netstack.Datagram
+	Peeked    bool
+	RawProto  int
+
+	ShutWrite  bool
+	PeerClosed bool
+	// AppClosed marks a socket the application has already released but
+	// which lingers in the kernel to finish reliable teardown (FIN not
+	// yet acknowledged). It is restored and closed again, never wired to
+	// a descriptor.
+	AppClosed bool
+
+	// ListenBacklog is the backlog of a listening socket.
+	ListenBacklog int
+	// PendingAcceptOf is the slot of the listener whose accept queue
+	// held this not-yet-accepted connection (-1 otherwise).
+	PendingAcceptOf int
+
+	// Redirected marks a send queue that the migration optimization
+	// moved into the peer's checkpoint stream; the restore agent must
+	// not re-send it.
+	Redirected bool
+}
+
+// ConnMeta is one row of the meta-data table: the paper's
+// <source, target, state> tuple.
+type ConnMeta struct {
+	Src, Dst  netstack.Addr
+	State     ConnState
+	CreateSeq uint64
+}
+
+// Meta is the network meta-data one agent reports to the manager after
+// its network checkpoint.
+type Meta struct {
+	PodIP netstack.IP
+	Conns []ConnMeta
+}
+
+// NetImage is a pod's complete network-state checkpoint.
+type NetImage struct {
+	PodIP   netstack.IP
+	Sockets []SocketRecord
+}
+
+// connState derives the paper's meta state from socket flags.
+func connState(s *netstack.Socket) ConnState {
+	switch {
+	case s.State() == netstack.StateConnecting:
+		return ConnConnecting
+	case s.WriteShut() && s.PeerClosed():
+		return ConnClosedData
+	case s.WriteShut() || s.PeerClosed():
+		return ConnHalfDuplex
+	default:
+		return ConnFullDuplex
+	}
+}
+
+// CheckpointStack saves the network state of a pod's stack. The pod must
+// be suspended and its network blocked; the walk is side-effect free so
+// the checkpoint can be rolled back (or used as a pure snapshot).
+func CheckpointStack(st *netstack.Stack) (*NetImage, *Meta, error) {
+	if !st.Filter().Blocked() {
+		return nil, nil, errors.New("netckpt: pod network not blocked")
+	}
+	img := &NetImage{PodIP: st.IPAddr()}
+	meta := &Meta{PodIP: st.IPAddr()}
+
+	socks := st.Sockets()
+	slotOf := make(map[*netstack.Socket]int, len(socks))
+	for i, s := range socks {
+		slotOf[s] = i
+	}
+	// Map pending (not yet accepted) children to their listener slot.
+	pendingOf := make(map[*netstack.Socket]int)
+	for i, s := range socks {
+		if s.State() == netstack.StateListening {
+			for _, child := range s.AcceptQueue() {
+				pendingOf[child] = i
+			}
+		}
+	}
+
+	for i, s := range socks {
+		rec := SocketRecord{
+			Slot:            i,
+			CreateSeq:       s.CreateSeq(),
+			Proto:           s.Proto(),
+			State:           s.State(),
+			Local:           s.LocalAddr(),
+			Remote:          s.RemoteAddr(),
+			Opts:            s.OptsSnapshot(),
+			PendingAcceptOf: -1,
+		}
+		switch s.Proto() {
+		case netstack.TCP:
+			switch s.State() {
+			case netstack.StateListening:
+				rec.ListenBacklog = s.ListenBacklogMax()
+			case netstack.StateEstablished, netstack.StateConnecting:
+				rec.RecvData = s.CheckpointReceiveData()
+				rec.OOBData = s.CheckpointOOB()
+				rec.SendChunks = s.SendQueueSnapshot()
+				rec.PCB = s.PCBSnapshot()
+				rec.ShutWrite = s.WriteShut()
+				rec.PeerClosed = s.PeerClosed()
+				rec.AppClosed = s.Closed()
+				if l, ok := pendingOf[s]; ok {
+					rec.PendingAcceptOf = l
+				}
+				meta.Conns = append(meta.Conns, ConnMeta{
+					Src:       rec.Local,
+					Dst:       rec.Remote,
+					State:     connState(s),
+					CreateSeq: rec.CreateSeq,
+				})
+			}
+		case netstack.UDP:
+			rec.Datagrams = s.DatagramQueue()
+			rec.Peeked = s.Peeked()
+		case netstack.RAW:
+			rec.RawProto = s.RawProto()
+			rec.Datagrams = s.DatagramQueue()
+			rec.Peeked = s.Peeked()
+		}
+		img.Sockets = append(img.Sockets, rec)
+	}
+	return img, meta, nil
+}
+
+// Bytes reports the serialized footprint of the network image (the
+// paper's "network-state data" size, a few KB in practice).
+func (img *NetImage) Bytes() int64 {
+	enc := imgfmt.NewEncoder()
+	img.Encode(enc)
+	return int64(enc.Len())
+}
+
+// QueueBytes reports the total queued payload bytes across all sockets
+// (used for the cost model: freezing and copying queue contents).
+func (img *NetImage) QueueBytes() int64 {
+	var n int64
+	for _, r := range img.Sockets {
+		n += int64(len(r.RecvData) + len(r.OOBData))
+		for _, c := range r.SendChunks {
+			n += int64(len(c.Data))
+		}
+		for _, d := range r.Datagrams {
+			n += int64(len(d.Data))
+		}
+	}
+	return n
+}
+
+// Image field tags.
+const (
+	tagPodIP    = 1
+	tagSocket   = 2
+	tagSlot     = 1
+	tagCreate   = 2
+	tagProto    = 3
+	tagState    = 4
+	tagLocalIP  = 5
+	tagLocalPt  = 6
+	tagRemIP    = 7
+	tagRemPt    = 8
+	tagOpt      = 9
+	tagOptKey   = 1
+	tagOptVal   = 2
+	tagRecvData = 10
+	tagOOBData  = 11
+	tagChunk    = 12
+	tagChkData  = 1
+	tagChkOOB   = 2
+	tagChkFIN   = 3
+	tagSndNxt   = 13
+	tagSndUna   = 14
+	tagRcvNxt   = 15
+	tagDgram    = 16
+	tagDgFromIP = 1
+	tagDgFromPt = 2
+	tagDgData   = 3
+	tagDgRaw    = 4
+	tagPeeked   = 17
+	tagRawProto = 18
+	tagShutW    = 19
+	tagPeerCl   = 20
+	tagBacklog  = 21
+	tagPendOf   = 22
+	tagRedir    = 23
+	tagAppClose = 24
+)
+
+// Encode writes the image into a checkpoint stream.
+func (img *NetImage) Encode(e *imgfmt.Encoder) {
+	e.Uint(tagPodIP, uint64(img.PodIP))
+	for _, r := range img.Sockets {
+		e.Begin(tagSocket)
+		e.Uint(tagSlot, uint64(r.Slot))
+		e.Uint(tagCreate, r.CreateSeq)
+		e.Uint(tagProto, uint64(r.Proto))
+		e.Uint(tagState, uint64(r.State))
+		e.Uint(tagLocalIP, uint64(r.Local.IP))
+		e.Uint(tagLocalPt, uint64(r.Local.Port))
+		e.Uint(tagRemIP, uint64(r.Remote.IP))
+		e.Uint(tagRemPt, uint64(r.Remote.Port))
+		for _, ov := range r.Opts {
+			// The record carries the entire option set; zero values are
+			// the defaults and need no wire representation (a decoder
+			// treats an absent option as zero), keeping the
+			// network-state footprint at the paper's few-hundred-byte
+			// scale.
+			if ov.Val == 0 {
+				continue
+			}
+			e.Begin(tagOpt)
+			e.Uint(tagOptKey, uint64(ov.Opt))
+			e.Int(tagOptVal, ov.Val)
+			e.End()
+		}
+		e.Bytes(tagRecvData, r.RecvData)
+		e.Bytes(tagOOBData, r.OOBData)
+		for _, c := range r.SendChunks {
+			e.Begin(tagChunk)
+			e.Bytes(tagChkData, c.Data)
+			e.Bool(tagChkOOB, c.OOB)
+			e.Bool(tagChkFIN, c.FIN)
+			e.End()
+		}
+		e.Uint(tagSndNxt, r.PCB.SndNxt)
+		e.Uint(tagSndUna, r.PCB.SndUna)
+		e.Uint(tagRcvNxt, r.PCB.RcvNxt)
+		for _, d := range r.Datagrams {
+			e.Begin(tagDgram)
+			e.Uint(tagDgFromIP, uint64(d.From.IP))
+			e.Uint(tagDgFromPt, uint64(d.From.Port))
+			e.Bytes(tagDgData, d.Data)
+			e.Uint(tagDgRaw, uint64(d.RawProto))
+			e.End()
+		}
+		e.Bool(tagPeeked, r.Peeked)
+		e.Uint(tagRawProto, uint64(r.RawProto))
+		e.Bool(tagShutW, r.ShutWrite)
+		e.Bool(tagPeerCl, r.PeerClosed)
+		e.Uint(tagBacklog, uint64(r.ListenBacklog))
+		e.Int(tagPendOf, int64(r.PendingAcceptOf))
+		e.Bool(tagRedir, r.Redirected)
+		e.Bool(tagAppClose, r.AppClosed)
+		e.End()
+	}
+}
+
+// DecodeImage reads a network image from a checkpoint stream.
+func DecodeImage(d *imgfmt.Decoder) (*NetImage, error) {
+	img := &NetImage{}
+	ip, err := d.Uint(tagPodIP)
+	if err != nil {
+		return nil, err
+	}
+	img.PodIP = netstack.IP(ip)
+	for d.More() {
+		tag, _, err := d.Peek()
+		if err != nil {
+			return nil, err
+		}
+		if tag != tagSocket {
+			break
+		}
+		sec, err := d.Section(tagSocket)
+		if err != nil {
+			return nil, err
+		}
+		r, err := decodeSocketRecord(sec)
+		if err != nil {
+			return nil, err
+		}
+		img.Sockets = append(img.Sockets, r)
+	}
+	return img, nil
+}
+
+func decodeSocketRecord(d *imgfmt.Decoder) (SocketRecord, error) {
+	var r SocketRecord
+	var err error
+	u := func(tag uint64) uint64 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		v, err = d.Uint(tag)
+		return v
+	}
+	r.Slot = int(u(tagSlot))
+	r.CreateSeq = u(tagCreate)
+	r.Proto = netstack.Proto(u(tagProto))
+	r.State = netstack.State(u(tagState))
+	r.Local = netstack.Addr{IP: netstack.IP(u(tagLocalIP)), Port: netstack.Port(u(tagLocalPt))}
+	r.Remote = netstack.Addr{IP: netstack.IP(u(tagRemIP)), Port: netstack.Port(u(tagRemPt))}
+	if err != nil {
+		return r, err
+	}
+	for {
+		tag, _, perr := d.Peek()
+		if perr != nil || tag != tagOpt {
+			break
+		}
+		sec, serr := d.Section(tagOpt)
+		if serr != nil {
+			return r, serr
+		}
+		k, e1 := sec.Uint(tagOptKey)
+		v, e2 := sec.Int(tagOptVal)
+		if e1 != nil || e2 != nil {
+			return r, errors.Join(e1, e2)
+		}
+		r.Opts = append(r.Opts, netstack.OptValue{Opt: netstack.Opt(k), Val: v})
+	}
+	rd, err := d.Bytes(tagRecvData)
+	if err != nil {
+		return r, err
+	}
+	r.RecvData = append([]byte(nil), rd...)
+	ob, err := d.Bytes(tagOOBData)
+	if err != nil {
+		return r, err
+	}
+	r.OOBData = append([]byte(nil), ob...)
+	for {
+		tag, _, perr := d.Peek()
+		if perr != nil || tag != tagChunk {
+			break
+		}
+		sec, serr := d.Section(tagChunk)
+		if serr != nil {
+			return r, serr
+		}
+		var c netstack.Chunk
+		data, e1 := sec.Bytes(tagChkData)
+		c.Data = append([]byte(nil), data...)
+		c.OOB, _ = sec.Bool(tagChkOOB)
+		c.FIN, _ = sec.Bool(tagChkFIN)
+		if e1 != nil {
+			return r, e1
+		}
+		r.SendChunks = append(r.SendChunks, c)
+	}
+	r.PCB.SndNxt = u(tagSndNxt)
+	r.PCB.SndUna = u(tagSndUna)
+	r.PCB.RcvNxt = u(tagRcvNxt)
+	if err != nil {
+		return r, err
+	}
+	for {
+		tag, _, perr := d.Peek()
+		if perr != nil || tag != tagDgram {
+			break
+		}
+		sec, serr := d.Section(tagDgram)
+		if serr != nil {
+			return r, serr
+		}
+		var dg netstack.Datagram
+		fip, e1 := sec.Uint(tagDgFromIP)
+		fpt, e2 := sec.Uint(tagDgFromPt)
+		data, e3 := sec.Bytes(tagDgData)
+		raw, e4 := sec.Uint(tagDgRaw)
+		if e := errors.Join(e1, e2, e3, e4); e != nil {
+			return r, e
+		}
+		dg.From = netstack.Addr{IP: netstack.IP(fip), Port: netstack.Port(fpt)}
+		dg.Data = append([]byte(nil), data...)
+		dg.RawProto = int(raw)
+		r.Datagrams = append(r.Datagrams, dg)
+	}
+	r.Peeked, err = d.Bool(tagPeeked)
+	if err != nil {
+		return r, err
+	}
+	r.RawProto = int(u(tagRawProto))
+	if err != nil {
+		return r, err
+	}
+	if r.ShutWrite, err = d.Bool(tagShutW); err != nil {
+		return r, err
+	}
+	if r.PeerClosed, err = d.Bool(tagPeerCl); err != nil {
+		return r, err
+	}
+	r.ListenBacklog = int(u(tagBacklog))
+	if err != nil {
+		return r, err
+	}
+	po, err := d.Int(tagPendOf)
+	if err != nil {
+		return r, err
+	}
+	r.PendingAcceptOf = int(po)
+	if r.Redirected, err = d.Bool(tagRedir); err != nil {
+		return r, err
+	}
+	if r.AppClosed, err = d.Bool(tagAppClose); err != nil {
+		return r, err
+	}
+	return r, nil
+}

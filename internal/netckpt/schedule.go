@@ -1,0 +1,329 @@
+package netckpt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"zapc/internal/netstack"
+)
+
+// EntryType says which side of a re-established connection an endpoint
+// takes.
+type EntryType int
+
+// Schedule entry types.
+const (
+	EntryConnect EntryType = iota + 1
+	EntryAccept
+)
+
+func (t EntryType) String() string {
+	if t == EntryConnect {
+		return "connect"
+	}
+	return "accept"
+}
+
+// ScheduleEntry tells an agent how to re-create one connection: which
+// side initiates, the (possibly remapped) endpoint addresses, and the
+// peer's recv sequence number used to discard the send-queue overlap of
+// Figure 4.
+type ScheduleEntry struct {
+	Slot       int // socket slot in this pod's image
+	Type       EntryType
+	Local      netstack.Addr
+	Remote     netstack.Addr
+	PeerRcvNxt uint64
+	// Order reproduces original creation order, which matters when
+	// multiple connections share a source port.
+	Order int
+}
+
+// EndpointPlan is the restart schedule for one pod: the modified
+// meta-data the manager sends with the restart command.
+type EndpointPlan struct {
+	PodIP   netstack.IP
+	Entries []ScheduleEntry
+	// TempListeners are ports the agent must listen on temporarily to
+	// accept re-created connections whose original listener no longer
+	// exists.
+	TempListeners []netstack.Port
+}
+
+// RemapImage rewrites every network address in the image according to
+// the old->new virtual IP map (the paper's substitution of destination
+// addresses into the meta-data when migrating to a cluster with
+// different addresses). IPs absent from the map are kept.
+func RemapImage(img *NetImage, remap map[netstack.IP]netstack.IP) {
+	tr := func(ip netstack.IP) netstack.IP {
+		if n, ok := remap[ip]; ok {
+			return n
+		}
+		return ip
+	}
+	img.PodIP = tr(img.PodIP)
+	for i := range img.Sockets {
+		r := &img.Sockets[i]
+		r.Local.IP = tr(r.Local.IP)
+		r.Remote.IP = tr(r.Remote.IP)
+		for j := range r.Datagrams {
+			r.Datagrams[j].From.IP = tr(r.Datagrams[j].From.IP)
+		}
+	}
+}
+
+// connRecord indexes one connection-ish socket record during planning.
+type connRecord struct {
+	img *NetImage
+	rec *SocketRecord
+}
+
+// PlanRestart derives the connect/accept schedule from the merged images
+// of all pods (after any remapping). The rules:
+//
+//   - an endpoint with a live listener on the connection's local port
+//     accepts (the re-created child then inherits the port exactly as
+//     the original accept did);
+//   - an endpoint where several connections share one source port must
+//     accept all of them, in original creation order;
+//   - otherwise the side is chosen arbitrarily (lower address connects).
+func PlanRestart(images map[netstack.IP]*NetImage) (map[netstack.IP]*EndpointPlan, error) {
+	plans := make(map[netstack.IP]*EndpointPlan, len(images))
+	listeners := make(map[netstack.Addr]bool) // live listening endpoints
+	shared := make(map[netstack.Addr]int)     // local endpoint -> #connections
+	type key struct{ a, b netstack.Addr }
+	conns := make(map[key][]connRecord)
+
+	ips := make([]int, 0, len(images))
+	for ip := range images {
+		ips = append(ips, int(ip))
+	}
+	sort.Ints(ips)
+
+	for _, ipi := range ips {
+		img := images[netstack.IP(ipi)]
+		plans[img.PodIP] = &EndpointPlan{PodIP: img.PodIP}
+		for i := range img.Sockets {
+			r := &img.Sockets[i]
+			if r.Proto != netstack.TCP {
+				continue
+			}
+			switch r.State {
+			case netstack.StateListening:
+				listeners[r.Local] = true
+			case netstack.StateEstablished, netstack.StateConnecting:
+				if r.ShutWrite && r.PeerClosed {
+					// Fully closed both ways: nothing to re-establish;
+					// the restore agent reinstates it locally (or drops
+					// it entirely when the application closed it too).
+					continue
+				}
+				shared[r.Local]++
+				k := key{r.Local, r.Remote}
+				if r.Remote.IP < r.Local.IP ||
+					(r.Remote.IP == r.Local.IP && r.Remote.Port < r.Local.Port) {
+					k = key{r.Remote, r.Local}
+				}
+				conns[k] = append(conns[k], connRecord{img, r})
+			}
+		}
+	}
+
+	keys := make([]key, 0, len(conns))
+	for k := range conns {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.a != b.a {
+			return less(a.a, b.a)
+		}
+		return less(a.b, b.b)
+	})
+
+	for _, k := range keys {
+		pair := conns[k]
+		if len(pair) > 2 {
+			return nil, fmt.Errorf("netckpt: %d records for connection %v<->%v", len(pair), k.a, k.b)
+		}
+		if err := planConnection(plans, listeners, shared, pair); err != nil {
+			return nil, err
+		}
+	}
+
+	// Determine temp listeners and order entries.
+	for _, plan := range plans {
+		img := images[plan.PodIP]
+		live := make(map[netstack.Port]bool)
+		for i := range img.Sockets {
+			r := &img.Sockets[i]
+			if r.Proto == netstack.TCP && r.State == netstack.StateListening {
+				live[r.Local.Port] = true
+			}
+		}
+		sort.Slice(plan.Entries, func(i, j int) bool {
+			return plan.Entries[i].Order < plan.Entries[j].Order
+		})
+		seen := make(map[netstack.Port]bool)
+		for _, e := range plan.Entries {
+			if e.Type == EntryAccept && !live[e.Local.Port] && !seen[e.Local.Port] {
+				seen[e.Local.Port] = true
+				plan.TempListeners = append(plan.TempListeners, e.Local.Port)
+			}
+		}
+	}
+	return plans, nil
+}
+
+func less(a, b netstack.Addr) bool {
+	if a.IP != b.IP {
+		return a.IP < b.IP
+	}
+	return a.Port < b.Port
+}
+
+func planConnection(plans map[netstack.IP]*EndpointPlan, listeners map[netstack.Addr]bool,
+	shared map[netstack.Addr]int, pair []connRecord) error {
+
+	a := pair[0]
+	var b *connRecord
+	if len(pair) == 2 {
+		b = &pair[1]
+	}
+
+	// Unpaired record: the peer endpoint no longer exists. For a
+	// transient connecting socket the connect is simply re-issued; for
+	// an established socket whose peer finished (or aborted) its
+	// teardown there is nothing to re-establish — the agent restores it
+	// detached, delivering any remaining data followed by EOF, or drops
+	// it entirely when the application had already closed it too.
+	if b == nil {
+		if a.rec.State != netstack.StateConnecting {
+			return nil // restored locally (detached) by the agent
+		}
+		plans[a.img.PodIP].Entries = append(plans[a.img.PodIP].Entries, ScheduleEntry{
+			Slot: a.rec.Slot, Type: EntryConnect,
+			Local: a.rec.Local, Remote: a.rec.Remote,
+			Order: int(a.rec.CreateSeq),
+		})
+		return nil
+	}
+
+	aAccept := listeners[a.rec.Local] || shared[a.rec.Local] > 1 || a.rec.PendingAcceptOf >= 0
+	bAccept := listeners[b.rec.Local] || shared[b.rec.Local] > 1 || b.rec.PendingAcceptOf >= 0
+	if aAccept && bAccept {
+		return errors.New("netckpt: both endpoints require the accept role (shared ports on both sides)")
+	}
+	if !aAccept && !bAccept {
+		// Arbitrary: lower address connects.
+		if less(a.rec.Local, b.rec.Local) {
+			bAccept = true
+		} else {
+			aAccept = true
+		}
+	}
+	add := func(cr connRecord, t EntryType, peer *SocketRecord) {
+		plans[cr.img.PodIP].Entries = append(plans[cr.img.PodIP].Entries, ScheduleEntry{
+			Slot: cr.rec.Slot, Type: t,
+			Local: cr.rec.Local, Remote: cr.rec.Remote,
+			PeerRcvNxt: peer.PCB.RcvNxt,
+			Order:      int(cr.rec.CreateSeq),
+		})
+	}
+	if aAccept {
+		add(a, EntryAccept, b.rec)
+		add(*b, EntryConnect, a.rec)
+	} else {
+		add(a, EntryConnect, b.rec)
+		add(*b, EntryAccept, a.rec)
+	}
+	return nil
+}
+
+// DiscardOverlap removes the first `overlap` sequence units from a send
+// queue (Figure 4: data the peer has already received must not be
+// re-sent; discarding from the send queue avoids transferring it over
+// the network at all).
+func DiscardOverlap(chunks []netstack.Chunk, overlap uint64) []netstack.Chunk {
+	out := chunks
+	for overlap > 0 && len(out) > 0 {
+		l := out[0].SeqLen()
+		if l > overlap {
+			out[0].Data = out[0].Data[overlap:]
+			break
+		}
+		overlap -= l
+		out = out[1:]
+	}
+	return out
+}
+
+// Overlap computes how many sequence units of this endpoint's send queue
+// the peer has already received: peerRcvNxt - SndUna, clamped to the
+// sent-but-unacked window.
+func Overlap(pcb netstack.PCB, peerRcvNxt uint64) uint64 {
+	if peerRcvNxt <= pcb.SndUna {
+		return 0
+	}
+	ov := peerRcvNxt - pcb.SndUna
+	if max := pcb.SndNxt - pcb.SndUna; ov > max {
+		ov = max
+	}
+	return ov
+}
+
+// ApplyRedirect performs the migration optimization of §5: move each
+// (post-overlap) send queue directly into the peer's checkpoint stream —
+// normal bytes appended to the peer's saved receive data, OOB bytes to
+// its OOB data — so the data crosses the network once (inside the
+// checkpoint image) instead of twice. Returns the number of payload
+// bytes redirected.
+func ApplyRedirect(images map[netstack.IP]*NetImage) int64 {
+	// Index records by (local,remote).
+	type ep struct{ l, r netstack.Addr }
+	idx := make(map[ep]*SocketRecord)
+	for _, img := range images {
+		for i := range img.Sockets {
+			rec := &img.Sockets[i]
+			if rec.Proto == netstack.TCP && rec.State == netstack.StateEstablished {
+				idx[ep{rec.Local, rec.Remote}] = rec
+			}
+		}
+	}
+	var moved int64
+	// Deterministic order.
+	eps := make([]ep, 0, len(idx))
+	for k := range idx {
+		eps = append(eps, k)
+	}
+	sort.Slice(eps, func(i, j int) bool {
+		if eps[i].l != eps[j].l {
+			return less(eps[i].l, eps[j].l)
+		}
+		return less(eps[i].r, eps[j].r)
+	})
+	for _, k := range eps {
+		rec := idx[k]
+		peer, ok := idx[ep{k.r, k.l}]
+		if !ok || len(rec.SendChunks) == 0 {
+			continue
+		}
+		chunks := DiscardOverlap(rec.SendChunks, Overlap(rec.PCB, peer.PCB.RcvNxt))
+		for _, c := range chunks {
+			switch {
+			case c.FIN:
+				peer.PeerClosed = true
+			case c.OOB:
+				peer.OOBData = append(peer.OOBData, c.Data...)
+				moved += int64(len(c.Data))
+			default:
+				peer.RecvData = append(peer.RecvData, c.Data...)
+				moved += int64(len(c.Data))
+			}
+		}
+		rec.SendChunks = nil
+		rec.Redirected = true
+	}
+	return moved
+}

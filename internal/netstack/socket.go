@@ -1,0 +1,722 @@
+package netstack
+
+import (
+	"fmt"
+
+	"zapc/internal/sim"
+)
+
+// State is a socket's lifecycle state.
+type State int
+
+// Socket states. Flags (shutdown, peer-closed, pending error) are kept
+// separately; the checkpoint layer derives the paper's connection states
+// (full-duplex / half-duplex / closed / connecting) from both.
+const (
+	StateClosed State = iota
+	StateBound
+	StateListening
+	StateConnecting
+	StateEstablished
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateBound:
+		return "bound"
+	case StateListening:
+		return "listening"
+	case StateConnecting:
+		return "connecting"
+	case StateEstablished:
+		return "established"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Opt identifies a socket or protocol option, mirroring the get/setsockopt
+// parameter space the paper saves in its entirety during checkpoint.
+type Opt int
+
+// Socket-level and protocol-level options. The set follows the
+// comprehensive list in Stevens that the paper cites.
+const (
+	SO_RCVBUF Opt = iota + 1
+	SO_SNDBUF
+	SO_KEEPALIVE
+	SO_REUSEADDR
+	SO_LINGER
+	SO_OOBINLINE
+	SO_BROADCAST
+	SO_DONTROUTE
+	SO_PRIORITY
+	SO_RCVLOWAT
+	SO_SNDLOWAT
+	SO_RCVTIMEO
+	SO_SNDTIMEO
+	SO_NONBLOCK
+	TCP_NODELAY
+	TCP_KEEPALIVE
+	TCP_STDURG
+	TCP_MAXSEG
+	optMax // sentinel for iteration
+)
+
+// AllOpts lists every defined option in stable order (the checkpoint saves
+// the entire set, per the paper).
+func AllOpts() []Opt {
+	out := make([]Opt, 0, int(optMax)-1)
+	for o := Opt(1); o < optMax; o++ {
+		out = append(out, o)
+	}
+	return out
+}
+
+func defaultOpts(proto Proto) map[Opt]int64 {
+	m := map[Opt]int64{
+		SO_RCVBUF:  256 << 10,
+		SO_SNDBUF:  256 << 10,
+		TCP_MAXSEG: MSS,
+	}
+	return m
+}
+
+// PCB is the protocol control block of a reliable connection. It exposes
+// exactly the three sequence numbers the paper identifies as the minimal
+// protocol-specific state: last data sent, last data received, and last
+// data acknowledged by the peer.
+type PCB struct {
+	SndNxt uint64 // "sent": next sequence unit to transmit
+	SndUna uint64 // "acked": oldest unacknowledged sequence unit
+	RcvNxt uint64 // "recv": next sequence unit expected from the peer
+}
+
+// Chunk is one run of send-queue data. FIN chunks occupy one sequence unit
+// and carry no bytes; OOB chunks deliver into the peer's out-of-band queue.
+type Chunk struct {
+	Data []byte
+	OOB  bool
+	FIN  bool
+}
+
+// SeqLen is the number of sequence units the chunk occupies.
+func (c Chunk) SeqLen() uint64 {
+	if c.FIN {
+		return 1
+	}
+	return uint64(len(c.Data))
+}
+
+// Datagram is one queued UDP or raw-IP message.
+type Datagram struct {
+	From     Addr
+	Data     []byte
+	RawProto int
+}
+
+// PollMask is the readiness bitmask returned by the poll socket operation.
+type PollMask int
+
+// Poll readiness bits.
+const (
+	PollIn  PollMask = 1 << iota // data (or a pending accept / EOF) to read
+	PollOut                      // space to write
+	PollErr                      // pending socket error
+	PollHUP                      // peer closed
+	PollPRI                      // out-of-band data pending
+)
+
+// Ops is the socket dispatch vector: the kernel functions invoked for the
+// application-facing interface. The network-restart code interposes on
+// exactly the three methods the paper names — recvmsg, poll, and release —
+// by swapping this vector, and reinstalls the original once the alternate
+// receive queue drains.
+type Ops interface {
+	Recvmsg(s *Socket, n int, peek, oob bool) ([]byte, error)
+	Poll(s *Socket) PollMask
+	Release(s *Socket)
+}
+
+type boundKey struct {
+	proto Proto
+	port  Port
+}
+
+type connKey struct {
+	proto  Proto
+	local  Port
+	remote Addr
+}
+
+// Stack is one pod's network namespace: its virtual IP, port space,
+// sockets, and netfilter hook table.
+type Stack struct {
+	net      *Network
+	ip       IP
+	filter   Filter
+	bound    map[boundKey]*Socket
+	conns    map[connKey]*Socket
+	raws     map[int][]*Socket
+	sockets  []*Socket // creation order; live (not yet released) sockets
+	nextEph  Port
+	sockSeq  uint64
+	detached bool
+}
+
+// IPAddr returns the stack's virtual IP.
+func (st *Stack) IPAddr() IP { return st.ip }
+
+// Filter returns the stack's netfilter hook table.
+func (st *Stack) Filter() *Filter { return &st.filter }
+
+// Network returns the owning network.
+func (st *Stack) Network() *Network { return st.net }
+
+// Sockets returns the stack's live sockets in creation order.
+func (st *Stack) Sockets() []*Socket {
+	out := make([]*Socket, len(st.sockets))
+	copy(out, st.sockets)
+	return out
+}
+
+// Socket creates a new unbound socket of the given protocol.
+func (st *Stack) Socket(proto Proto) *Socket {
+	s := &Socket{
+		stack:     st,
+		proto:     proto,
+		opts:      defaultOpts(proto),
+		ops:       baseOps{},
+		createSeq: st.sockSeq,
+		ooseg:     make(map[uint64]*packet),
+	}
+	st.sockSeq++
+	st.sockets = append(st.sockets, s)
+	return s
+}
+
+func (st *Stack) removeSocket(s *Socket) {
+	for i, cur := range st.sockets {
+		if cur == s {
+			st.sockets = append(st.sockets[:i], st.sockets[i+1:]...)
+			break
+		}
+	}
+}
+
+func (st *Stack) allocEphemeral(proto Proto) Port {
+	for i := 0; i < 65536; i++ {
+		p := st.nextEph
+		st.nextEph++
+		if st.nextEph == 0 {
+			st.nextEph = 32768
+		}
+		if _, ok := st.bound[boundKey{proto, p}]; !ok {
+			return p
+		}
+	}
+	panic("netstack: ephemeral port space exhausted")
+}
+
+// Socket is a virtual BSD-style socket. All methods must be called from
+// within the simulation loop.
+type Socket struct {
+	stack     *Stack
+	proto     Proto
+	state     State
+	local     Addr
+	remote    Addr
+	opts      map[Opt]int64
+	createSeq uint64
+
+	// Stream receive path. Arriving in-sequence bytes land in the kernel
+	// backlog queue and are moved to the receive queue by a deferred
+	// kernel event — the asynchrony that makes a naive MSG_PEEK-based
+	// checkpoint incomplete.
+	recvQ    []byte
+	backlogQ [][]byte
+	oobQ     []byte
+	altQ     []byte // alternate receive queue installed at restart
+	ooseg    map[uint64]*packet
+	peeked   bool
+
+	// Datagram receive path (UDP/RAW).
+	dgrams     []Datagram
+	dgramBytes int
+	rawProto   int
+
+	// Stream send path. sendQ holds every chunk not yet acknowledged
+	// (transmitted-but-unacked plus queued-unsent); acks trim it from
+	// the front, so it always covers [SndUna, ...).
+	sendQ    []Chunk
+	sendSeq  uint64 // total seq units ever appended to sendQ
+	nextSend int    // index of first not-yet-transmitted chunk
+
+	pcb         PCB
+	rtoTimer    sim.EventID
+	rtoArmed    bool
+	kaTimer     sim.EventID
+	kaArmed     bool
+	kaMissed    int
+	lastRecv    sim.Time
+	synTimer    sim.EventID
+	synTries    int
+	listenerMax int
+	acceptQ     []*Socket
+
+	shutWrite  bool
+	shutRead   bool
+	peerClosed bool
+	finSent    bool
+	finAcked   bool
+	sockErr    error
+	closed     bool
+
+	ops     Ops
+	onEvent func()
+}
+
+// Proto returns the socket's protocol.
+func (s *Socket) Proto() Proto { return s.proto }
+
+// State returns the socket's lifecycle state.
+func (s *Socket) State() State { return s.state }
+
+// LocalAddr returns the bound local address.
+func (s *Socket) LocalAddr() Addr { return s.local }
+
+// RemoteAddr returns the connected peer address.
+func (s *Socket) RemoteAddr() Addr { return s.remote }
+
+// CreateSeq returns the socket's creation sequence number within its
+// stack, used to reconstruct original creation order at restart.
+func (s *Socket) CreateSeq() uint64 { return s.createSeq }
+
+// Err returns the pending socket error (e.g. ECONNRESET), if any.
+func (s *Socket) Err() error { return s.sockErr }
+
+// PeerClosed reports whether a FIN has been received.
+func (s *Socket) PeerClosed() bool { return s.peerClosed }
+
+// WriteShut reports whether the write side has been shut down locally.
+func (s *Socket) WriteShut() bool { return s.shutWrite }
+
+// Closed reports whether the application has released the socket.
+func (s *Socket) Closed() bool { return s.closed }
+
+// SetNotify registers the wait-queue callback invoked whenever socket
+// readiness may have changed. The virtual OS uses it to wake blocked
+// processes.
+func (s *Socket) SetNotify(fn func()) { s.onEvent = fn }
+
+func (s *Socket) notify() {
+	if s.onEvent != nil {
+		s.onEvent()
+	}
+}
+
+// SwapOps replaces the socket's dispatch vector and returns the previous
+// one. This is the interposition primitive the network-restart mechanism
+// uses for its alternate receive queue.
+func (s *Socket) SwapOps(ops Ops) Ops {
+	old := s.ops
+	s.ops = ops
+	return old
+}
+
+// CurrentOps returns the installed dispatch vector.
+func (s *Socket) CurrentOps() Ops { return s.ops }
+
+// GetOpt reads a socket/protocol option (getsockopt).
+func (s *Socket) GetOpt(o Opt) int64 { return s.opts[o] }
+
+// SetOpt writes a socket/protocol option (setsockopt).
+func (s *Socket) SetOpt(o Opt, v int64) {
+	s.opts[o] = v
+	if o == SO_KEEPALIVE || o == TCP_KEEPALIVE {
+		// (Re)arm the keep-alive probe timer with the current interval;
+		// a restored socket gets its full option set replayed, which
+		// re-enables fault detection on the new connection.
+		s.stack.net.w.Cancel(s.kaTimer)
+		s.kaArmed = false
+		s.armKeepalive()
+	}
+}
+
+// OptsSnapshot returns the complete socket/protocol option set in
+// stable order — the paper saves the entire set "for correctness", not
+// just options an application has touched.
+func (s *Socket) OptsSnapshot() []OptValue {
+	all := AllOpts()
+	out := make([]OptValue, 0, len(all))
+	for _, o := range all {
+		out = append(out, OptValue{o, s.opts[o]})
+	}
+	return out
+}
+
+// OptValue is one saved socket option.
+type OptValue struct {
+	Opt Opt
+	Val int64
+}
+
+// Bind assigns the local port (the IP is always the stack's virtual IP).
+// Port 0 allocates an ephemeral port.
+func (s *Socket) Bind(port Port) error {
+	if s.state != StateClosed {
+		return ErrBadState
+	}
+	if port == 0 {
+		port = s.stack.allocEphemeral(s.proto)
+	} else if _, ok := s.stack.bound[boundKey{s.proto, port}]; ok {
+		return ErrAddrInUse
+	}
+	s.local = Addr{s.stack.ip, port}
+	s.stack.bound[boundKey{s.proto, port}] = s
+	s.state = StateBound
+	return nil
+}
+
+// Listen marks a bound TCP socket as accepting connections.
+func (s *Socket) Listen(backlog int) error {
+	if s.proto != TCP {
+		return ErrBadState
+	}
+	if s.state == StateClosed {
+		if err := s.Bind(0); err != nil {
+			return err
+		}
+	}
+	if s.state != StateBound {
+		return ErrBadState
+	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	s.listenerMax = backlog
+	s.state = StateListening
+	return nil
+}
+
+// purgeDeadAccepts drops children that were torn down (e.g. by an RST)
+// while waiting in the accept queue.
+func (s *Socket) purgeDeadAccepts() {
+	live := s.acceptQ[:0]
+	for _, c := range s.acceptQ {
+		if c.state != StateClosed {
+			live = append(live, c)
+		}
+	}
+	s.acceptQ = live
+}
+
+// Accept dequeues an established connection from a listening socket,
+// returning ErrWouldBlock when none is pending.
+func (s *Socket) Accept() (*Socket, error) {
+	if s.state != StateListening {
+		return nil, ErrNotListening
+	}
+	s.purgeDeadAccepts()
+	if len(s.acceptQ) == 0 {
+		return nil, ErrWouldBlock
+	}
+	c := s.acceptQ[0]
+	s.acceptQ = s.acceptQ[1:]
+	return c, nil
+}
+
+// AcceptPending reports the number of queued, not-yet-accepted
+// connections.
+func (s *Socket) AcceptPending() int {
+	s.purgeDeadAccepts()
+	return len(s.acceptQ)
+}
+
+// Recv reads up to n bytes through the socket's dispatch vector. peek
+// examines without consuming (MSG_PEEK); oob reads the out-of-band queue
+// (MSG_OOB).
+func (s *Socket) Recv(n int, peek, oob bool) ([]byte, error) {
+	return s.ops.Recvmsg(s, n, peek, oob)
+}
+
+// Poll reports readiness through the dispatch vector.
+func (s *Socket) Poll() PollMask { return s.ops.Poll(s) }
+
+// Close releases the socket through the dispatch vector.
+func (s *Socket) Close() {
+	s.ops.Release(s)
+}
+
+// RecvFrom dequeues one datagram (UDP/RAW sockets).
+func (s *Socket) RecvFrom(peek bool) (Datagram, error) {
+	if s.proto == TCP {
+		return Datagram{}, ErrBadState
+	}
+	if len(s.dgrams) == 0 {
+		if s.closed {
+			return Datagram{}, ErrClosed
+		}
+		return Datagram{}, ErrWouldBlock
+	}
+	d := s.dgrams[0]
+	if peek {
+		s.peeked = true
+		return d, nil
+	}
+	s.dgrams = s.dgrams[1:]
+	s.dgramBytes -= len(d.Data)
+	if len(s.dgrams) == 0 {
+		s.peeked = false
+	}
+	return d, nil
+}
+
+// baseOps is the default kernel dispatch vector.
+type baseOps struct{}
+
+func (baseOps) Recvmsg(s *Socket, n int, peek, oob bool) ([]byte, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if oob {
+		if len(s.oobQ) == 0 {
+			return nil, ErrWouldBlock
+		}
+		if n > len(s.oobQ) {
+			n = len(s.oobQ)
+		}
+		out := append([]byte(nil), s.oobQ[:n]...)
+		if !peek {
+			s.oobQ = s.oobQ[n:]
+		} else {
+			s.peeked = true
+		}
+		return out, nil
+	}
+	if s.proto != TCP {
+		d, err := s.RecvFrom(peek)
+		if err != nil {
+			return nil, err
+		}
+		if n < len(d.Data) && !peek {
+			// Datagram semantics: excess is discarded.
+			return append([]byte(nil), d.Data[:n]...), nil
+		}
+		if n > len(d.Data) {
+			n = len(d.Data)
+		}
+		return append([]byte(nil), d.Data[:n]...), nil
+	}
+	if s.shutRead {
+		return nil, ErrEOF
+	}
+	if len(s.recvQ) == 0 {
+		if s.sockErr != nil {
+			return nil, s.sockErr
+		}
+		if s.peerClosed && len(s.backlogQ) == 0 {
+			return nil, ErrEOF
+		}
+		if s.state != StateEstablished {
+			return nil, ErrNotConnected
+		}
+		return nil, ErrWouldBlock
+	}
+	if n > len(s.recvQ) {
+		n = len(s.recvQ)
+	}
+	out := append([]byte(nil), s.recvQ[:n]...)
+	if peek {
+		s.peeked = true
+		return out, nil
+	}
+	s.recvQ = s.recvQ[n:]
+	if len(s.recvQ) == 0 {
+		s.peeked = false
+	}
+	return out, nil
+}
+
+func (baseOps) Poll(s *Socket) PollMask {
+	var m PollMask
+	if s.sockErr != nil {
+		m |= PollErr
+	}
+	switch {
+	case s.state == StateListening:
+		if len(s.acceptQ) > 0 {
+			m |= PollIn
+		}
+	case s.proto == TCP:
+		if len(s.recvQ) > 0 || (s.peerClosed && len(s.backlogQ) == 0) {
+			m |= PollIn
+		}
+		if s.state == StateEstablished && !s.shutWrite && s.sendSpace() > 0 {
+			m |= PollOut
+		}
+	default:
+		if len(s.dgrams) > 0 {
+			m |= PollIn
+		}
+		m |= PollOut
+	}
+	if len(s.oobQ) > 0 {
+		m |= PollPRI
+	}
+	if s.peerClosed {
+		m |= PollHUP
+	}
+	return m
+}
+
+func (baseOps) Release(s *Socket) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.shutRead = true
+	switch {
+	case s.state == StateListening:
+		for _, c := range s.acceptQ {
+			c.reset(ErrConnReset)
+		}
+		s.acceptQ = nil
+		s.deregister()
+	case s.proto == TCP && s.state == StateEstablished:
+		if len(s.recvQ) > 0 || len(s.backlogQ) > 0 {
+			// Unread data at close: abort the connection, as TCP does.
+			s.sendRST()
+			s.teardown(nil)
+			return
+		}
+		s.recvQ = nil // data arriving from here on is discarded
+		s.shutdownWrite()
+		s.maybeReap()
+	case s.proto == TCP && s.state == StateConnecting:
+		s.stack.net.w.Cancel(s.synTimer)
+		s.teardown(nil)
+	default:
+		s.deregister()
+	}
+}
+
+// debugTeardown, when set by tests, traces connection teardowns.
+var debugTeardown func(*Socket, error)
+
+// deregister removes the socket from all stack tables.
+func (s *Socket) deregister() {
+	st := s.stack
+	if s.local.Port != 0 {
+		if st.bound[boundKey{s.proto, s.local.Port}] == s {
+			delete(st.bound, boundKey{s.proto, s.local.Port})
+		}
+	}
+	if !s.remote.IsZero() {
+		k := connKey{s.proto, s.local.Port, s.remote}
+		if st.conns[k] == s {
+			delete(st.conns, k)
+		}
+	}
+	s.removeRaw()
+	st.removeSocket(s)
+	s.state = StateClosed
+}
+
+// maybeReap deregisters a closed TCP socket once its FIN has been
+// acknowledged and the peer has closed too (no TIME_WAIT in the model).
+func (s *Socket) maybeReap() {
+	if s.closed && s.finSent && s.finAcked && s.peerClosed {
+		s.teardown(nil)
+	}
+}
+
+func (s *Socket) teardown(err error) {
+	if debugTeardown != nil {
+		debugTeardown(s, err)
+	}
+	if err != nil && s.sockErr == nil {
+		s.sockErr = err
+	}
+	s.stack.net.w.Cancel(s.rtoTimer)
+	s.rtoArmed = false
+	s.stack.net.w.Cancel(s.synTimer)
+	s.stack.net.w.Cancel(s.kaTimer)
+	s.kaArmed = false
+	s.deregister()
+	s.notify()
+}
+
+func (s *Socket) reset(err error) {
+	s.teardown(err)
+}
+
+// sendSpace reports how many more sequence units the send queue accepts.
+func (s *Socket) sendSpace() int {
+	queued := uint64(0)
+	for _, c := range s.sendQ {
+		queued += c.SeqLen()
+	}
+	sp := s.opts[SO_SNDBUF] - int64(queued)
+	if sp < 0 {
+		return 0
+	}
+	return int(sp)
+}
+
+// RecvQueueLen reports bytes in the (processed) receive queue.
+func (s *Socket) RecvQueueLen() int { return len(s.recvQ) }
+
+// BacklogLen reports bytes sitting in the kernel backlog queue.
+func (s *Socket) BacklogLen() int {
+	n := 0
+	for _, b := range s.backlogQ {
+		n += len(b)
+	}
+	return n
+}
+
+// OOBLen reports bytes in the out-of-band queue.
+func (s *Socket) OOBLen() int { return len(s.oobQ) }
+
+// AltQueueLen reports bytes remaining in the alternate receive queue.
+func (s *Socket) AltQueueLen() int { return len(s.altQ) }
+
+// SendQueueSeqLen reports the sequence-unit length of the send queue.
+func (s *Socket) SendQueueSeqLen() uint64 {
+	n := uint64(0)
+	for _, c := range s.sendQ {
+		n += c.SeqLen()
+	}
+	return n
+}
+
+// PCBSnapshot returns the protocol control block. Reading it is the
+// "trivial per-implementation adjustment" the paper concedes to
+// portability.
+func (s *Socket) PCBSnapshot() PCB { return s.pcb }
+
+// Peeked reports whether queued data has been examined with MSG_PEEK
+// (which obliges even unreliable-protocol checkpoints to preserve it).
+func (s *Socket) Peeked() bool { return s.peeked }
+
+// DatagramQueue returns the queued datagrams (checkpoint read).
+func (s *Socket) DatagramQueue() []Datagram {
+	out := make([]Datagram, len(s.dgrams))
+	copy(out, s.dgrams)
+	return out
+}
+
+// LoadDatagrams replaces the datagram queue (restart).
+func (s *Socket) LoadDatagrams(ds []Datagram) {
+	s.dgrams = append([]Datagram(nil), ds...)
+	s.dgramBytes = 0
+	for _, d := range ds {
+		s.dgramBytes += len(d.Data)
+	}
+	if len(ds) > 0 {
+		s.notify()
+	}
+}

@@ -1,0 +1,462 @@
+package netstack
+
+import (
+	"zapc/internal/sim"
+)
+
+// Timing constants of the TCP-like transport.
+const (
+	rtoInterval   = 200 * sim.Millisecond // retransmission timeout
+	synRetryEvery = 500 * sim.Millisecond
+	synMaxTries   = 12
+	backlogDelay  = 20 * sim.Microsecond // kernel softirq: backlog -> recvQ
+)
+
+// Connect initiates a connection. For TCP the handshake completes
+// asynchronously: the socket enters StateConnecting and becomes
+// established (or errors) via the notify callback / Poll. For UDP it
+// simply fixes the default destination.
+func (s *Socket) Connect(remote Addr) error {
+	switch s.proto {
+	case UDP:
+		if s.state == StateClosed {
+			if err := s.Bind(0); err != nil {
+				return err
+			}
+		}
+		s.remote = remote
+		s.state = StateEstablished
+		return nil
+	case TCP:
+	default:
+		return ErrBadState
+	}
+	if s.state == StateClosed {
+		if err := s.Bind(0); err != nil {
+			return err
+		}
+	}
+	if s.state != StateBound {
+		return ErrBadState
+	}
+	k := connKey{TCP, s.local.Port, remote}
+	if _, ok := s.stack.conns[k]; ok {
+		return ErrAddrInUse
+	}
+	s.remote = remote
+	s.state = StateConnecting
+	s.stack.conns[k] = s
+	s.sendSYN()
+	return nil
+}
+
+func (s *Socket) sendSYN() {
+	s.stack.net.send(s.stack, &packet{
+		kind: pktSYN, proto: TCP, src: s.local, dst: s.remote,
+	})
+	s.synTries++
+	if s.synTries >= synMaxTries {
+		s.synTimer = s.stack.net.w.After(synRetryEvery, func() {
+			if s.state == StateConnecting {
+				s.teardown(ErrConnRefused)
+			}
+		})
+		return
+	}
+	s.synTimer = s.stack.net.w.After(synRetryEvery, func() {
+		if s.state == StateConnecting {
+			s.sendSYN()
+		}
+	})
+}
+
+// Send queues stream data for reliable delivery. oob routes the bytes to
+// the peer's out-of-band queue (TCP urgent data). It returns the number
+// of bytes accepted; zero with ErrWouldBlock when the send buffer is
+// full.
+func (s *Socket) Send(p []byte, oob bool) (int, error) {
+	if s.proto != TCP {
+		return s.sendDatagram(p)
+	}
+	switch s.state {
+	case StateEstablished:
+	case StateConnecting:
+		return 0, ErrWouldBlock
+	default:
+		return 0, ErrNotConnected
+	}
+	if s.shutWrite || s.finSent {
+		return 0, ErrShutdown
+	}
+	if s.sockErr != nil {
+		return 0, s.sockErr
+	}
+	space := s.sendSpace()
+	if space == 0 {
+		return 0, ErrWouldBlock
+	}
+	n := len(p)
+	if n > space {
+		n = space
+	}
+	for off := 0; off < n; off += MSS {
+		end := off + MSS
+		if end > n {
+			end = n
+		}
+		s.sendQ = append(s.sendQ, Chunk{Data: append([]byte(nil), p[off:end]...), OOB: oob})
+	}
+	s.pump()
+	return n, nil
+}
+
+// Shutdown closes the write side (write=true) and/or read side of the
+// connection, sending a FIN as TCP's shutdown(2) does.
+func (s *Socket) Shutdown(read, write bool) error {
+	if s.proto != TCP {
+		if read {
+			s.shutRead = true
+		}
+		if write {
+			s.shutWrite = true
+		}
+		return nil
+	}
+	if s.state != StateEstablished && s.state != StateConnecting {
+		return ErrNotConnected
+	}
+	if read {
+		s.shutRead = true
+		s.recvQ = nil
+		s.backlogQ = nil
+	}
+	if write {
+		s.shutdownWrite()
+	}
+	s.notify()
+	return nil
+}
+
+func (s *Socket) shutdownWrite() {
+	if s.shutWrite {
+		return
+	}
+	s.shutWrite = true
+	s.sendQ = append(s.sendQ, Chunk{FIN: true})
+	s.pump()
+}
+
+// pump transmits every queued, not-yet-sent chunk. The model transmits
+// eagerly (the send buffer bounds total queued data), so the send queue
+// holds exactly the unacknowledged window [SndUna, SndNxt) plus any FIN,
+// matching the invariant the paper's Figure 4 relies on.
+func (s *Socket) pump() {
+	for s.nextSend < len(s.sendQ) {
+		c := s.sendQ[s.nextSend]
+		s.transmitChunk(c, s.pcb.SndNxt)
+		s.pcb.SndNxt += c.SeqLen()
+		s.nextSend++
+	}
+	s.armRTO()
+}
+
+func (s *Socket) transmitChunk(c Chunk, seq uint64) {
+	s.stack.net.send(s.stack, &packet{
+		kind: pktData, proto: TCP, src: s.local, dst: s.remote,
+		seq: seq, ack: s.pcb.RcvNxt, data: c.Data, oob: c.OOB, fin: c.FIN,
+	})
+	if c.FIN {
+		s.finSent = true
+	}
+}
+
+func (s *Socket) armRTO() {
+	if s.rtoArmed || s.pcb.SndUna == s.pcb.SndNxt {
+		return
+	}
+	s.rtoArmed = true
+	s.rtoTimer = s.stack.net.w.After(rtoInterval, s.rtoFire)
+}
+
+func (s *Socket) rtoFire() {
+	s.rtoArmed = false
+	if s.pcb.SndUna == s.pcb.SndNxt || s.state != StateEstablished {
+		return
+	}
+	// Go-back-N: retransmit every sent-but-unacked chunk.
+	seq := s.pcb.SndUna
+	for i := 0; i < s.nextSend && i < len(s.sendQ); i++ {
+		c := s.sendQ[i]
+		s.transmitChunk(c, seq)
+		seq += c.SeqLen()
+	}
+	s.armRTO()
+}
+
+// handleSYN runs on a listening socket.
+func (s *Socket) handleSYN(p *packet) {
+	// Duplicate SYN for an already-accepted connection: resend SYNACK.
+	if child, ok := s.stack.conns[connKey{TCP, p.dst.Port, p.src}]; ok {
+		child.sendSYNACK()
+		return
+	}
+	s.purgeDeadAccepts()
+	if len(s.acceptQ) >= s.listenerMax {
+		return // silently drop; connector retries
+	}
+	child := s.stack.Socket(TCP)
+	child.local = Addr{s.stack.ip, s.local.Port} // inherits the listening port
+	child.remote = p.src
+	child.state = StateEstablished
+	s.stack.conns[connKey{TCP, child.local.Port, child.remote}] = child
+	s.acceptQ = append(s.acceptQ, child)
+	child.sendSYNACK()
+	s.notify()
+}
+
+func (s *Socket) sendSYNACK() {
+	s.stack.net.send(s.stack, &packet{
+		kind: pktSYNACK, proto: TCP, src: s.local, dst: s.remote,
+	})
+}
+
+func (s *Socket) sendRST() {
+	s.stack.net.send(s.stack, &packet{
+		kind: pktRST, proto: TCP, src: s.local, dst: s.remote,
+	})
+}
+
+func (s *Socket) sendAck() {
+	s.stack.net.send(s.stack, &packet{
+		kind: pktAck, proto: TCP, src: s.local, dst: s.remote, ack: s.pcb.RcvNxt,
+	})
+}
+
+// keepaliveDefault is the probe interval when TCP_KEEPALIVE is unset
+// (Linux's 7200 s scaled to the simulation's compressed runtimes).
+const keepaliveDefault = 30 * sim.Second
+
+// armKeepalive starts the keep-alive probe timer when the option is on.
+func (s *Socket) armKeepalive() {
+	if s.kaArmed || s.opts[SO_KEEPALIVE] == 0 || s.state != StateEstablished {
+		return
+	}
+	s.kaArmed = true
+	s.kaTimer = s.stack.net.w.After(s.kaInterval(), s.kaFire)
+}
+
+func (s *Socket) kaInterval() sim.Duration {
+	if ms := s.opts[TCP_KEEPALIVE]; ms > 0 {
+		return sim.Duration(ms) * sim.Millisecond
+	}
+	return keepaliveDefault
+}
+
+func (s *Socket) kaFire() {
+	s.kaArmed = false
+	if s.state != StateEstablished || s.opts[SO_KEEPALIVE] == 0 {
+		return
+	}
+	idle := s.stack.net.w.Now() - s.lastRecv
+	if idle < sim.Time(s.kaInterval()) {
+		s.kaMissed = 0
+		s.armKeepalive()
+		return
+	}
+	s.kaMissed++
+	if s.kaMissed > 3 {
+		// Peer unresponsive: the timer "detects broken connections".
+		s.teardown(ErrConnReset)
+		return
+	}
+	s.stack.net.send(s.stack, &packet{
+		kind: pktKeepalive, proto: TCP, src: s.local, dst: s.remote,
+	})
+	s.armKeepalive()
+}
+
+// tcpReceive handles a packet demultiplexed to this connection.
+func (s *Socket) tcpReceive(p *packet) {
+	s.lastRecv = s.stack.net.w.Now()
+	s.kaMissed = 0
+	switch p.kind {
+	case pktSYN:
+		// Duplicate SYN: our SYNACK was lost (or the peer re-issued its
+		// connect after timing out). Re-acknowledge the handshake.
+		if s.state == StateEstablished {
+			s.sendSYNACK()
+		}
+	case pktSYNACK:
+		if s.state == StateConnecting {
+			s.stack.net.w.Cancel(s.synTimer)
+			s.state = StateEstablished
+			s.sendAck()
+			s.notify()
+			s.pump()
+		}
+	case pktRST:
+		if s.state == StateConnecting {
+			s.teardown(ErrConnRefused)
+		} else {
+			s.teardown(ErrConnReset)
+		}
+	case pktAck:
+		s.handleAck(p.ack)
+	case pktKeepalive:
+		s.sendAck() // liveness answer
+	case pktData:
+		s.handleData(p)
+		s.handleAck(p.ack)
+	}
+}
+
+func (s *Socket) handleAck(ack uint64) {
+	if ack <= s.pcb.SndUna {
+		return
+	}
+	advance := ack - s.pcb.SndUna
+	s.pcb.SndUna = ack
+	// Trim acknowledged chunks; acks land on chunk boundaries because
+	// delivery and cumulative acknowledgment are whole-segment.
+	for advance > 0 && len(s.sendQ) > 0 {
+		c := s.sendQ[0]
+		l := c.SeqLen()
+		if l > advance {
+			// Partial ack inside a chunk (possible after a restart
+			// reloaded coarser chunks): split it.
+			s.sendQ[0].Data = c.Data[advance:]
+			advance = 0
+			break
+		}
+		advance -= l
+		if c.FIN {
+			s.finAcked = true
+		}
+		s.sendQ = s.sendQ[1:]
+		s.nextSend--
+		if s.nextSend < 0 {
+			s.nextSend = 0
+		}
+	}
+	s.stack.net.w.Cancel(s.rtoTimer)
+	s.rtoArmed = false
+	s.armRTO()
+	s.maybeReap()
+	s.notify()
+}
+
+func (s *Socket) handleData(p *packet) {
+	seqLen := uint64(len(p.data))
+	if p.fin {
+		seqLen = 1
+	}
+	if seqLen == 0 {
+		return
+	}
+	switch {
+	case p.seq == s.pcb.RcvNxt:
+		if !s.acceptSegment(p) {
+			return // receive buffer full: drop, no ack, sender retries
+		}
+		// Drain any out-of-order segments now contiguous.
+		for {
+			next, ok := s.ooseg[s.pcb.RcvNxt]
+			if !ok {
+				break
+			}
+			delete(s.ooseg, next.seq)
+			if !s.acceptSegment(next) {
+				s.ooseg[next.seq] = next
+				break
+			}
+		}
+		s.sendAck()
+	case p.seq > s.pcb.RcvNxt:
+		if _, dup := s.ooseg[p.seq]; !dup {
+			s.ooseg[p.seq] = p
+		}
+		s.sendAck() // duplicate ack signals the gap
+	default:
+		s.sendAck() // stale retransmission
+	}
+}
+
+// acceptSegment integrates an in-sequence segment, returning false if the
+// receive buffer cannot hold it.
+func (s *Socket) acceptSegment(p *packet) bool {
+	switch {
+	case p.fin:
+		s.pcb.RcvNxt++
+		s.peerClosed = true
+		s.maybeReap()
+		s.notify()
+	case p.oob:
+		if s.opts[SO_OOBINLINE] != 0 {
+			// SO_OOBINLINE: urgent data is delivered in the normal
+			// stream instead of the out-of-band queue.
+			s.pcb.RcvNxt += uint64(len(p.data))
+			s.backlogQ = append(s.backlogQ, append([]byte(nil), p.data...))
+			s.stack.net.w.After(backlogDelay, s.processBacklog)
+			return true
+		}
+		s.oobQ = append(s.oobQ, p.data...)
+		s.pcb.RcvNxt += uint64(len(p.data))
+		s.notify()
+	default:
+		if s.shutRead || s.closed {
+			// Data after read shutdown is discarded but still acked.
+			s.pcb.RcvNxt += uint64(len(p.data))
+			return true
+		}
+		if int64(len(s.recvQ)+s.BacklogLen()+len(p.data)) > s.opts[SO_RCVBUF] {
+			return false
+		}
+		s.pcb.RcvNxt += uint64(len(p.data))
+		s.backlogQ = append(s.backlogQ, append([]byte(nil), p.data...))
+		s.stack.net.w.After(backlogDelay, s.processBacklog)
+	}
+	return true
+}
+
+// processBacklog is the deferred kernel step that moves backlog data into
+// the receive queue where recvmsg can see it.
+func (s *Socket) processBacklog() {
+	if len(s.backlogQ) == 0 {
+		return
+	}
+	for _, b := range s.backlogQ {
+		s.recvQ = append(s.recvQ, b...)
+	}
+	s.backlogQ = nil
+	s.notify()
+}
+
+// stack-side demultiplexing
+
+func (st *Stack) receive(p *packet) {
+	switch p.proto {
+	case TCP:
+		st.receiveTCP(p)
+	case UDP:
+		st.receiveUDP(p)
+	case RAW:
+		st.receiveRaw(p)
+	}
+}
+
+func (st *Stack) receiveTCP(p *packet) {
+	if s, ok := st.conns[connKey{TCP, p.dst.Port, p.src}]; ok {
+		s.tcpReceive(p)
+		return
+	}
+	if p.kind == pktSYN {
+		if l, ok := st.bound[boundKey{TCP, p.dst.Port}]; ok && l.state == StateListening {
+			l.handleSYN(p)
+			return
+		}
+	}
+	if p.kind != pktRST {
+		// No socket: refuse.
+		st.net.send(st, &packet{kind: pktRST, proto: TCP, src: p.dst, dst: p.src})
+	}
+}

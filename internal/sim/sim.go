@@ -1,0 +1,317 @@
+// Package sim provides the discrete-event simulation kernel underneath the
+// ZapC reproduction: a virtual clock, a deterministic event queue, a seeded
+// random source, and the calibrated hardware cost model used to convert
+// byte counts and message exchanges into simulated durations.
+//
+// Everything in the virtual cluster — CPU scheduling, packet delivery,
+// checkpoint writes — advances by scheduling events on a single World. The
+// simulation is fully deterministic for a given seed and event program,
+// which is what makes distributed checkpoint/restart testable: a run that
+// is checkpointed and restarted must produce output identical to an
+// uninterrupted run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since world creation.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Handy duration units (nanosecond-based, mirroring package time).
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Std converts a simulated duration to a time.Duration for printing.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// String formats a simulated timestamp like a duration since t=0.
+func (t Time) String() string { return time.Duration(t).String() }
+
+type event struct {
+	when Time
+	seq  uint64 // tie-break so simultaneous events run in schedule order
+	fn   func()
+	idx  int
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// EventID identifies a scheduled event so it can be cancelled (for example
+// a retransmission timer that is disarmed by an arriving ACK).
+type EventID struct{ ev *event }
+
+// World is a discrete-event simulation. Create one with NewWorld. A World
+// is not safe for concurrent use: all activity happens inside event
+// callbacks run by Run/Step on a single goroutine.
+type World struct {
+	now Time
+	pq  eventHeap
+	seq uint64
+	rng *rand.Rand
+
+	// Costs is the hardware cost model used by the rest of the system.
+	Costs Costs
+}
+
+// NewWorld returns a world at time zero with the given deterministic seed
+// and the default 2005-era cost model.
+func NewWorld(seed int64) *World {
+	return &World{rng: rand.New(rand.NewSource(seed)), Costs: DefaultCosts()}
+}
+
+// Now returns the current simulated time.
+func (w *World) Now() Time { return w.now }
+
+// Rand returns the world's deterministic random source.
+func (w *World) Rand() *rand.Rand { return w.rng }
+
+// After schedules fn to run d from now. Negative delays run "now" (but
+// still via the queue, preserving run-to-completion semantics).
+func (w *World) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	ev := &event{when: w.now + Time(d), seq: w.seq, fn: fn}
+	w.seq++
+	heap.Push(&w.pq, ev)
+	return EventID{ev: ev}
+}
+
+// At schedules fn at absolute time t (clamped to now).
+func (w *World) At(t Time, fn func()) EventID {
+	if t < w.now {
+		t = w.now
+	}
+	return w.After(Duration(t-w.now), fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (w *World) Cancel(id EventID) {
+	if id.ev == nil || id.ev.dead {
+		return
+	}
+	id.ev.dead = true
+}
+
+// Step runs the next pending event, advancing the clock. It reports false
+// when the queue is empty.
+func (w *World) Step() bool {
+	for len(w.pq) > 0 {
+		ev := heap.Pop(&w.pq).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.when > w.now {
+			w.now = ev.when
+		}
+		ev.dead = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (w *World) Run() {
+	for w.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the clock
+// to deadline if it has not yet passed it.
+func (w *World) RunUntil(deadline Time) {
+	for len(w.pq) > 0 {
+		// Find the next live event without firing dead ones.
+		ev := w.pq[0]
+		if ev.dead {
+			heap.Pop(&w.pq)
+			continue
+		}
+		if ev.when > deadline {
+			break
+		}
+		w.Step()
+	}
+	if w.now < deadline {
+		w.now = deadline
+	}
+}
+
+// RunWhile executes events while cond() holds and events remain.
+func (w *World) RunWhile(cond func() bool) {
+	for cond() && w.Step() {
+	}
+}
+
+// Pending reports the number of live scheduled events.
+func (w *World) Pending() int {
+	n := 0
+	for _, ev := range w.pq {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Jitter returns d scaled by a uniform factor in [1-frac, 1+frac], using
+// the world's deterministic randomness. It is used to model run-to-run
+// variation in checkpoint times (the paper reports 10-60% stddev).
+func (w *World) Jitter(d Duration, frac float64) Duration {
+	if frac <= 0 {
+		return d
+	}
+	f := 1 + frac*(2*w.rng.Float64()-1)
+	return Duration(float64(d) * f)
+}
+
+// Costs is the calibrated hardware cost model. The defaults approximate the
+// paper's testbed: an IBM HS20 BladeCenter with dual 3.06 GHz Xeons,
+// Gigabit Ethernet, and a Fibre Channel SAN (2005-era parts). All
+// conversions from work to simulated time flow through this struct so that
+// experiments can perturb a single knob.
+type Costs struct {
+	// MemBandwidth is the rate at which a checkpoint image is written to
+	// (or serialized from) memory, bytes per second.
+	MemBandwidth float64
+	// RestoreBandwidth is the rate at which an image is reinstated into a
+	// fresh pod. Restores run slower than saves (allocation, page faults).
+	RestoreBandwidth float64
+	// DiskBandwidth models the shared SAN, bytes/second (used only when a
+	// checkpoint is flushed to storage, which the paper excludes from the
+	// reported checkpoint time).
+	DiskBandwidth float64
+	// NetLatency is the one-way wire+switch latency of a LAN hop.
+	NetLatency Duration
+	// NetBandwidth is the link rate in bytes/second (GbE ~ 125 MB/s).
+	NetBandwidth float64
+	// CtrlLatency is the one-way latency of a Manager<->Agent control
+	// message (TCP over the same LAN, including protocol stack overhead).
+	CtrlLatency Duration
+	// Syscall is the cost of one virtualized system call.
+	Syscall Duration
+	// SignalDeliver is the cost of delivering one signal to one process.
+	SignalDeliver Duration
+	// FilterRule is the cost of installing/removing one netfilter rule.
+	FilterRule Duration
+	// SockOptRead is the cost of one getsockopt/setsockopt round.
+	SockOptRead Duration
+	// ConnSetup is the agent-side cost of re-establishing one connection
+	// during restart (socket creation, schedule bookkeeping, kernel
+	// connect/accept), excluding the network RTT which the simulation
+	// pays for real.
+	ConnSetup Duration
+	// ProcCreate is the cost of creating one process in a fresh pod during
+	// restart (fork+exec-equivalent plus namespace wiring).
+	ProcCreate Duration
+	// PodCreate is the cost of instantiating an empty pod (namespace,
+	// filesystem view).
+	PodCreate Duration
+	// CheckpointFixed is per-agent fixed overhead of a checkpoint
+	// (quiescing the pod, walking kernel tables, writing headers).
+	CheckpointFixed Duration
+	// RestartFixed is the per-agent fixed overhead of a restart.
+	RestartFixed Duration
+	// ImageCostScale multiplies checkpoint-image byte counts before they
+	// are converted to time or wire transfer. Experiments that shrink
+	// application memory by a Scale factor set this to 1/Scale so the
+	// simulated times reflect paper-scale images while the host only
+	// copies the scaled-down bytes.
+	ImageCostScale float64
+}
+
+// EffImageBytes applies ImageCostScale to an image byte count.
+func (c Costs) EffImageBytes(b int64) int64 {
+	if c.ImageCostScale <= 0 {
+		return b
+	}
+	return int64(float64(b) * c.ImageCostScale)
+}
+
+// DefaultCosts returns the calibrated 2005-era model.
+func DefaultCosts() Costs {
+	return Costs{
+		MemBandwidth:     1.6e9, // ~1.6 GB/s memcpy on 2005 Xeon
+		RestoreBandwidth: 0.9e9, // restores fault pages in
+		DiskBandwidth:    150e6, // FC SAN
+		NetLatency:       60 * Microsecond,
+		NetBandwidth:     125e6, // GbE
+		CtrlLatency:      150 * Microsecond,
+		Syscall:          2 * Microsecond,
+		SignalDeliver:    4 * Microsecond,
+		FilterRule:       8 * Microsecond,
+		SockOptRead:      2 * Microsecond,
+		ConnSetup:        2 * Millisecond,
+		ProcCreate:       900 * Microsecond,
+		PodCreate:        6 * Millisecond,
+		CheckpointFixed:  80 * Millisecond,
+		RestartFixed:     180 * Millisecond,
+	}
+}
+
+// MemCopyTime converts a byte count into simulated serialization time.
+func (c Costs) MemCopyTime(bytes int64) Duration {
+	return Duration(float64(bytes) / c.MemBandwidth * 1e9)
+}
+
+// RestoreTime converts a byte count into simulated restore time.
+func (c Costs) RestoreTime(bytes int64) Duration {
+	return Duration(float64(bytes) / c.RestoreBandwidth * 1e9)
+}
+
+// NetTransferTime is the serialization (bandwidth) component of sending n
+// bytes on a LAN link, excluding propagation latency.
+func (c Costs) NetTransferTime(bytes int64) Duration {
+	return Duration(float64(bytes) / c.NetBandwidth * 1e9)
+}
+
+// DiskTime converts a byte count into simulated SAN write time.
+func (c Costs) DiskTime(bytes int64) Duration {
+	return Duration(float64(bytes) / c.DiskBandwidth * 1e9)
+}
+
+func (c Costs) String() string {
+	return fmt.Sprintf("Costs{mem=%.1fGB/s net=%.0fMB/s lat=%v}",
+		c.MemBandwidth/1e9, c.NetBandwidth/1e6, c.NetLatency)
+}

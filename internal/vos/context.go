@@ -1,0 +1,305 @@
+package vos
+
+import (
+	"errors"
+	"math/rand"
+
+	"zapc/internal/netstack"
+	"zapc/internal/sim"
+)
+
+// Syscall errors.
+var (
+	ErrBadFD = errors.New("vos: bad file descriptor")
+)
+
+// Context is the system-call interface handed to a Program's Step. Every
+// call is routed through the process's pod environment — identifier
+// translation, time virtualization, and the thin interposition layer —
+// and charged to the step's simulated cost.
+type Context struct {
+	proc  *Process
+	node  *Node
+	extra sim.Duration
+}
+
+// Proc returns the calling process (for memory-region manipulation).
+func (c *Context) Proc() *Process { return c.proc }
+
+func (c *Context) charge() {
+	costs := c.node.w.Costs
+	c.extra += costs.Syscall
+	if c.proc.Env.Virtualized {
+		c.extra += c.proc.Env.VirtOverhead
+	}
+}
+
+// Now returns the current time as seen by the application: the real
+// clock plus the pod's time bias, so that time appears continuous across
+// a checkpoint/restart gap.
+func (c *Context) Now() sim.Time {
+	c.charge()
+	return c.node.w.Now() + sim.Time(c.proc.Env.TimeBias)
+}
+
+// PID returns the process identifier the application sees: the stable
+// virtual PID inside a pod, the real PID outside.
+func (c *Context) PID() PID {
+	c.charge()
+	if c.proc.Env.Virtualized {
+		return c.proc.VPID
+	}
+	return c.proc.RPID
+}
+
+// Rand returns the world's deterministic random source.
+func (c *Context) Rand() *rand.Rand { return c.node.w.Rand() }
+
+// LocalIP returns the pod's virtual IP address.
+func (c *Context) LocalIP() netstack.IP { return c.proc.Env.Stack.IPAddr() }
+
+func (c *Context) sock(fd int) (*netstack.Socket, error) {
+	s, ok := c.proc.fds[fd]
+	if !ok {
+		return nil, ErrBadFD
+	}
+	return s, nil
+}
+
+// Socket creates a socket of the given protocol and returns its
+// descriptor.
+func (c *Context) Socket(proto netstack.Proto) int {
+	c.charge()
+	s := c.proc.Env.Stack.Socket(proto)
+	fd := c.proc.nextFD
+	c.proc.nextFD++
+	c.proc.fds[fd] = s
+	return fd
+}
+
+// Bind binds a socket to a local port (0 allocates an ephemeral port).
+func (c *Context) Bind(fd int, port netstack.Port) error {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return err
+	}
+	return s.Bind(port)
+}
+
+// BindRaw binds a RAW socket to an IP protocol number.
+func (c *Context) BindRaw(fd, ipProto int) error {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return err
+	}
+	return s.BindRaw(ipProto)
+}
+
+// Listen marks a TCP socket as accepting connections.
+func (c *Context) Listen(fd, backlog int) error {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return err
+	}
+	return s.Listen(backlog)
+}
+
+// Connect initiates a connection; completion is observed via Poll or a
+// blocked wait on PollOut.
+func (c *Context) Connect(fd int, to netstack.Addr) error {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return err
+	}
+	return s.Connect(to)
+}
+
+// Accept dequeues an established connection, returning its new
+// descriptor, or ErrWouldBlock.
+func (c *Context) Accept(fd int) (int, error) {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return -1, err
+	}
+	child, err := s.Accept()
+	if err != nil {
+		return -1, err
+	}
+	nfd := c.proc.nextFD
+	c.proc.nextFD++
+	c.proc.fds[nfd] = child
+	return nfd, nil
+}
+
+// Send writes stream data (oob = TCP urgent data).
+func (c *Context) Send(fd int, data []byte, oob bool) (int, error) {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return 0, err
+	}
+	return s.Send(data, oob)
+}
+
+// SendTo transmits one datagram.
+func (c *Context) SendTo(fd int, data []byte, to netstack.Addr) (int, error) {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return 0, err
+	}
+	return s.SendTo(data, to)
+}
+
+// SendRaw transmits one raw IP packet.
+func (c *Context) SendRaw(fd int, dst netstack.IP, data []byte) (int, error) {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return 0, err
+	}
+	return s.SendRaw(dst, data)
+}
+
+// Recv reads up to n bytes (peek = MSG_PEEK, oob = MSG_OOB).
+func (c *Context) Recv(fd, n int, peek, oob bool) ([]byte, error) {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return nil, err
+	}
+	return s.Recv(n, peek, oob)
+}
+
+// RecvFrom dequeues one datagram.
+func (c *Context) RecvFrom(fd int, peek bool) (netstack.Datagram, error) {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return netstack.Datagram{}, err
+	}
+	return s.RecvFrom(peek)
+}
+
+// Poll reports socket readiness.
+func (c *Context) Poll(fd int) netstack.PollMask {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return netstack.PollErr
+	}
+	return s.Poll()
+}
+
+// Shutdown half-closes a connection.
+func (c *Context) Shutdown(fd int, read, write bool) error {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return err
+	}
+	return s.Shutdown(read, write)
+}
+
+// Close releases a descriptor.
+func (c *Context) Close(fd int) error {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return err
+	}
+	s.SetNotify(nil)
+	s.Close()
+	delete(c.proc.fds, fd)
+	return nil
+}
+
+// GetSockOpt reads a socket option.
+func (c *Context) GetSockOpt(fd int, o netstack.Opt) (int64, error) {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return 0, err
+	}
+	return s.GetOpt(o), nil
+}
+
+// SetSockOpt writes a socket option.
+func (c *Context) SetSockOpt(fd int, o netstack.Opt, v int64) error {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return err
+	}
+	s.SetOpt(o, v)
+	return nil
+}
+
+// SockErr returns the pending error on a socket (SO_ERROR).
+func (c *Context) SockErr(fd int) error {
+	c.charge()
+	s, err := c.sock(fd)
+	if err != nil {
+		return err
+	}
+	return s.Err()
+}
+
+// SockState returns the connection state of a socket.
+func (c *Context) SockState(fd int) netstack.State {
+	s, err := c.sock(fd)
+	if err != nil {
+		return netstack.StateClosed
+	}
+	return s.State()
+}
+
+// WriteFile stores a file on the shared filesystem.
+func (c *Context) WriteFile(path string, data []byte) error {
+	c.charge()
+	return c.proc.Env.FS.WriteFile(path, data)
+}
+
+// ReadFile reads a file from the shared filesystem.
+func (c *Context) ReadFile(path string) ([]byte, error) {
+	c.charge()
+	return c.proc.Env.FS.ReadFile(path)
+}
+
+// Step-result helpers.
+
+// Yield returns a continue-running result charging the given CPU cost.
+func Yield(cost sim.Duration) StepResult { return StepResult{Cost: cost} }
+
+// Exit terminates the process.
+func Exit(code int) StepResult { return StepResult{Exit: true, ExitCode: code} }
+
+// Sleep parks the process for d of virtual time.
+func Sleep(d sim.Duration) StepResult {
+	return StepResult{Block: true, WaitTimeout: d}
+}
+
+// BlockRead parks the process until one of the descriptors is readable
+// (or has an error/EOF condition).
+func BlockRead(fds ...int) StepResult {
+	r := StepResult{Block: true}
+	for _, fd := range fds {
+		r.WaitFDs = append(r.WaitFDs, FDWait{fd, netstack.PollIn | netstack.PollHUP | netstack.PollPRI})
+	}
+	return r
+}
+
+// BlockWrite parks the process until the descriptor is writable.
+func BlockWrite(fd int) StepResult {
+	return StepResult{Block: true, WaitFDs: []FDWait{{fd, netstack.PollOut | netstack.PollHUP}}}
+}
+
+// BlockConnect parks the process until a pending connect resolves.
+func BlockConnect(fd int) StepResult {
+	return StepResult{Block: true, WaitFDs: []FDWait{{fd, netstack.PollOut | netstack.PollErr | netstack.PollHUP}}}
+}

@@ -1,0 +1,84 @@
+// Package zapc is a Go reproduction of ZapC — "Transparent
+// Checkpoint-Restart of Distributed Applications on Commodity Clusters"
+// (Laadan, Phung, Nieh; IEEE CLUSTER 2005) — built on a deterministic
+// virtual cluster: a discrete-event simulated network stack, virtual
+// operating system, and pod virtualization layer, with the paper's
+// coordinated checkpoint-restart and transport-protocol-independent
+// network-state mechanisms implemented faithfully on top.
+//
+// The public surface exposes the virtual testbed (Cluster), application
+// deployment (JobSpec/Job — the paper's four workloads are built in),
+// and the coordinated operations:
+//
+//	c := zapc.New(zapc.Config{Nodes: 4, Seed: 1})
+//	job, _ := c.Launch(zapc.JobSpec{App: "cpi", Endpoints: 4})
+//	c.Drive(func() bool { return job.Progress() > 0.5 }, zapc.Minute)
+//	res, _ := c.Checkpoint(job, zapc.CheckpointOptions{Mode: zapc.Snapshot})
+//	// ... later, possibly on other nodes:
+//	c.Restart(job, res, targets)
+//
+// Everything is deterministic for a fixed seed: a run that is
+// checkpointed, migrated, and resumed produces results bit-identical to
+// an uninterrupted run — the property the test suite verifies for every
+// workload.
+package zapc
+
+import (
+	"zapc/internal/cluster"
+	"zapc/internal/core"
+	"zapc/internal/sim"
+)
+
+// Core types re-exported from the implementation. The aliases give
+// external users a single import path while the implementation stays in
+// internal packages.
+type (
+	// Config sizes the virtual cluster.
+	Config = cluster.Config
+	// Cluster is the virtual testbed.
+	Cluster = cluster.Cluster
+	// JobSpec describes a distributed application deployment.
+	JobSpec = cluster.JobSpec
+	// Job is a deployed application.
+	Job = cluster.Job
+	// CheckpointOptions tunes a coordinated checkpoint.
+	CheckpointOptions = core.Options
+	// CheckpointResult carries images and the timing breakdown.
+	CheckpointResult = core.CheckpointResult
+	// RestartResult reports a coordinated restart.
+	RestartResult = core.RestartResult
+	// MigrateResult reports a direct migration.
+	MigrateResult = core.MigrateResult
+	// Duration is simulated time in nanoseconds.
+	Duration = sim.Duration
+	// Time is a simulated timestamp.
+	Time = sim.Time
+	// Costs is the calibrated hardware cost model.
+	Costs = sim.Costs
+)
+
+// Checkpoint modes.
+const (
+	// Snapshot checkpoints and resumes in place.
+	Snapshot = core.Snapshot
+	// Migrate checkpoints and destroys the source pods.
+	MigrateMode = core.Migrate
+)
+
+// Convenient simulated-time units.
+const (
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = 60 * sim.Second
+)
+
+// New creates a virtual cluster.
+func New(cfg Config) *Cluster { return cluster.New(cfg) }
+
+// DefaultCosts returns the calibrated 2005-era hardware model
+// (BladeCenter-class nodes, GbE, FC SAN).
+func DefaultCosts() Costs { return sim.DefaultCosts() }
+
+// Apps lists the built-in workloads from the paper's evaluation: cpi,
+// bt, bratu (PETSc SFI), povray.
+func Apps() []string { return []string{"cpi", "bt", "bratu", "povray"} }
