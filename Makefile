@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench examples clean
+
+# Full CI gate: static checks, a clean build, and the race-enabled suite.
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/migrate
+	$(GO) run ./examples/faultrecovery
+
+clean:
+	$(GO) clean ./...

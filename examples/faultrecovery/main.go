@@ -1,7 +1,11 @@
-// Faultrecovery: periodic coordinated checkpoints to shared storage,
-// a node failure, and a restart of the whole application from the most
-// recent checkpoint on the surviving nodes — the fault-resilience use
-// case that motivates the paper.
+// Faultrecovery: the paper's fault-resilience use case, fully
+// self-healing. A job runs under a supervisor that takes periodic
+// coordinated checkpoints to shared storage and monitors every hosting
+// node with heartbeats; a scripted fault kills a node mid-run; the
+// supervisor detects the failure by heartbeat timeout, restarts the
+// application from the newest valid checkpoint generation on the
+// surviving nodes, and the job completes with a result bit-identical to
+// an undisturbed run. Nothing after Supervise/Arm is hand-driven.
 package main
 
 import (
@@ -14,75 +18,78 @@ import (
 const deadline = 3600 * zapc.Second
 
 func main() {
-	c := zapc.New(zapc.Config{Nodes: 4, Seed: 23})
-	job, err := c.Launch(zapc.JobSpec{
+	spec := zapc.JobSpec{
 		App:         "bratu", // PETSc solid-fuel-ignition solver
 		Endpoints:   4,
 		Work:        0.25,
 		Scale:       1.0 / 16,
 		WithDaemons: true,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	// Reference result from an undisturbed run with the same seed.
 	ref := zapc.New(zapc.Config{Nodes: 4, Seed: 23})
-	refJob, err := ref.Launch(zapc.JobSpec{
-		App: "bratu", Endpoints: 4, Work: 0.25, Scale: 1.0 / 16, WithDaemons: true,
+	refJob, err := ref.Launch(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refDur, err := ref.RunJob(refJob, deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference run: %v, residual %v\n", refDur, refJob.Result())
+
+	// The supervised run: same cluster, same seed.
+	c := zapc.New(zapc.Config{Nodes: 4, Seed: 23})
+	job, err := c.Launch(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Place the job under a self-healing policy: checkpoint every ~10%
+	// of the expected runtime, ping every node each 100ms, retain the
+	// three newest validated generations, retry aborted checkpoints with
+	// exponential backoff.
+	sup, err := c.Supervise(job, zapc.SupervisorPolicy{
+		CheckpointEvery:   refDur / 10,
+		HeartbeatInterval: 100 * zapc.Millisecond,
+		Retain:            3,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := ref.RunJob(refJob, deadline); err != nil {
+
+	// Script the disaster: when the job reaches 55% progress, node02
+	// fail-stops — every pod on it dies instantly.
+	inj := zapc.NewFaultInjector(c)
+	inj.SetProgressProbe(job.Progress, 0)
+	if err := inj.Arm([]zapc.FaultStep{{
+		Name:     "crash-node02",
+		Progress: 0.55,
+		Action:   zapc.FaultCrashNode,
+		Node:     c.Nodes[2],
+	}}); err != nil {
 		log.Fatal(err)
 	}
 
-	// Take a checkpoint every 20% of progress, like a cron-driven
-	// checkpointing policy would.
-	var last *zapc.CheckpointResult
-	for _, pct := range []float64{0.2, 0.4, 0.6} {
-		if err := c.Drive(func() bool { return job.Progress() >= pct }, deadline); err != nil {
-			log.Fatal(err)
-		}
-		res, err := c.Checkpoint(job, zapc.CheckpointOptions{
-			Mode:    zapc.Snapshot,
-			FlushTo: fmt.Sprintf("checkpoints/pct%02.0f", pct*100),
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		last = res
-		fmt.Printf("t=%v  checkpoint at %.0f%% took %v (largest image %.1f MB)\n",
-			c.W.Now(), 100*pct, res.Stats.Total, float64(res.Stats.MaxImageBytes())/(1<<20))
+	// Drive toward completion. Failure detection, failover, and the
+	// restart all happen underneath, on the simulated clock.
+	if err := c.Drive(job.Finished, deadline); err != nil {
+		log.Fatalf("drive: %v (supervisor: %v)", err, sup.Err())
 	}
+	c.Drive(func() bool { return !sup.Running() }, zapc.Minute)
 
-	// Disaster strikes at ~70%.
-	if err := c.Drive(func() bool { return job.Progress() >= 0.7 }, deadline); err != nil {
-		log.Fatal(err)
+	fmt.Println("\nsupervisor activity:")
+	for _, e := range sup.Events() {
+		fmt.Printf("  %v\n", e)
 	}
-	victim := c.Nodes[2]
-	victim.Fail()
-	fmt.Printf("t=%v  node %s FAILED — pods on it are gone\n", c.W.Now(), victim.Name())
+	fmt.Println("\ninjected faults:")
+	for _, r := range inj.Fired() {
+		fmt.Printf("  %v\n", r)
+	}
+	st := sup.Stats()
+	fmt.Printf("\ncheckpoints=%d retries=%d declared=%d failovers=%d gc=%d\n",
+		st.Checkpoints, st.Retries, st.NodesDeclared, st.Failovers, st.GCCollected)
 
-	// Tear down the crippled application and restart the whole thing
-	// from the 60%% checkpoint on the three healthy nodes (pods simply
-	// double up; the virtual namespace keeps every PID and address
-	// valid).
-	for _, p := range job.Pods {
-		p.Destroy()
-	}
-	survivors := append(c.Nodes[:2:2], c.Nodes[3])
-	rr, err := c.Restart(job, last, survivors)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("t=%v  restarted %d pods on %d healthy nodes in %v\n",
-		c.W.Now(), len(rr.Pods), len(survivors), rr.Stats.Total)
-
-	if _, err := c.RunJob(job, deadline); err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("t=%v  done: residual = %v\n", c.W.Now(), job.Result())
 	if job.Result() == refJob.Result() {
 		fmt.Println("result identical to the undisturbed run: recovery was exact")

@@ -32,7 +32,23 @@ import (
 var (
 	ErrNotQuiescent   = errors.New("ckpt: pod is not quiescent")
 	ErrUnknownProgram = errors.New("ckpt: unknown program kind")
+	// ErrCorruptImage marks a serialized pod image that fails integrity
+	// validation (imgfmt CRC mismatch, truncation, or a malformed field
+	// stream). Restart paths check images read from shared storage
+	// before any pod is built from them.
+	ErrCorruptImage = errors.New("ckpt: corrupt checkpoint image")
 )
+
+// VerifyImage decode-checks a serialized pod image: the imgfmt CRC-32
+// trailer, the header, and the full field stream. It returns the decoded
+// image, or ErrCorruptImage wrapping the underlying decode failure.
+func VerifyImage(data []byte) (*Image, error) {
+	img, err := DecodeImage(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptImage, err)
+	}
+	return img, nil
+}
 
 // Program registry: restart must re-instantiate programs from their Kind
 // tag before feeding them their saved state.
@@ -180,13 +196,19 @@ func (img *Image) MemoryBytes() int64 {
 // virtual PID, program state, memory, and descriptors. The restored
 // processes are left SIGSTOPped; the caller resumes them once the whole
 // operation concludes. onDone receives the new pod or the first error.
+//
+// The created pod is also returned synchronously (nil when creation
+// itself failed) so coordinated restart can track it for cleanup if the
+// operation aborts while the restore is still in flight — otherwise a
+// stalled restore would leak the pod's stack and keep its virtual
+// address busy forever.
 func RestorePod(img *Image, name string, node *vos.Node, nw *netstack.Network,
-	fs *memfs.FS, plan *netckpt.EndpointPlan, onDone func(*pod.Pod, error)) {
+	fs *memfs.FS, plan *netckpt.EndpointPlan, onDone func(*pod.Pod, error)) *pod.Pod {
 
 	newPod, err := pod.New(name, node, nw, fs, img.VIP)
 	if err != nil {
 		onDone(nil, err)
-		return
+		return nil
 	}
 	var restorer *netckpt.Restorer
 	restorer = netckpt.NewRestorer(newPod.Stack(), img.Net, plan, func(err error) {
@@ -206,6 +228,7 @@ func RestorePod(img *Image, name string, node *vos.Node, nw *netstack.Network,
 		onDone(newPod, nil)
 	})
 	restorer.Start()
+	return newPod
 }
 
 func restoreProcs(img *Image, newPod *pod.Pod, socks []*netstack.Socket) error {

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"zapc/internal/ckpt"
+	"zapc/internal/core"
+	"zapc/internal/pod"
+	"zapc/internal/sim"
+	"zapc/internal/supervisor"
+	"zapc/internal/vos"
+)
+
+// ErrCorruptImage is returned when a checkpoint image read from the
+// shared filesystem fails CRC validation. It aliases ckpt.ErrCorruptImage
+// so errors.Is works across layers.
+var ErrCorruptImage = ckpt.ErrCorruptImage
+
+// LoadImages reads every checkpoint image under the given shared-FS
+// directory and CRC-verifies each before returning it, sorted by pod
+// name. A validation failure names the offending pod and wraps
+// ErrCorruptImage.
+func (c *Cluster) LoadImages(dir string) ([]*ckpt.Image, error) {
+	files := c.FS.List(dir)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("cluster: no checkpoint images under %q", dir)
+	}
+	images := make([]*ckpt.Image, 0, len(files))
+	for _, f := range files {
+		data, err := c.FS.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		img, err := ckpt.VerifyImage(data)
+		if err != nil {
+			name := strings.TrimSuffix(f[strings.LastIndex(f, "/")+1:], ".img")
+			return nil, fmt.Errorf("cluster: pod %s (%s): %w", name, f, err)
+		}
+		images = append(images, img)
+	}
+	sort.Slice(images, func(i, j int) bool { return images[i].PodName < images[j].PodName })
+	return images, nil
+}
+
+// RestartFromFS restores a job from the images flushed to a shared-FS
+// directory (a supervisor generation or a Checkpoint FlushTo target),
+// validating every image first; a corrupt image refuses the restart with
+// ErrCorruptImage before any VIP is claimed or pod built. Placements go
+// round-robin across targets.
+func (c *Cluster) RestartFromFS(j *Job, dir string, targets []*vos.Node) (*core.RestartResult, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("cluster: restart from %q: no target nodes", dir)
+	}
+	images, err := c.LoadImages(dir)
+	if err != nil {
+		return nil, err
+	}
+	placements := make([]core.Placement, len(images))
+	for i, img := range images {
+		placements[i] = core.Placement{
+			Image:   img,
+			PodName: img.PodName,
+			Node:    targets[i%len(targets)],
+		}
+	}
+	var res *core.RestartResult
+	c.Mgr.Restart(placements, nil, func(r *core.RestartResult) { res = r })
+	if err := c.Drive(func() bool { return res != nil }, 120*sim.Second); err != nil {
+		return nil, err
+	}
+	if res.Err != nil {
+		return res, res.Err
+	}
+	return res, j.Rebind(res.Pods)
+}
+
+// Supervise places the job under a self-healing supervisor: periodic
+// checkpoints with retry/backoff, heartbeat failure detection, and
+// automatic restart from the newest valid generation onto surviving
+// nodes. The returned supervisor is already started; the caller drives
+// the cluster toward job completion as usual and recovery happens
+// underneath. Policy.Dir defaults to "supervisor/<job-name>".
+func (c *Cluster) Supervise(j *Job, pol supervisor.Policy) (*supervisor.Supervisor, error) {
+	if j.Spec.Base {
+		return nil, fmt.Errorf("cluster: base job %s is not virtualized and cannot be supervised", j.Name)
+	}
+	if pol.Dir == "" {
+		pol.Dir = "supervisor/" + j.Name
+	}
+	s := supervisor.New(supervisor.Target{
+		W:        c.W,
+		Mgr:      c.Mgr,
+		FS:       c.FS,
+		Pods:     func() []*pod.Pod { return j.Pods },
+		Nodes:    func() []*vos.Node { return c.Nodes },
+		Rebind:   j.Rebind,
+		Finished: j.Finished,
+	}, pol)
+	s.Start()
+	return s, nil
+}

@@ -41,7 +41,60 @@ var (
 	ErrAborted        = errors.New("core: operation aborted")
 	ErrAgentFailure   = errors.New("core: agent failure detected")
 	ErrManagerFailure = errors.New("core: manager failure detected")
+	ErrTimeout        = errors.New("core: operation watchdog timeout")
 )
+
+// Watchdog defaults. A coordinated operation that makes no progress —
+// an agent that never reports its meta-data or done message, a control
+// message lost by the fabric — aborts after these spans instead of
+// relying on the caller's Drive deadline. Both are generous multiples
+// of the expected agent time (hundreds of milliseconds on the
+// calibrated model).
+const (
+	DefaultCheckpointTimeout = 30 * sim.Second
+	DefaultRestartTimeout    = 60 * sim.Second
+)
+
+// Phase identifies progress points of coordinated operations, exposed
+// to observers (the fault-injection harness uses them to place faults
+// precisely, e.g. a manager crash between the meta-data sync and the
+// agents' done reports).
+type Phase int
+
+// Operation phases.
+const (
+	PhaseCheckpointStart Phase = iota + 1
+	PhaseMetaSync              // all meta-data collected, 'continue' broadcast
+	PhaseCheckpointDone
+	PhaseRestartStart
+	PhaseRestartDone
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseCheckpointStart:
+		return "checkpoint-start"
+	case PhaseMetaSync:
+		return "meta-sync"
+	case PhaseCheckpointDone:
+		return "checkpoint-done"
+	case PhaseRestartStart:
+		return "restart-start"
+	case PhaseRestartDone:
+		return "restart-done"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// PhaseHook observes operation phases as the manager reaches them.
+type PhaseHook func(Phase)
+
+// CtrlHook perturbs manager<->agent control messages: it is consulted
+// once per message and may drop it outright or add delivery delay. The
+// fault-injection harness installs hooks to model lossy or congested
+// control planes.
+type CtrlHook func() (drop bool, delay sim.Duration)
 
 // Mode selects what happens to the pods after a checkpoint.
 type Mode int
@@ -76,6 +129,12 @@ type Options struct {
 	// paper does with SAN/unionfs snapshot functionality, so the
 	// checkpoint also has a consistent file-system image.
 	SnapshotFS bool
+	// Timeout is the checkpoint watchdog: if the coordinated operation
+	// has not completed within this span the manager aborts it and the
+	// agents resume their pods, instead of hanging until the caller's
+	// Drive deadline. Zero selects DefaultCheckpointTimeout; negative
+	// disables the watchdog.
+	Timeout sim.Duration
 }
 
 // AgentStats reports one agent's timing breakdown.
@@ -133,10 +192,12 @@ type CheckpointResult struct {
 // It can run anywhere; it reaches agents over reliable control
 // connections whose latency is modeled by Costs.CtrlLatency.
 type Manager struct {
-	w      *sim.World
-	nw     *netstack.Network
-	fs     *memfs.FS
-	failed bool
+	w         *sim.World
+	nw        *netstack.Network
+	fs        *memfs.FS
+	failed    bool
+	phaseHook PhaseHook
+	ctrlHook  CtrlHook
 }
 
 // Fail simulates a crash of the Manager client. Agents notice their
@@ -146,14 +207,49 @@ type Manager struct {
 // the application will resume its execution").
 func (m *Manager) Fail() { m.failed = true }
 
+// Failed reports whether the manager client has crashed.
+func (m *Manager) Failed() bool { return m.failed }
+
+// Recover models starting a replacement Manager client after a crash.
+// The manager is stateless between operations (all durable state lives
+// in the checkpoint images on shared storage), so recovery is just a
+// fresh client against the same substrate.
+func (m *Manager) Recover() { m.failed = false }
+
+// SetPhaseHook installs an observer of operation phases (nil removes).
+func (m *Manager) SetPhaseHook(h PhaseHook) { m.phaseHook = h }
+
+// SetCtrlHook installs a control-message perturbation hook (nil
+// removes). Every manager<->agent control message consults it.
+func (m *Manager) SetCtrlHook(h CtrlHook) { m.ctrlHook = h }
+
+func (m *Manager) notify(p Phase) {
+	if m.phaseHook != nil {
+		m.phaseHook(p)
+	}
+}
+
 // NewManager creates a manager for the given cluster substrate.
 func NewManager(w *sim.World, nw *netstack.Network, fs *memfs.FS) *Manager {
 	return &Manager{w: w, nw: nw, fs: fs}
 }
 
 // ctrl models one manager<->agent control message.
-func (m *Manager) ctrl(fn func()) {
-	m.w.After(m.w.Costs.CtrlLatency, fn)
+func (m *Manager) ctrl(fn func()) { m.ctrlAfter(0, fn) }
+
+// ctrlAfter models a control message carrying extra serialization or
+// processing delay. The injected control hook may drop the message
+// (it is then never delivered) or stretch its latency.
+func (m *Manager) ctrlAfter(extra sim.Duration, fn func()) {
+	d := m.w.Costs.CtrlLatency + extra
+	if m.ctrlHook != nil {
+		drop, delay := m.ctrlHook()
+		if drop {
+			return
+		}
+		d += delay
+	}
+	m.w.After(d, fn)
 }
 
 // Checkpoint coordinates a checkpoint of the given pods (one agent
@@ -176,6 +272,19 @@ func (m *Manager) Checkpoint(pods []*pod.Pod, opts Options, onDone func(*Checkpo
 	for i, p := range pods {
 		op.agents[i] = &ckptAgent{op: op, pod: p}
 	}
+	// Arm the watchdog: a stalled agent (lost control message, node
+	// wedged before reporting) aborts the operation and resumes the
+	// pods rather than hanging until the caller's deadline.
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = DefaultCheckpointTimeout
+	}
+	if timeout > 0 {
+		op.watchdog = m.w.After(timeout, func() {
+			op.abort(fmt.Errorf("%w: checkpoint stalled for %v", ErrTimeout, timeout))
+		})
+	}
+	m.notify(PhaseCheckpointStart)
 	// Step M1: broadcast 'checkpoint' to all agents.
 	for _, a := range op.agents {
 		a := a
@@ -192,6 +301,7 @@ type ckptOp struct {
 	dones    int
 	contSent bool
 	aborted  bool
+	watchdog sim.EventID
 	result   *CheckpointResult
 	onDone   func(*CheckpointResult)
 }
@@ -216,6 +326,7 @@ func (op *ckptOp) abort(err error) {
 		return
 	}
 	op.aborted = true
+	op.m.w.Cancel(op.watchdog)
 	// Graceful abort: resume every surviving pod.
 	for _, a := range op.agents {
 		if !a.pod.Destroyed() && !a.pod.Node().Failed() {
@@ -291,8 +402,7 @@ func (a *ckptAgent) netCheckpoint() {
 		a.netTime = cost
 		// 2a: report meta-data (the manager only needs the connectivity
 		// map; transferring it costs latency plus wire time).
-		report := costs.CtrlLatency + costs.NetTransferTime(a.netBytes)
-		a.op.m.w.After(report, func() { a.op.metaArrived() })
+		a.op.m.ctrlAfter(costs.NetTransferTime(a.netBytes), func() { a.op.metaArrived() })
 		if a.op.opts.NaiveSync {
 			// Ablation: wait for 'continue' before the standalone save.
 			return
@@ -338,6 +448,7 @@ func (op *ckptOp) metaArrived() {
 		return
 	}
 	op.contSent = true
+	op.m.notify(PhaseMetaSync)
 	for _, a := range op.agents {
 		a := a
 		op.m.ctrl(func() {
@@ -356,6 +467,12 @@ func (op *ckptOp) metaArrived() {
 // then it unblocks (or tears down) its pod and reports done.
 func (a *ckptAgent) maybeFinish() {
 	if a.op.aborted || a.finished || !a.saDone || !a.contRecvd {
+		return
+	}
+	// A manager or peer-node crash after the synchronization point must
+	// still abort gracefully — without this check a pod would be
+	// destroyed (Migrate mode) on the say-so of a dead manager.
+	if a.op.checkFailure() {
 		return
 	}
 	a.finished = true
@@ -378,12 +495,18 @@ func (a *ckptAgent) maybeFinish() {
 		cost = sim.Millisecond
 	}
 	// 4: report 'done'.
-	w.After(cost+costs.CtrlLatency, func() { a.op.doneArrived(a) })
+	a.op.m.ctrlAfter(cost, func() { a.op.doneArrived(a) })
 }
 
 // doneArrived is manager step M4: collect completion reports.
 func (op *ckptOp) doneArrived(a *ckptAgent) {
 	if op.aborted {
+		return
+	}
+	// The manager collecting done-reports may itself have crashed
+	// between the meta-data sync and this point; agents then abort and
+	// resume their pods instead of reporting to nobody.
+	if op.checkFailure() {
 		return
 	}
 	a2 := a
@@ -411,6 +534,7 @@ func (op *ckptOp) doneArrived(a *ckptAgent) {
 		netckpt.ApplyRedirect(nets)
 	}
 	op.result.Stats.Total = sim.Duration(op.m.w.Now() - op.start)
+	op.m.w.Cancel(op.watchdog)
 	if op.opts.FlushTo != "" {
 		// Flush after resume; charged to the SAN, not to checkpoint time.
 		for ip, img := range op.result.Images {
@@ -422,6 +546,7 @@ func (op *ckptOp) doneArrived(a *ckptAgent) {
 			}
 		}
 	}
+	op.m.notify(PhaseCheckpointDone)
 	op.onDone(op.result)
 }
 
@@ -490,23 +615,34 @@ func (m *Manager) Restart(placements []Placement, remap map[netstack.IP]netstack
 	// promptly retried) rather than lost.
 	for _, pl := range placements {
 		m.nw.Claim(pl.Image.VIP)
+		op.vips = append(op.vips, pl.Image.VIP)
 	}
+	// Watchdog: a restart agent that never completes (target node
+	// crashed mid-restore, lost control message) aborts the operation
+	// and cleans up instead of wedging the claimed addresses forever.
+	op.watchdog = m.w.After(DefaultRestartTimeout, func() {
+		op.fail(fmt.Errorf("%w: restart stalled for %v", ErrTimeout, DefaultRestartTimeout))
+	})
+	m.notify(PhaseRestartStart)
 	for _, pl := range placements {
 		pl := pl
 		plan := plans[pl.Image.VIP]
 		// R1: send 'restart' plus modified meta-data to each agent.
-		m.w.After(m.w.Costs.CtrlLatency+pl.Delay, func() { op.runAgent(pl, plan) })
+		m.ctrlAfter(pl.Delay, func() { op.runAgent(pl, plan) })
 	}
 }
 
 type restartOp struct {
-	m       *Manager
-	start   sim.Time
-	total   int
-	dones   int
-	aborted bool
-	result  *RestartResult
-	onDone  func(*RestartResult)
+	m        *Manager
+	start    sim.Time
+	total    int
+	dones    int
+	aborted  bool
+	vips     []netstack.IP // claimed routing entries, released on abort
+	created  []*pod.Pod    // pods built so far, destroyed on abort
+	watchdog sim.EventID
+	result   *RestartResult
+	onDone   func(*RestartResult)
 }
 
 // runAgent executes the agent-side restart of Figure 3: create a pod,
@@ -514,7 +650,7 @@ type restartOp struct {
 // report done. The pod resumes as soon as its own restart concludes —
 // no cross-agent barrier.
 func (op *restartOp) runAgent(pl Placement, plan *netckpt.EndpointPlan) {
-	if op.aborted {
+	if op.aborted || op.checkFailure(pl.Node) {
 		return
 	}
 	w := op.m.w
@@ -522,14 +658,17 @@ func (op *restartOp) runAgent(pl Placement, plan *netckpt.EndpointPlan) {
 	began := w.Now()
 	// Pod creation cost precedes connectivity recovery.
 	w.After(costs.PodCreate, func() {
-		if op.aborted {
+		if op.aborted || op.checkFailure(pl.Node) {
 			return
 		}
 		netStart := w.Now()
-		ckpt.RestorePod(pl.Image, pl.PodName, pl.Node, op.m.nw, op.m.fs, plan,
+		np := ckpt.RestorePod(pl.Image, pl.PodName, pl.Node, op.m.nw, op.m.fs, plan,
 			func(np *pod.Pod, err error) {
 				if err != nil {
 					op.fail(err)
+					return
+				}
+				if op.aborted || op.checkFailure(pl.Node) {
 					return
 				}
 				// Network restore time includes the real (simulated)
@@ -545,24 +684,55 @@ func (op *restartOp) runAgent(pl Placement, plan *netckpt.EndpointPlan) {
 					costs.RestoreTime(bytes) +
 					costs.ProcCreate*sim.Duration(len(pl.Image.Procs))
 				w.After(queueCopy+saCost, func() {
-					if op.aborted {
+					if op.aborted || op.checkFailure(pl.Node) {
 						return
 					}
 					np.Resume() // no further delay, per the paper
-					w.After(costs.CtrlLatency, func() {
+					op.m.ctrl(func() {
 						op.agentDone(pl.PodName, netTime, saCost, sim.Duration(w.Now()-began), np)
 					})
 				})
 			})
+		if np != nil {
+			if op.aborted {
+				// The restore callback may run synchronously and abort
+				// the operation before we get here; don't leak the pod.
+				np.Destroy()
+			} else {
+				op.created = append(op.created, np)
+			}
+		}
 	})
 }
 
+// checkFailure aborts the restart when a target node has crashed
+// mid-operation (the agent on it can no longer make progress).
+func (op *restartOp) checkFailure(n *vos.Node) bool {
+	if n.Failed() {
+		op.fail(fmt.Errorf("%w: node %s", ErrAgentFailure, n.Name()))
+		return true
+	}
+	return false
+}
+
+// fail aborts the whole restart and undoes its side effects: every pod
+// built so far (including ones whose agents already reported done) is
+// destroyed and every claimed virtual address is released, so the
+// network and nodes remain reusable for a retry from the same images.
 func (op *restartOp) fail(err error) {
 	if op.aborted {
 		return
 	}
 	op.aborted = true
-	op.result.Err = fmt.Errorf("%w: %v", ErrAborted, err)
+	op.m.w.Cancel(op.watchdog)
+	for _, p := range op.created {
+		p.Destroy()
+	}
+	for _, ip := range op.vips {
+		op.m.nw.Release(ip)
+	}
+	op.result.Pods = nil
+	op.result.Err = fmt.Errorf("%w: %w", ErrAborted, err)
 	op.onDone(op.result)
 }
 
@@ -577,6 +747,8 @@ func (op *restartOp) agentDone(name string, netT, saT, total sim.Duration, np *p
 	op.dones++
 	if op.dones == op.total {
 		op.result.Stats.Total = sim.Duration(op.m.w.Now() - op.start)
+		op.m.w.Cancel(op.watchdog)
+		op.m.notify(PhaseRestartDone)
 		op.onDone(op.result)
 	}
 }

@@ -1,0 +1,409 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// ZapC simulation. It schedules scripted faults against the sim.World
+// clock — node crashes at time or progress triggers, manager crashes
+// keyed to coordinated-operation phases, control-message drop/delay, and
+// checkpoint-image corruption on the shared FS — so that every recovery
+// path in internal/supervisor and internal/core has a reproducible,
+// seedable test. The approach follows the OS-level failure-injection
+// methodology of Coti & Greneche: faults are declared up front as a
+// schedule, armed once, and fired by the simulator itself, never by test
+// code polling state.
+//
+// All triggers derive from the simulation clock and the deterministic
+// event order of sim.World, so a given (seed, schedule) pair reproduces
+// the exact same failure scenario on every run.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"zapc/internal/core"
+	"zapc/internal/memfs"
+	"zapc/internal/sim"
+	"zapc/internal/vos"
+)
+
+// Errors returned by schedule validation.
+var (
+	ErrBadStep  = errors.New("faultinject: invalid schedule step")
+	ErrNoTarget = errors.New("faultinject: step has no fault target")
+)
+
+// Record logs one fired fault: when it fired (simulated time) and the
+// name it was armed under.
+type Record struct {
+	T    sim.Time
+	Name string
+}
+
+func (r Record) String() string { return fmt.Sprintf("%v %s", r.T, r.Name) }
+
+type progressTrigger struct {
+	threshold float64
+	name      string
+	action    func()
+	fired     bool
+}
+
+type phaseTrigger struct {
+	phase  core.Phase
+	skip   int // occurrences to let pass before firing
+	name   string
+	action func()
+	fired  bool
+}
+
+// Injector owns a set of armed fault triggers on one simulation world.
+// Create it with New, arm faults with At/AtProgress/OnPhase or a
+// declarative Arm schedule, and wire its control-plane hook into a
+// manager with InterposeCtrl. Zero or one injector per manager.
+type Injector struct {
+	w  *sim.World
+	fs *memfs.FS
+
+	// Progress probing. The probe is application-defined (typically the
+	// job's completed fraction); progress triggers poll it on a fixed
+	// simulated cadence so firing times are deterministic.
+	progress   func() float64
+	probeEvery sim.Duration
+	probing    bool
+	progTrigs  []*progressTrigger
+
+	// Phase dispatch: the injector takes ownership of the manager's
+	// phase hook when ObservePhases is called.
+	phaseTrigs []*phaseTrigger
+	phaseSeen  map[core.Phase]int
+
+	// Control-plane fault state consulted by the CtrlHook.
+	dropLeft   int
+	delayBy    sim.Duration
+	delayUntil sim.Time
+
+	fired []Record
+}
+
+// New creates an injector on the given world. fs may be nil if no
+// corruption faults are used.
+func New(w *sim.World, fs *memfs.FS) *Injector {
+	return &Injector{
+		w:          w,
+		fs:         fs,
+		probeEvery: 50 * sim.Millisecond,
+		phaseSeen:  make(map[core.Phase]int),
+	}
+}
+
+// SetProgressProbe installs the application progress probe used by
+// AtProgress triggers, polled every `every` of simulated time (a
+// non-positive cadence keeps the 50ms default). The probe should be a
+// monotone completed-fraction in [0,1].
+func (inj *Injector) SetProgressProbe(probe func() float64, every sim.Duration) {
+	inj.progress = probe
+	if every > 0 {
+		inj.probeEvery = every
+	}
+}
+
+// Fired returns the faults that have fired so far, in firing order.
+func (inj *Injector) Fired() []Record {
+	return append([]Record(nil), inj.fired...)
+}
+
+func (inj *Injector) record(name string) {
+	inj.fired = append(inj.fired, Record{T: inj.w.Now(), Name: name})
+}
+
+// At arms a fault that fires a fixed delay from now on the simulation
+// clock.
+func (inj *Injector) At(after sim.Duration, name string, action func()) {
+	inj.w.After(after, func() {
+		inj.record(name)
+		action()
+	})
+}
+
+// AtProgress arms a fault that fires the first time the progress probe
+// reaches threshold. Requires SetProgressProbe.
+func (inj *Injector) AtProgress(threshold float64, name string, action func()) {
+	inj.progTrigs = append(inj.progTrigs, &progressTrigger{
+		threshold: threshold, name: name, action: action,
+	})
+	inj.startProbing()
+}
+
+func (inj *Injector) startProbing() {
+	if inj.probing || inj.progress == nil {
+		return
+	}
+	inj.probing = true
+	inj.w.After(inj.probeEvery, inj.probeTick)
+}
+
+func (inj *Injector) probeTick() {
+	p := inj.progress()
+	live := 0
+	for _, t := range inj.progTrigs {
+		if t.fired {
+			continue
+		}
+		if p >= t.threshold {
+			t.fired = true
+			inj.record(t.name)
+			t.action()
+			continue
+		}
+		live++
+	}
+	if live == 0 {
+		inj.probing = false
+		return
+	}
+	inj.w.After(inj.probeEvery, inj.probeTick)
+}
+
+// ObservePhases installs the injector as the manager's phase observer so
+// OnPhase triggers can fire. It takes ownership of the manager's phase
+// hook.
+func (inj *Injector) ObservePhases(m *core.Manager) {
+	m.SetPhaseHook(func(p core.Phase) { inj.phaseEvent(p) })
+}
+
+// OnPhase arms a fault that fires when the observed manager reaches the
+// given coordinated-operation phase, after letting `skip` earlier
+// occurrences pass (skip=0 fires on the first). Requires ObservePhases.
+func (inj *Injector) OnPhase(phase core.Phase, skip int, name string, action func()) {
+	inj.phaseTrigs = append(inj.phaseTrigs, &phaseTrigger{
+		phase: phase, skip: skip, name: name, action: action,
+	})
+}
+
+func (inj *Injector) phaseEvent(p core.Phase) {
+	seen := inj.phaseSeen[p]
+	inj.phaseSeen[p] = seen + 1
+	for _, t := range inj.phaseTrigs {
+		if t.fired || t.phase != p || seen < t.skip {
+			continue
+		}
+		t.fired = true
+		inj.record(t.name)
+		t.action()
+	}
+}
+
+// InterposeCtrl wires the injector's control-plane hook into a manager
+// so DropControl/DelayControl faults affect its manager↔agent messages.
+func (inj *Injector) InterposeCtrl(m *core.Manager) {
+	m.SetCtrlHook(inj.CtrlHook())
+}
+
+// CtrlHook returns a core.CtrlHook implementing the armed control-plane
+// faults: while a drop budget is outstanding each message consumes one
+// unit and is lost; while a delay window is open each message is delayed
+// by the armed amount.
+func (inj *Injector) CtrlHook() core.CtrlHook {
+	return func() (bool, sim.Duration) {
+		if inj.dropLeft > 0 {
+			inj.dropLeft--
+			return true, 0
+		}
+		if inj.w.Now() < inj.delayUntil {
+			return false, inj.delayBy
+		}
+		return false, 0
+	}
+}
+
+// CrashNode returns an action that fail-stops the node: every process on
+// it dies instantly and it answers no further heartbeats.
+func CrashNode(n *vos.Node) func() {
+	return func() { n.Fail() }
+}
+
+// CrashManager returns an action that fail-stops the coordination
+// manager. In-flight coordinated operations observe the failure at
+// their next step and abort; pods stay suspended until a replacement
+// manager (Recover) takes over.
+func CrashManager(m *core.Manager) func() {
+	return func() { m.Fail() }
+}
+
+// CorruptFile returns an action that flips one byte in the middle of
+// the named file on the shared FS, modeling silent storage corruption
+// of a checkpoint image. Missing or empty files are left untouched.
+func (inj *Injector) CorruptFile(path string) func() {
+	return func() { inj.corrupt(path) }
+}
+
+// CorruptNewest returns an action that corrupts the lexically last file
+// under the given FS prefix at firing time — with generation directories
+// numbered by zero-padded sequence, that is the newest checkpoint image.
+func (inj *Injector) CorruptNewest(prefix string) func() {
+	return func() {
+		files := inj.fs.List(prefix)
+		if len(files) == 0 {
+			return
+		}
+		sort.Strings(files)
+		inj.corrupt(files[len(files)-1])
+	}
+}
+
+func (inj *Injector) corrupt(path string) {
+	data, err := inj.fs.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		return
+	}
+	data[len(data)/2] ^= 0xFF
+	_ = inj.fs.WriteFile(path, data)
+}
+
+// DropControl returns an action that arms a drop budget: the next n
+// control-plane messages through the interposed manager are lost.
+func (inj *Injector) DropControl(n int) func() {
+	return func() { inj.dropLeft += n }
+}
+
+// DelayControl returns an action that opens a delay window: control
+// messages sent within `window` of firing are delayed by d.
+func (inj *Injector) DelayControl(d, window sim.Duration) func() {
+	return func() {
+		inj.delayBy = d
+		inj.delayUntil = inj.w.Now() + sim.Time(window)
+	}
+}
+
+// Action identifies a declarative fault kind for Step schedules.
+type Action int
+
+// Declarative fault kinds.
+const (
+	ActCrashNode Action = iota + 1
+	ActCrashManager
+	ActCorruptImage // corrupt newest file under Step.Path
+	ActDropControl
+	ActDelayControl
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActCrashNode:
+		return "crash-node"
+	case ActCrashManager:
+		return "crash-manager"
+	case ActCorruptImage:
+		return "corrupt-image"
+	case ActDropControl:
+		return "drop-control"
+	case ActDelayControl:
+		return "delay-control"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Step is one entry of a declarative fault schedule. Exactly one
+// trigger must be set: After (relative simulated time), Progress (probe
+// threshold, requires SetProgressProbe), or Phase (requires
+// ObservePhases; PhaseSkip lets earlier occurrences pass). The target
+// fields required depend on Action.
+type Step struct {
+	Name string
+
+	// Trigger (exactly one).
+	After     sim.Duration
+	Progress  float64
+	Phase     core.Phase
+	PhaseSkip int
+
+	Action  Action
+	Node    *vos.Node     // ActCrashNode
+	Manager *core.Manager // ActCrashManager
+	Path    string        // ActCorruptImage: FS prefix of the generation store
+	Count   int           // ActDropControl: messages to drop (default 1)
+	Delay   sim.Duration  // ActDelayControl: per-message delay
+	Window  sim.Duration  // ActDelayControl: window length
+}
+
+// Arm validates and registers a declarative schedule. Steps fire
+// independently; a schedule error arms nothing.
+func (inj *Injector) Arm(steps []Step) error {
+	actions := make([]func(), len(steps))
+	for i, s := range steps {
+		act, err := inj.compile(i, s)
+		if err != nil {
+			return err
+		}
+		actions[i] = act
+	}
+	for i, s := range steps {
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("step%d:%s", i, s.Action)
+		}
+		switch {
+		case s.After > 0:
+			inj.At(s.After, name, actions[i])
+		case s.Progress > 0:
+			inj.AtProgress(s.Progress, name, actions[i])
+		case s.Phase != 0:
+			inj.OnPhase(s.Phase, s.PhaseSkip, name, actions[i])
+		}
+	}
+	return nil
+}
+
+func (inj *Injector) compile(i int, s Step) (func(), error) {
+	triggers := 0
+	if s.After > 0 {
+		triggers++
+	}
+	if s.Progress > 0 {
+		triggers++
+	}
+	if s.Phase != 0 {
+		triggers++
+	}
+	if triggers != 1 {
+		return nil, fmt.Errorf("%w: step %d (%s) needs exactly one trigger, has %d",
+			ErrBadStep, i, s.Name, triggers)
+	}
+	if s.Progress > 0 && inj.progress == nil {
+		return nil, fmt.Errorf("%w: step %d (%s) uses a progress trigger but no probe is set",
+			ErrBadStep, i, s.Name)
+	}
+	switch s.Action {
+	case ActCrashNode:
+		if s.Node == nil {
+			return nil, fmt.Errorf("%w: step %d (%s) crash-node without Node", ErrNoTarget, i, s.Name)
+		}
+		return CrashNode(s.Node), nil
+	case ActCrashManager:
+		if s.Manager == nil {
+			return nil, fmt.Errorf("%w: step %d (%s) crash-manager without Manager", ErrNoTarget, i, s.Name)
+		}
+		return CrashManager(s.Manager), nil
+	case ActCorruptImage:
+		if s.Path == "" {
+			return nil, fmt.Errorf("%w: step %d (%s) corrupt-image without Path", ErrNoTarget, i, s.Name)
+		}
+		if inj.fs == nil {
+			return nil, fmt.Errorf("%w: step %d (%s) corrupt-image without an FS", ErrBadStep, i, s.Name)
+		}
+		return inj.CorruptNewest(s.Path), nil
+	case ActDropControl:
+		n := s.Count
+		if n <= 0 {
+			n = 1
+		}
+		return inj.DropControl(n), nil
+	case ActDelayControl:
+		if s.Delay <= 0 || s.Window <= 0 {
+			return nil, fmt.Errorf("%w: step %d (%s) delay-control needs Delay and Window", ErrBadStep, i, s.Name)
+		}
+		return inj.DelayControl(s.Delay, s.Window), nil
+	default:
+		return nil, fmt.Errorf("%w: step %d (%s) unknown action %d", ErrBadStep, i, s.Name, int(s.Action))
+	}
+}

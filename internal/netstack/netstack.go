@@ -162,6 +162,13 @@ func (n *Network) Claim(ip IP) {
 	}
 }
 
+// Release drops a routing claim that never materialized into a stack
+// (an aborted restart). Releasing an unclaimed address is a no-op.
+func (n *Network) Release(ip IP) { delete(n.claimed, ip) }
+
+// Claimed reports whether an address is claimed but not yet attached.
+func (n *Network) Claimed(ip IP) bool { return n.claimed[ip] }
+
 // World returns the simulation world the network runs on.
 func (n *Network) World() *sim.World { return n.w }
 

@@ -1,0 +1,670 @@
+// Package supervisor implements the self-healing layer on top of the
+// coordinated checkpoint-restart mechanism of internal/core: the piece
+// that turns the paper's headline use case — periodically checkpoint a
+// distributed application and restart it on surviving nodes after a
+// crash — from a hand-driven script into an autonomous control loop,
+// in the spirit of the DMTCP coordinator (Ansel et al.).
+//
+// The supervisor runs entirely as events on the simulated clock, so a
+// caller simply drives the cluster toward job completion and recovery
+// happens "underneath" deterministically. It combines four mechanisms:
+//
+//   - a heartbeat-based failure detector: each monitored node is pinged
+//     over the control plane every HeartbeatInterval; a node whose pong
+//     has not been seen for HeartbeatTimeout is declared failed — no
+//     oracle access to Node.Failed() in the detection decision;
+//   - a periodic checkpoint policy: every CheckpointEvery the job is
+//     coordinately checkpointed to a fresh generation directory on the
+//     shared filesystem, with exponential-backoff retry when an attempt
+//     aborts (transient control-plane fault, watchdog timeout);
+//   - bounded retention of validated generations: each flushed image is
+//     read back and CRC-verified via the imgfmt trailer before the
+//     generation is trusted; generations beyond Retain are garbage
+//     collected oldest-first;
+//   - automatic failover: on a detected node failure the job's pods are
+//     torn down and the application is restarted from the newest valid
+//     generation onto the surviving (or spare) nodes, re-driving the
+//     ordinary coordinated restart path. A generation that got
+//     corrupted on storage after it was written is skipped in favor of
+//     the previous valid one.
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"zapc/internal/ckpt"
+	"zapc/internal/core"
+	"zapc/internal/memfs"
+	"zapc/internal/pod"
+	"zapc/internal/sim"
+	"zapc/internal/vos"
+)
+
+// Errors surfaced through Supervisor.Err.
+var (
+	ErrNoValidCheckpoint = errors.New("supervisor: no valid checkpoint generation to restart from")
+	ErrNoSurvivors       = errors.New("supervisor: no surviving nodes to restart onto")
+	ErrGivenUp           = errors.New("supervisor: retry budget exhausted")
+)
+
+// Policy tunes the supervision loop. Zero values select the defaults
+// noted on each field.
+type Policy struct {
+	// HeartbeatInterval is the failure-detector ping period
+	// (default 250ms).
+	HeartbeatInterval sim.Duration
+	// HeartbeatTimeout declares a node failed when no pong has been
+	// seen for this long (default 4x HeartbeatInterval).
+	HeartbeatTimeout sim.Duration
+	// CheckpointEvery is the periodic checkpoint interval (default 10s;
+	// negative disables periodic checkpoints — detector-only mode).
+	CheckpointEvery sim.Duration
+	// CheckpointTimeout is the per-attempt watchdog handed to the
+	// coordinated checkpoint (default 5s).
+	CheckpointTimeout sim.Duration
+	// MaxRetries bounds checkpoint retry attempts per period and
+	// restart attempts per failover (default 4).
+	MaxRetries int
+	// RetryBackoff is the initial retry delay, doubling per attempt
+	// (default 250ms).
+	RetryBackoff sim.Duration
+	// MaxBackoff caps the exponential backoff (default 8s).
+	MaxBackoff sim.Duration
+	// Retain is how many validated generations are kept on the shared
+	// filesystem; older ones are garbage collected (default 3).
+	Retain int
+	// Dir is the filesystem prefix for generation directories
+	// (default "supervisor").
+	Dir string
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.HeartbeatInterval <= 0 {
+		p.HeartbeatInterval = 250 * sim.Millisecond
+	}
+	if p.HeartbeatTimeout <= 0 {
+		p.HeartbeatTimeout = 4 * p.HeartbeatInterval
+	}
+	if p.CheckpointEvery == 0 {
+		p.CheckpointEvery = 10 * sim.Second
+	}
+	if p.CheckpointTimeout <= 0 {
+		p.CheckpointTimeout = 5 * sim.Second
+	}
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 4
+	}
+	if p.RetryBackoff <= 0 {
+		p.RetryBackoff = 250 * sim.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 8 * sim.Second
+	}
+	if p.Retain <= 0 {
+		p.Retain = 3
+	}
+	if p.Dir == "" {
+		p.Dir = "supervisor"
+	}
+	return p
+}
+
+// Target is the supervised system, expressed as the narrow adapter the
+// cluster layer passes in (the supervisor sits below the cluster
+// package so that Cluster can expose a Supervise method).
+type Target struct {
+	W   *sim.World
+	Mgr *core.Manager
+	FS  *memfs.FS
+	// Pods returns the job's current pods (changes after a failover).
+	Pods func() []*pod.Pod
+	// Nodes returns every node restart placement may consider; the
+	// supervisor filters out failed ones, so spares added to the
+	// cluster are picked up automatically.
+	Nodes func() []*vos.Node
+	// Rebind points the job at its restored pods after a failover.
+	Rebind func([]*pod.Pod) error
+	// Finished reports job completion; the supervisor stands down once
+	// it holds.
+	Finished func() bool
+}
+
+// EventKind classifies supervisor log events.
+type EventKind string
+
+// Event kinds recorded by the supervisor.
+const (
+	EvCheckpoint   EventKind = "checkpoint"    // generation committed
+	EvRetry        EventKind = "ckpt-retry"    // attempt aborted, backing off
+	EvCkptGiveUp   EventKind = "ckpt-give-up"  // retry budget exhausted this period
+	EvNodeDown     EventKind = "node-down"     // heartbeat timeout expired
+	EvFailover     EventKind = "failover"      // job restarted on survivors
+	EvSkipCorrupt  EventKind = "skip-corrupt"  // generation failed CRC validation
+	EvRestartRetry EventKind = "restart-retry" // restart attempt failed, backing off
+	EvGC           EventKind = "gc"            // old generation collected
+	EvHalt         EventKind = "halt"          // supervisor gave up (see Err)
+	EvDone         EventKind = "done"          // job finished, standing down
+)
+
+// Event is one entry of the supervisor's activity log.
+type Event struct {
+	T      sim.Time
+	Kind   EventKind
+	Detail string
+}
+
+func (e Event) String() string { return fmt.Sprintf("t=%v %s: %s", e.T, e.Kind, e.Detail) }
+
+// Stats counts supervisor activity.
+type Stats struct {
+	Checkpoints    int // generations committed
+	Retries        int // checkpoint attempts retried
+	Failovers      int // successful automatic restarts
+	NodesDeclared  int // node failures declared by the detector
+	CorruptSkipped int // generations skipped for failed validation
+	GCCollected    int // generations garbage collected
+}
+
+// Generation is one committed checkpoint generation.
+type Generation struct {
+	Seq   int
+	Dir   string
+	T     sim.Time // commit time
+	Bytes int64    // serialized size of all images
+}
+
+// Supervisor is the self-healing control loop for one job.
+type Supervisor struct {
+	t   Target
+	pol Policy
+
+	running        bool
+	done           bool
+	haltErr        error
+	ckptBusy       bool
+	recovering     bool
+	pendingRecover bool
+
+	gen     int          // next generation sequence number
+	gens    []Generation // committed generations, oldest first
+	attempt int          // current retry attempt (checkpoint or restart)
+
+	monitored []*vos.Node
+	lastSeen  map[*vos.Node]sim.Time
+	declared  map[*vos.Node]bool
+
+	ctrlHook core.CtrlHook
+
+	hbTimer   sim.EventID
+	ckptTimer sim.EventID
+
+	events []Event
+	stats  Stats
+}
+
+// New builds a supervisor for the target under the given policy. Call
+// Start to arm it.
+func New(t Target, pol Policy) *Supervisor {
+	return &Supervisor{
+		t:        t,
+		pol:      pol.withDefaults(),
+		lastSeen: make(map[*vos.Node]sim.Time),
+		declared: make(map[*vos.Node]bool),
+	}
+}
+
+// Policy returns the effective (defaulted) policy.
+func (s *Supervisor) Policy() Policy { return s.pol }
+
+// SetCtrlHook installs a control-plane perturbation hook applied to the
+// supervisor's heartbeat messages (the fault-injection harness shares
+// one hook between the supervisor and the core manager).
+func (s *Supervisor) SetCtrlHook(h core.CtrlHook) { s.ctrlHook = h }
+
+// Events returns the activity log.
+func (s *Supervisor) Events() []Event { return s.events }
+
+// EventsOf filters the activity log by kind.
+func (s *Supervisor) EventsOf(kind EventKind) []Event {
+	var out []Event
+	for _, e := range s.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Stats returns activity counters.
+func (s *Supervisor) Stats() Stats { return s.stats }
+
+// Generations returns the currently retained generations, oldest first.
+func (s *Supervisor) Generations() []Generation {
+	return append([]Generation(nil), s.gens...)
+}
+
+// Err reports why the supervisor halted, if it did.
+func (s *Supervisor) Err() error { return s.haltErr }
+
+// Running reports whether the loop is armed.
+func (s *Supervisor) Running() bool { return s.running && !s.done }
+
+func (s *Supervisor) log(kind EventKind, format string, args ...any) {
+	s.events = append(s.events, Event{T: s.t.W.Now(), Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Start arms the failure detector and the checkpoint policy.
+func (s *Supervisor) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.resetMonitoring()
+	s.hbTimer = s.t.W.After(s.pol.HeartbeatInterval, s.hbTick)
+	if s.pol.CheckpointEvery > 0 {
+		s.ckptTimer = s.t.W.After(s.pol.CheckpointEvery, s.ckptTick)
+	}
+}
+
+// Stop stands the supervisor down and cancels its timers.
+func (s *Supervisor) Stop() {
+	if !s.running || s.done {
+		return
+	}
+	s.done = true
+	s.t.W.Cancel(s.hbTimer)
+	s.t.W.Cancel(s.ckptTimer)
+}
+
+// halt is a terminal Stop with a recorded reason.
+func (s *Supervisor) halt(err error) {
+	s.haltErr = err
+	s.log(EvHalt, "%v", err)
+	s.Stop()
+}
+
+// finishIfDone stands down once the job completes; it reports whether
+// the supervisor is no longer active.
+func (s *Supervisor) finishIfDone() bool {
+	if s.done {
+		return true
+	}
+	if s.t.Finished() {
+		s.log(EvDone, "job finished, supervisor standing down")
+		s.Stop()
+		return true
+	}
+	return false
+}
+
+// resetMonitoring points the failure detector at the nodes currently
+// hosting the job's pods.
+func (s *Supervisor) resetMonitoring() {
+	seen := make(map[*vos.Node]bool)
+	s.monitored = s.monitored[:0]
+	now := s.t.W.Now()
+	for _, p := range s.t.Pods() {
+		n := p.Node()
+		if n == nil || seen[n] || s.declared[n] {
+			continue
+		}
+		seen[n] = true
+		s.monitored = append(s.monitored, n)
+		s.lastSeen[n] = now
+	}
+}
+
+// ctrlDelay consults the injected hook for one heartbeat message.
+func (s *Supervisor) ctrlDelay() (drop bool, delay sim.Duration) {
+	if s.ctrlHook != nil {
+		return s.ctrlHook()
+	}
+	return false, 0
+}
+
+// hbTick is one round of the failure detector: expire silent nodes,
+// ping the rest, re-arm.
+func (s *Supervisor) hbTick() {
+	if s.finishIfDone() {
+		return
+	}
+	now := s.t.W.Now()
+	lat := s.t.W.Costs.CtrlLatency
+	for _, n := range s.monitored {
+		n := n
+		if s.declared[n] {
+			continue
+		}
+		if sim.Duration(now-s.lastSeen[n]) > s.pol.HeartbeatTimeout {
+			s.nodeDown(n)
+			continue
+		}
+		// Ping: one control hop out; the pong comes back one hop later
+		// only if the node is actually alive when the ping lands.
+		drop, delay := s.ctrlDelay()
+		if drop {
+			continue
+		}
+		s.t.W.After(lat+delay, func() {
+			if n.Failed() {
+				return // ping lands on a dead node: no pong
+			}
+			s.t.W.After(lat, func() {
+				if t := s.t.W.Now(); t > s.lastSeen[n] {
+					s.lastSeen[n] = t
+				}
+			})
+		})
+	}
+	if !s.done {
+		s.hbTimer = s.t.W.After(s.pol.HeartbeatInterval, s.hbTick)
+	}
+}
+
+// nodeDown handles a failure declaration from the detector.
+func (s *Supervisor) nodeDown(n *vos.Node) {
+	if s.declared[n] {
+		return
+	}
+	s.declared[n] = true
+	s.stats.NodesDeclared++
+	s.log(EvNodeDown, "node %s: heartbeat silent for %v", n.Name(), s.pol.HeartbeatTimeout)
+	if s.recovering || s.ckptBusy {
+		// An operation is in flight; it will abort (agent failure or
+		// watchdog) and its completion callback re-enters recovery.
+		s.pendingRecover = true
+		return
+	}
+	s.startRecovery()
+}
+
+// ckptTick begins one periodic checkpoint cycle.
+func (s *Supervisor) ckptTick() {
+	if s.finishIfDone() || s.recovering {
+		return
+	}
+	if s.ckptBusy {
+		return // previous cycle still retrying; it re-arms the timer
+	}
+	s.ckptBusy = true
+	s.attempt = 0
+	s.checkpointAttempt()
+}
+
+func (s *Supervisor) backoff() sim.Duration {
+	d := s.pol.RetryBackoff
+	for i := 1; i < s.attempt; i++ {
+		d *= 2
+		if d >= s.pol.MaxBackoff {
+			return s.pol.MaxBackoff
+		}
+	}
+	if d > s.pol.MaxBackoff {
+		d = s.pol.MaxBackoff
+	}
+	return d
+}
+
+func (s *Supervisor) genDir(seq int) string {
+	return fmt.Sprintf("%s/gen%04d", s.pol.Dir, seq)
+}
+
+// checkpointAttempt runs one coordinated checkpoint to the next
+// generation directory and validates what was flushed.
+func (s *Supervisor) checkpointAttempt() {
+	if s.done || s.recovering {
+		s.ckptBusy = false
+		return
+	}
+	if s.pendingRecover {
+		// The detector declared a node between attempts; stop retrying
+		// and fail over instead.
+		s.ckptBusy = false
+		s.startRecovery()
+		return
+	}
+	if s.finishIfDone() {
+		return
+	}
+	dir := s.genDir(s.gen)
+	opts := core.Options{Mode: core.Snapshot, FlushTo: dir, Timeout: s.pol.CheckpointTimeout}
+	s.t.Mgr.Checkpoint(s.t.Pods(), opts, func(res *core.CheckpointResult) {
+		s.ckptDone(dir, res)
+	})
+}
+
+func (s *Supervisor) ckptDone(dir string, res *core.CheckpointResult) {
+	if s.done {
+		return
+	}
+	err := res.Err
+	if err == nil {
+		err = s.validateGeneration(dir)
+	}
+	switch {
+	case err == nil:
+		var bytes int64
+		for _, f := range s.t.FS.List(dir) {
+			if n, e := s.t.FS.Size(f); e == nil {
+				bytes += n
+			}
+		}
+		s.gens = append(s.gens, Generation{Seq: s.gen, Dir: dir, T: s.t.W.Now(), Bytes: bytes})
+		s.gen++
+		s.stats.Checkpoints++
+		s.log(EvCheckpoint, "generation %s committed (%d images, %.1f KB, took %v)",
+			dir, len(res.Images), float64(bytes)/1024, res.Stats.Total)
+		s.gc()
+		s.endCkptCycle()
+	case s.pendingRecover:
+		// The failure detector declared a node while this attempt was in
+		// flight; scrap the partial generation and fail over.
+		s.scrapGeneration(dir)
+		s.log(EvRetry, "checkpoint aborted during failure handling: %v", err)
+		s.ckptBusy = false
+		s.startRecovery()
+	default:
+		// Every other abort — watchdog timeout, lost control message,
+		// manager hiccup, even an agent-failure report — is retried with
+		// exponential backoff. The heartbeat detector is the sole
+		// failover authority: if a node really is down, it declares it
+		// within HeartbeatTimeout (well inside one backoff) and the next
+		// attempt diverts to recovery instead of retrying.
+		s.scrapGeneration(dir)
+		s.attempt++
+		if s.attempt > s.pol.MaxRetries {
+			s.log(EvCkptGiveUp, "checkpoint failed after %d attempts: %v", s.attempt-1, err)
+			s.endCkptCycle()
+			return
+		}
+		d := s.backoff()
+		s.stats.Retries++
+		s.log(EvRetry, "checkpoint attempt %d aborted (%v), retrying in %v", s.attempt, err, d)
+		s.t.W.After(d, s.checkpointAttempt)
+	}
+}
+
+// endCkptCycle closes a checkpoint cycle and re-arms the period timer.
+func (s *Supervisor) endCkptCycle() {
+	s.ckptBusy = false
+	if s.pendingRecover {
+		s.startRecovery()
+		return
+	}
+	if s.done || s.finishIfDone() || s.pol.CheckpointEvery <= 0 {
+		return
+	}
+	s.ckptTimer = s.t.W.After(s.pol.CheckpointEvery, s.ckptTick)
+}
+
+// scrapGeneration removes the partial output of a failed attempt.
+func (s *Supervisor) scrapGeneration(dir string) {
+	for _, f := range s.t.FS.List(dir) {
+		_ = s.t.FS.Remove(f)
+	}
+}
+
+// validateGeneration reads back every image just flushed and CRC-checks
+// it, so a generation is only ever trusted after an end-to-end
+// write/read/decode round trip.
+func (s *Supervisor) validateGeneration(dir string) error {
+	files := s.t.FS.List(dir)
+	if len(files) == 0 {
+		return fmt.Errorf("supervisor: generation %s flushed no images", dir)
+	}
+	for _, f := range files {
+		data, err := s.t.FS.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		if _, err := ckpt.VerifyImage(data); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+	}
+	return nil
+}
+
+// gc drops generations beyond the retention depth, oldest first.
+func (s *Supervisor) gc() {
+	for len(s.gens) > s.pol.Retain {
+		g := s.gens[0]
+		s.gens = s.gens[1:]
+		s.scrapGeneration(g.Dir)
+		s.stats.GCCollected++
+		s.log(EvGC, "collected generation %s", g.Dir)
+	}
+}
+
+// loadGeneration reads and verifies every image of a generation,
+// returning them sorted by pod name for deterministic placement. The
+// error names the first pod whose image fails validation.
+func (s *Supervisor) loadGeneration(g Generation) ([]*ckpt.Image, error) {
+	files := s.t.FS.List(g.Dir)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("generation %s: %w", g.Dir, ErrNoValidCheckpoint)
+	}
+	images := make([]*ckpt.Image, 0, len(files))
+	for _, f := range files {
+		data, err := s.t.FS.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		img, err := ckpt.VerifyImage(data)
+		if err != nil {
+			pod := strings.TrimSuffix(f[strings.LastIndex(f, "/")+1:], ".img")
+			return nil, fmt.Errorf("pod %s (%s): %w", pod, f, err)
+		}
+		images = append(images, img)
+	}
+	sort.Slice(images, func(i, j int) bool { return images[i].PodName < images[j].PodName })
+	return images, nil
+}
+
+// startRecovery begins (or re-enters) failover: tear down the job's
+// pods and restart from the newest valid generation on the survivors.
+func (s *Supervisor) startRecovery() {
+	if s.done {
+		return
+	}
+	s.pendingRecover = false
+	if !s.recovering {
+		s.recovering = true
+		s.attempt = 0
+		s.t.W.Cancel(s.ckptTimer)
+	}
+	// Recovery may be entered from a checkpoint abort before the
+	// detector's timeout expires; mark the dead nodes declared so the
+	// detector does not trigger a second, redundant failover later.
+	for _, n := range s.monitored {
+		if n.Failed() {
+			s.declared[n] = true
+		}
+	}
+	// Tear down what is left of the job so the virtual addresses are
+	// free for the restart (pods on the dead node detach cleanly too).
+	for _, p := range s.t.Pods() {
+		p.Destroy()
+	}
+	// Newest valid generation wins; corrupted ones are skipped with an
+	// explicit record, restarting from the previous valid generation.
+	var images []*ckpt.Image
+	for i := len(s.gens) - 1; i >= 0; i-- {
+		var err error
+		images, err = s.loadGeneration(s.gens[i])
+		if err == nil {
+			break
+		}
+		s.stats.CorruptSkipped++
+		s.log(EvSkipCorrupt, "skipping generation %s: %v", s.gens[i].Dir, err)
+		images = nil
+	}
+	if images == nil {
+		s.halt(ErrNoValidCheckpoint)
+		return
+	}
+	survivors := s.survivors()
+	if len(survivors) == 0 {
+		s.halt(ErrNoSurvivors)
+		return
+	}
+	placements := make([]core.Placement, len(images))
+	for i, img := range images {
+		placements[i] = core.Placement{
+			Image:   img,
+			PodName: img.PodName,
+			Node:    survivors[i%len(survivors)],
+		}
+	}
+	s.t.Mgr.Restart(placements, nil, s.restartDone)
+}
+
+// survivors returns the usable restart targets.
+func (s *Supervisor) survivors() []*vos.Node {
+	var out []*vos.Node
+	for _, n := range s.t.Nodes() {
+		if !n.Failed() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (s *Supervisor) restartDone(res *core.RestartResult) {
+	if s.done {
+		return
+	}
+	if res.Err != nil {
+		// Another node may have died mid-restart, or the control plane
+		// glitched; core's cleanup released the claims and pods, so a
+		// retry from the same images is safe.
+		s.attempt++
+		if s.attempt > s.pol.MaxRetries {
+			s.halt(fmt.Errorf("%w: restart failed %d times, last: %v", ErrGivenUp, s.attempt-1, res.Err))
+			return
+		}
+		d := s.backoff()
+		s.log(EvRestartRetry, "restart attempt %d failed (%v), retrying in %v", s.attempt, res.Err, d)
+		s.t.W.After(d, s.startRecovery)
+		return
+	}
+	if err := s.t.Rebind(res.Pods); err != nil {
+		s.halt(fmt.Errorf("supervisor: rebind after failover: %w", err))
+		return
+	}
+	s.recovering = false
+	s.stats.Failovers++
+	s.log(EvFailover, "restarted %d pods on %d surviving nodes in %v",
+		len(res.Pods), len(s.survivors()), res.Stats.Total)
+	s.resetMonitoring()
+	if s.pol.CheckpointEvery > 0 {
+		s.ckptTimer = s.t.W.After(s.pol.CheckpointEvery, s.ckptTick)
+	}
+	if s.pendingRecover {
+		// A further failure was declared while we were restarting.
+		s.pendingRecover = false
+		s.startRecovery()
+	}
+}

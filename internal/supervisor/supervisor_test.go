@@ -1,0 +1,335 @@
+// End-to-end tests of the self-healing supervisor, driven through the
+// cluster layer (an external test package: cluster sits above supervisor
+// in the import graph).
+package supervisor_test
+
+import (
+	"testing"
+
+	"zapc/internal/cluster"
+	"zapc/internal/core"
+	"zapc/internal/faultinject"
+	"zapc/internal/sim"
+	"zapc/internal/supervisor"
+)
+
+const deadline = 30 * 60 * sim.Second
+
+// reference runs the job undisturbed on a fresh cluster with the same
+// seed and returns its result and duration.
+func reference(t *testing.T, seed int64, spec cluster.JobSpec) (float64, sim.Duration) {
+	t.Helper()
+	c := cluster.New(cluster.Config{Nodes: 4, Seed: seed})
+	job, err := c.Launch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur, err := c.RunJob(job, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job.Result(), dur
+}
+
+// TestSupervisorFailoverE2E is the headline scenario: a job runs under a
+// periodic checkpoint policy, fault injection kills a node mid-run, the
+// supervisor detects the failure by heartbeat timeout (the test never
+// polls Node.Failed), restarts from the newest valid generation on the
+// survivors, and the job completes with a result identical to an
+// undisturbed reference run — for multiple seeds.
+func TestSupervisorFailoverE2E(t *testing.T) {
+	spec := cluster.JobSpec{App: "cpi", Endpoints: 4, Work: 0.03, Scale: 0.001}
+	for _, seed := range []int64{1, 9} {
+		want, refDur := reference(t, seed, spec)
+
+		c := cluster.New(cluster.Config{Nodes: 4, Seed: seed})
+		job, err := c.Launch(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sup, err := c.Supervise(job, supervisor.Policy{
+			HeartbeatInterval: 50 * sim.Millisecond,
+			CheckpointEvery:   refDur / 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim := c.Nodes[1]
+		inj := faultinject.New(c.W, c.FS)
+		inj.SetProgressProbe(job.Progress, 0)
+		if err := inj.Arm([]faultinject.Step{{
+			Name: "kill-node1", Progress: 0.5,
+			Action: faultinject.ActCrashNode, Node: victim,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+
+		if err := c.Drive(job.Finished, deadline); err != nil {
+			t.Fatalf("seed %d: drive: %v (supervisor: %v, events: %v)",
+				seed, err, sup.Err(), sup.Events())
+		}
+		// Let the supervisor notice completion at its next tick.
+		if err := c.Drive(func() bool { return !sup.Running() }, 60*sim.Second); err != nil {
+			t.Fatalf("seed %d: supervisor never stood down: %v", seed, err)
+		}
+		if got := job.Result(); got != want {
+			t.Fatalf("seed %d: recovered result %v != reference %v", seed, got, want)
+		}
+		st := sup.Stats()
+		if st.Checkpoints < 1 {
+			t.Fatalf("seed %d: no generation was ever committed", seed)
+		}
+		if st.NodesDeclared < 1 || len(sup.EventsOf(supervisor.EvNodeDown)) < 1 {
+			t.Fatalf("seed %d: heartbeat detector never declared the failure; events: %v",
+				seed, sup.Events())
+		}
+		if st.Failovers < 1 || len(sup.EventsOf(supervisor.EvFailover)) < 1 {
+			t.Fatalf("seed %d: no automatic failover happened; events: %v", seed, sup.Events())
+		}
+		if fired := inj.Fired(); len(fired) != 1 || fired[0].Name != "kill-node1" {
+			t.Fatalf("seed %d: fault record %v", seed, fired)
+		}
+		for _, p := range job.Pods {
+			if p.Node() == victim {
+				t.Fatalf("seed %d: pod %s restored onto the failed node", seed, p.Name())
+			}
+			if p.Node().Failed() {
+				t.Fatalf("seed %d: pod %s on a failed node", seed, p.Name())
+			}
+		}
+		if len(sup.EventsOf(supervisor.EvDone)) != 1 {
+			t.Fatalf("seed %d: supervisor did not stand down; events: %v", seed, sup.Events())
+		}
+	}
+}
+
+// TestSupervisorHeartbeatLatency bounds the detection delay: the
+// detector must declare the node within a few heartbeat periods of the
+// crash, not eventually.
+func TestSupervisorHeartbeatLatency(t *testing.T) {
+	spec := cluster.JobSpec{App: "cpi", Endpoints: 4, Work: 0.03, Scale: 0.001}
+	_, refDur := reference(t, 2, spec)
+	c := cluster.New(cluster.Config{Nodes: 4, Seed: 2})
+	job, err := c.Launch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := supervisor.Policy{
+		HeartbeatInterval: 50 * sim.Millisecond,
+		CheckpointEvery:   refDur / 10,
+	}
+	sup, err := c.Supervise(job, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(c.W, c.FS)
+	var crashed sim.Time
+	inj.At(refDur/2, "kill", func() {
+		crashed = c.W.Now()
+		c.Nodes[1].Fail()
+	})
+	if err := c.Drive(job.Finished, deadline); err != nil {
+		t.Fatalf("drive: %v (supervisor: %v)", err, sup.Err())
+	}
+	downs := sup.EventsOf(supervisor.EvNodeDown)
+	if len(downs) < 1 {
+		t.Fatalf("no node-down event; events: %v", sup.Events())
+	}
+	eff := sup.Policy()
+	bound := eff.HeartbeatTimeout + 3*eff.HeartbeatInterval
+	if lat := sim.Duration(downs[0].T - crashed); lat > bound {
+		t.Fatalf("detection latency %v exceeds %v", lat, bound)
+	}
+}
+
+// TestSupervisorRetryBackoff injects a transient control-plane fault
+// (the first checkpoint's broadcast is dropped entirely) and verifies
+// the supervisor retries with backoff and commits on a later attempt.
+func TestSupervisorRetryBackoff(t *testing.T) {
+	spec := cluster.JobSpec{App: "bratu", Endpoints: 4, Work: 0.03, Scale: 0.001}
+	want, refDur := reference(t, 5, spec)
+
+	c := cluster.New(cluster.Config{Nodes: 4, Seed: 5})
+	job, err := c.Launch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := c.Supervise(job, supervisor.Policy{
+		CheckpointEvery:   refDur / 4,
+		CheckpointTimeout: 200 * sim.Millisecond,
+		RetryBackoff:      50 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The injector owns the manager's control hook; arming the drop at
+	// checkpoint-start kills exactly the first attempt's M1 broadcast
+	// (one message per pod), stalling it into the watchdog.
+	inj := faultinject.New(c.W, c.FS)
+	inj.ObservePhases(c.Mgr)
+	inj.InterposeCtrl(c.Mgr)
+	if err := inj.Arm([]faultinject.Step{{
+		Name: "drop-first-broadcast", Phase: core.PhaseCheckpointStart,
+		Action: faultinject.ActDropControl, Count: len(job.Pods),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Drive(job.Finished, deadline); err != nil {
+		t.Fatalf("drive: %v (supervisor: %v, events: %v)", err, sup.Err(), sup.Events())
+	}
+	st := sup.Stats()
+	if st.Retries < 1 || len(sup.EventsOf(supervisor.EvRetry)) < 1 {
+		t.Fatalf("no retry recorded; stats %+v events %v", st, sup.Events())
+	}
+	if st.Checkpoints < 1 {
+		t.Fatalf("no generation committed despite retries; events: %v", sup.Events())
+	}
+	if got := job.Result(); got != want {
+		t.Fatalf("result %v != reference %v", got, want)
+	}
+}
+
+// TestSupervisorSkipsCorruptGeneration corrupts the newest committed
+// generation on the shared FS; at the next failover the supervisor must
+// skip it (with an explicit event) and restart from the previous valid
+// generation.
+func TestSupervisorSkipsCorruptGeneration(t *testing.T) {
+	spec := cluster.JobSpec{App: "cpi", Endpoints: 4, Work: 0.03, Scale: 0.001}
+	want, refDur := reference(t, 6, spec)
+
+	c := cluster.New(cluster.Config{Nodes: 4, Seed: 6})
+	job, err := c.Launch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := c.Supervise(job, supervisor.Policy{
+		HeartbeatInterval: 50 * sim.Millisecond,
+		CheckpointEvery:   refDur / 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for two committed generations, then corrupt the newest and
+	// kill a node; detection (a few hundred ms) far precedes the next
+	// checkpoint period.
+	if err := c.Drive(func() bool { return sup.Stats().Checkpoints >= 2 }, deadline); err != nil {
+		t.Fatalf("drive to second generation: %v", err)
+	}
+	gens := sup.Generations()
+	newest := gens[len(gens)-1]
+	files := c.FS.List(newest.Dir)
+	if len(files) == 0 {
+		t.Fatalf("generation %s has no files", newest.Dir)
+	}
+	data, err := c.FS.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := c.FS.WriteFile(files[0], data); err != nil {
+		t.Fatal(err)
+	}
+	c.Nodes[1].Fail()
+
+	if err := c.Drive(job.Finished, deadline); err != nil {
+		t.Fatalf("drive: %v (supervisor: %v, events: %v)", err, sup.Err(), sup.Events())
+	}
+	st := sup.Stats()
+	if st.CorruptSkipped < 1 || len(sup.EventsOf(supervisor.EvSkipCorrupt)) < 1 {
+		t.Fatalf("corrupt generation was not skipped; stats %+v events %v", st, sup.Events())
+	}
+	if st.Failovers < 1 {
+		t.Fatalf("no failover; events: %v", sup.Events())
+	}
+	if got := job.Result(); got != want {
+		t.Fatalf("result %v != reference %v", got, want)
+	}
+}
+
+// TestSupervisorRetentionGC verifies the bounded generation store: with
+// Retain=2 the supervisor keeps at most two generations on the shared
+// FS and collects the rest oldest-first.
+func TestSupervisorRetentionGC(t *testing.T) {
+	spec := cluster.JobSpec{App: "cpi", Endpoints: 4, Work: 0.03, Scale: 0.001}
+	_, refDur := reference(t, 8, spec)
+
+	c := cluster.New(cluster.Config{Nodes: 4, Seed: 8})
+	job, err := c.Launch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := c.Supervise(job, supervisor.Policy{
+		CheckpointEvery: refDur / 12,
+		Retain:          2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drive(func() bool { return sup.Stats().Checkpoints >= 5 || job.Finished() }, deadline); err != nil {
+		t.Fatal(err)
+	}
+	st := sup.Stats()
+	if st.Checkpoints < 5 {
+		t.Fatalf("only %d checkpoints before completion; slow down the job", st.Checkpoints)
+	}
+	gens := sup.Generations()
+	if len(gens) > 2 {
+		t.Fatalf("%d generations retained, want <= 2", len(gens))
+	}
+	if st.GCCollected < 3 {
+		t.Fatalf("GCCollected = %d, want >= 3", st.GCCollected)
+	}
+	// Only the retained generations' files remain on the shared FS.
+	files := c.FS.List(sup.Policy().Dir)
+	if want := len(gens) * len(job.Pods); len(files) != want {
+		t.Fatalf("%d files under %s, want %d: %v", len(files), sup.Policy().Dir, want, files)
+	}
+	if err := c.Drive(job.Finished, deadline); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSupervisorHaltsWithoutGenerations: a node dies before any
+// checkpoint was committed; the supervisor must halt with a recorded
+// reason instead of hanging or panicking.
+func TestSupervisorHaltsWithoutGenerations(t *testing.T) {
+	spec := cluster.JobSpec{App: "cpi", Endpoints: 4, Work: 0.03, Scale: 0.001}
+	c := cluster.New(cluster.Config{Nodes: 4, Seed: 11})
+	job, err := c.Launch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := c.Supervise(job, supervisor.Policy{
+		HeartbeatInterval: 50 * sim.Millisecond,
+		CheckpointEvery:   deadline, // effectively never
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.W.After(100*sim.Millisecond, func() { c.Nodes[1].Fail() })
+	// The job can never finish (a peer is dead, no recovery possible);
+	// drive until the supervisor halts.
+	if err := c.Drive(func() bool { return !sup.Running() }, deadline); err != nil {
+		t.Fatal(err)
+	}
+	if sup.Err() == nil {
+		t.Fatal("supervisor stood down without a recorded error")
+	}
+	if len(sup.EventsOf(supervisor.EvHalt)) != 1 {
+		t.Fatalf("events: %v", sup.Events())
+	}
+}
+
+// TestSuperviseRejectsBaseJobs: unvirtualized jobs cannot be
+// checkpointed, so supervision must be refused up front.
+func TestSuperviseRejectsBaseJobs(t *testing.T) {
+	c := cluster.New(cluster.Config{Nodes: 2, Seed: 1})
+	job, err := c.Launch(cluster.JobSpec{App: "cpi", Endpoints: 2, Work: 0.01, Scale: 0.001, Base: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Supervise(job, supervisor.Policy{}); err == nil {
+		t.Fatal("base job accepted for supervision")
+	}
+}

@@ -26,7 +26,9 @@ package zapc
 import (
 	"zapc/internal/cluster"
 	"zapc/internal/core"
+	"zapc/internal/faultinject"
 	"zapc/internal/sim"
+	"zapc/internal/supervisor"
 )
 
 // Core types re-exported from the implementation. The aliases give
@@ -56,6 +58,57 @@ type (
 	// Costs is the calibrated hardware cost model.
 	Costs = sim.Costs
 )
+
+// Self-healing supervision and fault injection (see internal/supervisor
+// and internal/faultinject). A job is placed under supervision with
+// c.Supervise(job, policy); faults are scripted with an Injector:
+//
+//	sup, _ := c.Supervise(job, zapc.SupervisorPolicy{CheckpointEvery: 2 * zapc.Second})
+//	inj := zapc.NewFaultInjector(c)
+//	inj.SetProgressProbe(job.Progress, 0)
+//	_ = inj.Arm([]zapc.FaultStep{{
+//		Name: "kill", Progress: 0.5, Action: zapc.FaultCrashNode, Node: c.Nodes[1],
+//	}})
+//	c.Drive(job.Finished, 10*zapc.Minute) // recovery happens underneath
+type (
+	// SupervisorPolicy tunes the self-healing loop (heartbeat cadence,
+	// checkpoint period, retry/backoff, generation retention).
+	SupervisorPolicy = supervisor.Policy
+	// Supervisor is the self-healing control loop for one job.
+	Supervisor = supervisor.Supervisor
+	// SupervisorEvent is one entry of the supervisor's activity log.
+	SupervisorEvent = supervisor.Event
+	// SupervisorStats counts supervisor activity.
+	SupervisorStats = supervisor.Stats
+	// FaultInjector schedules deterministic scripted faults.
+	FaultInjector = faultinject.Injector
+	// FaultStep is one entry of a declarative fault schedule.
+	FaultStep = faultinject.Step
+	// FaultRecord logs one fired fault.
+	FaultRecord = faultinject.Record
+)
+
+// ErrCorruptImage is returned (wrapped, naming the affected pod) when a
+// checkpoint image fails CRC validation during LoadImages/RestartFromFS.
+var ErrCorruptImage = cluster.ErrCorruptImage
+
+// Declarative fault kinds.
+const (
+	FaultCrashNode    = faultinject.ActCrashNode
+	FaultCrashManager = faultinject.ActCrashManager
+	FaultCorruptImage = faultinject.ActCorruptImage
+	FaultDropControl  = faultinject.ActDropControl
+	FaultDelayControl = faultinject.ActDelayControl
+)
+
+// NewFaultInjector creates a fault injector wired to the cluster's
+// simulation world, shared filesystem, and manager control plane.
+func NewFaultInjector(c *Cluster) *FaultInjector {
+	inj := faultinject.New(c.W, c.FS)
+	inj.ObservePhases(c.Mgr)
+	inj.InterposeCtrl(c.Mgr)
+	return inj
+}
 
 // Checkpoint modes.
 const (
