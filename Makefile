@@ -1,9 +1,12 @@
 GO ?= go
+FUZZTIME ?= 5s
+BENCH_OUT ?= BENCH_ckpt.json
 
-.PHONY: ci vet build test race bench examples clean
+.PHONY: ci vet build test race fuzz cover bench benchdiff examples clean
 
-# Full CI gate: static checks, a clean build, and the race-enabled suite.
-ci: vet build race
+# Full CI gate: static checks, a clean build, the race-enabled suite,
+# short fuzzing of the image-format decoders, and coverage totals.
+ci: vet build race fuzz cover
 
 vet:
 	$(GO) vet ./...
@@ -17,8 +20,29 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Short, deterministic-budget fuzz passes over every image-format entry
+# point (TLV decoder, round-trip property, full+delta image decoder).
+# Raise FUZZTIME for a real fuzzing session.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/imgfmt
+	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/imgfmt
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeImage$$' -fuzztime $(FUZZTIME) ./internal/ckpt
+
+# Coverage profile plus per-package totals.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# Benchmarks across every package, then the checkpoint-pipeline
+# trajectory run and its regression gate (>25% encode-throughput drop
+# vs the previous record fails).
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/zapc-bench -fig ckpt -out $(BENCH_OUT)
+	$(GO) run ./cmd/zapc-benchdiff $(BENCH_OUT)
+
+benchdiff:
+	$(GO) run ./cmd/zapc-benchdiff $(BENCH_OUT)
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -27,3 +51,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
+	rm -f coverage.out

@@ -141,6 +141,33 @@ func BenchmarkNetworkState(b *testing.B) {
 	}
 }
 
+// BenchmarkCkptPipeline measures the parallel + incremental checkpoint
+// pipeline: modeled coordinated-checkpoint time sequential vs pooled,
+// the wire economics of delta generations, and the host wall-clock
+// throughput of the parallel encoder. cmd/zapc-bench -fig ckpt runs the
+// same harness and appends the results to the BENCH_ckpt.json
+// trajectory.
+func BenchmarkCkptPipeline(b *testing.B) {
+	for _, n := range []int{4, 8} {
+		b.Run(fmt.Sprintf("cpi/n=%d", n), func(b *testing.B) {
+			var row zapc.CkptPipelineRow
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = zapc.RunCkptPipeline(benchCfg(), "cpi", n, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(row.SeqCkpt)/1e6, "seq-ckpt-sim-ms")
+			b.ReportMetric(float64(row.ParCkpt)/1e6, "par-ckpt-sim-ms")
+			b.ReportMetric(row.SimSpeedup, "sim-speedup")
+			b.ReportMetric(float64(row.FullBytes), "full-img-bytes")
+			b.ReportMetric(float64(row.DeltaBytes), "delta-img-bytes")
+			b.ReportMetric(row.EncodeMBps, "encode-MiBps")
+		})
+	}
+}
+
 // BenchmarkAblationSyncPlacement measures design choice A1: overlapping
 // the standalone checkpoint with the manager synchronization (Figure 2)
 // vs the naive wait-for-continue ordering.

@@ -1,0 +1,191 @@
+package zapc
+
+import (
+	"fmt"
+	"time"
+
+	"zapc/internal/ckpt"
+	"zapc/internal/core"
+	"zapc/internal/metrics"
+)
+
+// CkptPipelineRow reports one run of the parallel/incremental
+// checkpoint-pipeline benchmark: the same deterministic job is
+// checkpointed with a sequential serializer, with the bounded worker
+// pool, and with incremental (base+delta) capture, so the three arms
+// are directly comparable.
+type CkptPipelineRow struct {
+	App     string
+	Pods    int
+	Procs   int
+	Workers int
+
+	// Modeled coordinated-checkpoint time, Workers=1 vs Workers=N.
+	SeqCkpt    Duration
+	ParCkpt    Duration
+	SimSpeedup float64
+
+	// Average wire bytes per generation, full vs delta, over the
+	// incremental arm's checkpoint sequence.
+	FullBytes      int64
+	DeltaBytes     int64
+	BytesReduction float64
+
+	// Host wall-clock serialization throughput of the parallel encoder
+	// over the run's images (MiB/s), and total harness wall time.
+	EncodeMBps float64
+	Wall       time.Duration
+}
+
+// ckptAt drives the job to the given progress and takes one snapshot
+// checkpoint with the given options, returning the result.
+func ckptAt(c *Cluster, job *Job, target float64, opts core.Options) (*core.CheckpointResult, error) {
+	if err := c.Drive(func() bool { return job.Progress() >= target || job.Finished() }, runDeadline); err != nil {
+		return nil, err
+	}
+	if job.Finished() {
+		return nil, fmt.Errorf("job finished before %.0f%% checkpoint", 100*target)
+	}
+	return c.Checkpoint(job, opts)
+}
+
+// RunCkptPipeline measures the checkpoint pipeline for one (app,
+// endpoints) configuration. workers <= 0 selects one worker per host
+// CPU, floored at 4 so the parallel arm stays meaningful on small
+// hosts (the modeled pool width does not require host cores). The
+// sequential and parallel arms run the same seed, so the two modeled
+// checkpoint times differ only by the worker-pool width; the
+// incremental arm takes cfg.Checkpoints snapshots through an IncrSet
+// and reports the full-vs-delta wire economics.
+func RunCkptPipeline(cfg ExperimentConfig, app string, endpoints, workers int) (CkptPipelineRow, error) {
+	cfg = cfg.defaults()
+	if workers <= 0 {
+		if workers = ckpt.DefaultWorkers(); workers < 4 {
+			workers = 4
+		}
+	}
+	start := time.Now()
+	row := CkptPipelineRow{App: app, Pods: endpoints, Workers: workers}
+
+	// --- Arm 1+2: sequential vs parallel modeled checkpoint time on
+	// identical cluster state (same seed, same progress point).
+	var records [][]byte
+	for arm, w := range []int{1, workers} {
+		c := clusterFor(endpoints, cfg)
+		job, err := c.Launch(cfg.spec(app, endpoints, false))
+		if err != nil {
+			return row, err
+		}
+		res, err := ckptAt(c, job, 0.4, core.Options{Mode: core.Snapshot, Workers: w})
+		if err != nil {
+			return row, fmt.Errorf("ckpt pipeline %s/%d workers=%d: %w", app, endpoints, w, err)
+		}
+		if arm == 0 {
+			row.SeqCkpt = res.Stats.Total
+		} else {
+			row.ParCkpt = res.Stats.Total
+			records = records[:0]
+			for _, rec := range res.Records {
+				records = append(records, rec)
+			}
+		}
+		if _, err := c.RunJob(job, runDeadline); err != nil {
+			return row, err
+		}
+	}
+	if row.ParCkpt > 0 {
+		row.SimSpeedup = float64(row.SeqCkpt) / float64(row.ParCkpt)
+	}
+
+	// --- Arm 3: incremental capture. One full base then deltas, full
+	// again every FullEvery generations, as the supervisor schedules it.
+	c := clusterFor(endpoints, cfg)
+	job, err := c.Launch(cfg.spec(app, endpoints, false))
+	if err != nil {
+		return row, err
+	}
+	incr := ckpt.NewIncrSet(cfg.Checkpoints + 1) // one base, then deltas
+	var fullB, deltaB metrics.Sample
+	for i := 0; i < cfg.Checkpoints; i++ {
+		target := float64(i+1) / float64(cfg.Checkpoints+1) * 0.9
+		res, err := ckptAt(c, job, target, core.Options{Mode: core.Snapshot, Workers: workers, Incr: incr})
+		if err != nil {
+			return row, fmt.Errorf("ckpt pipeline %s/%d incr %d: %w", app, endpoints, i, err)
+		}
+		for _, a := range res.Stats.Agents {
+			if a.Incremental {
+				deltaB.Add(float64(a.WireBytes))
+			} else {
+				fullB.Add(float64(a.WireBytes))
+			}
+		}
+	}
+	if _, err := c.RunJob(job, runDeadline); err != nil {
+		return row, err
+	}
+	row.FullBytes = int64(fullB.Mean())
+	row.DeltaBytes = int64(deltaB.Mean())
+	if row.DeltaBytes > 0 {
+		row.BytesReduction = float64(row.FullBytes) / float64(row.DeltaBytes)
+	}
+
+	// --- Host wall-clock encoder throughput over the parallel arm's
+	// images: decode once, then time repeated parallel re-encodes.
+	var images []*ckpt.Image
+	var totalBytes int64
+	for _, rec := range records {
+		img, err := ckpt.DecodeImageWith(rec, workers)
+		if err != nil {
+			return row, err
+		}
+		images = append(images, img)
+		totalBytes += int64(len(rec))
+		row.Procs += len(img.Procs)
+	}
+	const reps = 8
+	encStart := time.Now()
+	for r := 0; r < reps; r++ {
+		for _, img := range images {
+			img.EncodeParallel(workers)
+		}
+	}
+	if el := time.Since(encStart).Seconds(); el > 0 {
+		row.EncodeMBps = float64(totalBytes*reps) / (1 << 20) / el
+	}
+	row.Wall = time.Since(start)
+	return row, nil
+}
+
+// Record converts a row into the JSON trajectory record appended to
+// BENCH_ckpt.json.
+func (r CkptPipelineRow) Record(cfg ExperimentConfig, when string) metrics.CkptBenchRecord {
+	cfg = cfg.defaults()
+	return metrics.CkptBenchRecord{
+		When:           when,
+		Seed:           cfg.Seed,
+		Pods:           r.Pods,
+		Procs:          r.Procs,
+		Workers:        r.Workers,
+		SeqSimMs:       float64(r.SeqCkpt) / 1e6,
+		ParSimMs:       float64(r.ParCkpt) / 1e6,
+		SimSpeedup:     r.SimSpeedup,
+		FullBytes:      r.FullBytes,
+		DeltaBytes:     r.DeltaBytes,
+		BytesReduction: r.BytesReduction,
+		EncodeMBps:     r.EncodeMBps,
+		WallNs:         int64(r.Wall),
+	}
+}
+
+// CkptPipelineTable formats pipeline rows for terminal output.
+func CkptPipelineTable(rows []CkptPipelineRow) string {
+	t := metrics.NewTable("app", "pods", "procs", "workers", "seq-ckpt", "par-ckpt", "speedup", "full-img", "delta-img", "reduction", "encode")
+	for _, r := range rows {
+		t.Row(r.App, r.Pods, r.Procs, r.Workers, r.SeqCkpt, r.ParCkpt,
+			fmt.Sprintf("%.2fx", r.SimSpeedup),
+			metrics.HumanBytes(r.FullBytes), metrics.HumanBytes(r.DeltaBytes),
+			fmt.Sprintf("%.1fx", r.BytesReduction),
+			fmt.Sprintf("%.0f MiB/s", r.EncodeMBps))
+	}
+	return t.String()
+}

@@ -12,7 +12,12 @@
 //	zapc-bench -fig sync       # ablation A1: sync placement
 //	zapc-bench -fig redirect   # ablation A2: send-queue redirect
 //	zapc-bench -fig reconnect  # ablation A3: reconnection scaling
+//	zapc-bench -fig ckpt       # parallel/incremental checkpoint pipeline
 //	zapc-bench -fig all        # everything
+//
+// -fig ckpt additionally appends one record per run to the trajectory
+// file named by -out (default BENCH_ckpt.json); zapc-benchdiff compares
+// the last two records and fails on an encode-throughput regression.
 //
 // -scale 1.0 reproduces paper-scale image sizes in memory (expensive);
 // the default 1/16 shrinks footprints while the cost model still charges
@@ -25,17 +30,20 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"zapc"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, net, timeline, sync, redirect, reconnect, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, net, timeline, sync, redirect, reconnect, ckpt, all")
 	scale := flag.Float64("scale", 1.0/16, "memory footprint scale (1.0 = paper scale)")
 	work := flag.Float64("work", 0.25, "application runtime scale")
 	ckpts := flag.Int("ckpts", 10, "checkpoints per measured run")
 	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all four)")
 	seed := flag.Int64("seed", 2005, "simulation seed")
+	workers := flag.Int("workers", 0, "checkpoint worker-pool width for -fig ckpt (<=0: one per host CPU)")
+	out := flag.String("out", "BENCH_ckpt.json", "trajectory file appended by -fig ckpt")
 	flag.Parse()
 
 	cfg := zapc.ExperimentConfig{
@@ -205,6 +213,32 @@ func main() {
 		fmt.Printf("bt n=4  restart wire bytes: plain=%d redirect=%d (saved %d)\n",
 			row.PlainWireBytes, row.RedirWireBytes, row.PlainWireBytes-row.RedirWireBytes)
 		fmt.Printf("        restart time: plain=%v redirect=%v\n\n", row.PlainRestart, row.RedirectRestart)
+		return nil
+	})
+
+	run("ckpt", func() error {
+		fmt.Println("== Parallel + incremental checkpoint pipeline ==")
+		var rows []zapc.CkptPipelineRow
+		for _, n := range []int{4, 8} {
+			row, err := zapc.RunCkptPipeline(cfg, "cpi", n, *workers)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		fmt.Println(zapc.CkptPipelineTable(rows))
+		// Append the 8-pod row to the trajectory so successive runs are
+		// comparable with zapc-benchdiff.
+		rec := rows[len(rows)-1].Record(cfg, time.Now().UTC().Format(time.RFC3339))
+		prev, err := os.ReadFile(*out)
+		if err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		if err := os.WriteFile(*out, zapc.AppendBenchRun(prev, rec), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("appended run to %s (sim-speedup %.2fx, delta reduction %.1fx, encode %.0f MiB/s)\n\n",
+			*out, rec.SimSpeedup, rec.BytesReduction, rec.EncodeMBps)
 		return nil
 	})
 

@@ -1,0 +1,60 @@
+// Command zapc-benchdiff guards the checkpoint pipeline against
+// performance regressions. It reads a BENCH_ckpt.json trajectory (as
+// appended by `zapc-bench -fig ckpt`) and compares the newest record
+// against the one before it, exiting non-zero when the parallel
+// encoder's host throughput dropped by more than the tolerance.
+//
+// Usage:
+//
+//	zapc-benchdiff [-tol 25] [BENCH_ckpt.json]
+//
+// With fewer than two records the check passes vacuously (first run of
+// a fresh checkout has no baseline).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zapc"
+)
+
+func main() {
+	tol := flag.Float64("tol", 25, "max tolerated encode-throughput regression, percent")
+	flag.Parse()
+	file := "BENCH_ckpt.json"
+	if flag.NArg() > 0 {
+		file = flag.Arg(0)
+	}
+
+	data, err := os.ReadFile(file)
+	if os.IsNotExist(err) {
+		fmt.Printf("zapc-benchdiff: %s not found; nothing to compare\n", file)
+		return
+	}
+	if err != nil {
+		fatal(err)
+	}
+	recs, err := zapc.DecodeBenchTrajectory(data)
+	if err != nil {
+		fatal(err)
+	}
+	if len(recs) < 2 {
+		fmt.Printf("zapc-benchdiff: %s has %d record(s); need two to compare\n", file, len(recs))
+		return
+	}
+	prev, cur := recs[len(recs)-2], recs[len(recs)-1]
+	fmt.Printf("zapc-benchdiff: %s: encode %.1f -> %.1f MiB/s, sim-speedup %.2fx -> %.2fx, delta reduction %.1fx -> %.1fx\n",
+		file, prev.EncodeMBps, cur.EncodeMBps, prev.SimSpeedup, cur.SimSpeedup,
+		prev.BytesReduction, cur.BytesReduction)
+	if err := zapc.CompareBenchThroughput(prev, cur, *tol); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("zapc-benchdiff: within %.0f%% tolerance\n", *tol)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "zapc-benchdiff: %v\n", err)
+	os.Exit(1)
+}

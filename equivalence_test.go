@@ -1,0 +1,124 @@
+package zapc_test
+
+// Restore-equivalence property, checked over several seeds: a job that
+// is checkpointed — fully or incrementally — and restarted produces
+// exactly the observable state of an uninterrupted run, and the
+// incremental record chain reconstructs byte-for-byte to the full image
+// the restart used.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"zapc"
+	"zapc/internal/ckpt"
+)
+
+const eqDeadline = 4 * 3600 * zapc.Second
+
+func eqSpec() zapc.JobSpec {
+	return zapc.JobSpec{App: "cpi", Endpoints: 4, Work: 0.04, Scale: 0.002, WithDaemons: true}
+}
+
+// eqReference runs the job uninterrupted and returns its result.
+func eqReference(t *testing.T, seed int64) float64 {
+	t.Helper()
+	c := zapc.New(zapc.Config{Nodes: 4, Seed: seed})
+	job, err := c.Launch(eqSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunJob(job, eqDeadline); err != nil {
+		t.Fatal(err)
+	}
+	return job.Result()
+}
+
+func driveTo(t *testing.T, c *zapc.Cluster, job *zapc.Job, p float64) {
+	t.Helper()
+	if err := c.Drive(func() bool { return job.Progress() >= p }, eqDeadline); err != nil {
+		t.Fatal(err)
+	}
+	if job.Finished() {
+		t.Fatalf("job finished before reaching %.0f%% — raise Work", 100*p)
+	}
+}
+
+func TestRestoreEquivalenceProperty(t *testing.T) {
+	for _, seed := range []int64{3, 17, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			want := eqReference(t, seed)
+
+			// --- Full checkpoint, migrate, restart.
+			c := zapc.New(zapc.Config{Nodes: 4, Seed: seed})
+			job, err := c.Launch(eqSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveTo(t, c, job, 0.5)
+			ck, err := c.Checkpoint(job, zapc.CheckpointOptions{Mode: zapc.MigrateMode, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Restart(job, ck, c.Nodes); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.RunJob(job, eqDeadline); err != nil {
+				t.Fatal(err)
+			}
+			if got := job.Result(); got != want {
+				t.Fatalf("full checkpoint+restart result %v != uninterrupted %v", got, want)
+			}
+
+			// --- Incremental: full base at 30%, delta at 60%, restart
+			// from the delta generation's materialized images.
+			c2 := zapc.New(zapc.Config{Nodes: 4, Seed: seed})
+			job2, err := c2.Launch(eqSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			incr := zapc.NewIncrSet(10)
+			driveTo(t, c2, job2, 0.3)
+			base, err := c2.Checkpoint(job2, zapc.CheckpointOptions{Mode: zapc.Snapshot, Workers: 4, Incr: incr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveTo(t, c2, job2, 0.6)
+			dck, err := c2.Checkpoint(job2, zapc.CheckpointOptions{Mode: zapc.MigrateMode, Workers: 4, Incr: incr})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The delta chain must reconstruct exactly the full image
+			// the restart will use.
+			for vip, rec := range dck.Records {
+				full, ok := base.Records[vip]
+				if !ok {
+					t.Fatalf("pod %v has a delta but no base record", vip)
+				}
+				if _, err := ckpt.DecodeDelta(rec); err != nil {
+					t.Fatalf("pod %v: second record is not a delta: %v", vip, err)
+				}
+				rebuilt, err := ckpt.ReconstructChain([][]byte{full, rec})
+				if err != nil {
+					t.Fatalf("pod %v: chain: %v", vip, err)
+				}
+				if !bytes.Equal(rebuilt.Encode(), dck.Images[vip].Encode()) {
+					t.Fatalf("pod %v: base+delta reconstruction differs from the materialized image", vip)
+				}
+			}
+
+			if _, err := c2.Restart(job2, dck, c2.Nodes); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c2.RunJob(job2, eqDeadline); err != nil {
+				t.Fatal(err)
+			}
+			if got := job2.Result(); got != want {
+				t.Fatalf("incremental checkpoint+restart result %v != uninterrupted %v", got, want)
+			}
+		})
+	}
+}

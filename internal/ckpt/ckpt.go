@@ -106,14 +106,30 @@ type Image struct {
 
 // CheckpointPod saves a suspended pod. The pod must be quiescent with
 // its network blocked (the coordinated Agent guarantees both before
-// calling). The walk has no side effects on the pod.
+// calling). The walk has no side effects on the pod. CheckpointPodWith
+// performs the same save with a parallel worker pool.
 func CheckpointPod(p *pod.Pod) (*Image, error) {
+	return CheckpointPodWith(p, 1)
+}
+
+// procRef and sockRef name the worker-pool job inputs.
+type (
+	procRef = *vos.Process
+	sockRef = *netstack.Socket
+)
+
+// beginCheckpoint performs the sequential prologue every checkpoint
+// shares: quiescence check, network-state capture, the image skeleton,
+// the frozen process list, and the socket-identity -> slot table (the
+// same enumeration order netckpt used; the pod is frozen, so the socket
+// table is stable).
+func beginCheckpoint(p *pod.Pod) (*Image, []procRef, map[sockRef]int, error) {
 	if !p.Quiescent() {
-		return nil, ErrNotQuiescent
+		return nil, nil, nil, ErrNotQuiescent
 	}
 	netImg, _, err := netckpt.CheckpointStack(p.Stack())
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	img := &Image{
 		PodName:     p.Name(),
@@ -121,40 +137,46 @@ func CheckpointPod(p *pod.Pod) (*Image, error) {
 		VirtualTime: p.VirtualNow(),
 		Net:         netImg,
 	}
-	// Socket identity -> slot, using the same enumeration order netckpt
-	// used (the pod is frozen, so the socket table is stable).
-	slotOf := make(map[*netstack.Socket]int)
+	slotOf := make(map[sockRef]int)
 	for i, s := range p.Stack().Sockets() {
 		slotOf[s] = i
 	}
-	for _, proc := range p.Procs() {
-		pi := ProcImage{
-			VPID: proc.VPID,
-			Kind: proc.Prog.Kind(),
-		}
-		enc := imgfmt.NewEncoder()
-		if err := proc.Prog.Save(enc); err != nil {
-			return nil, fmt.Errorf("ckpt: saving %s (vpid %d): %w", pi.Kind, pi.VPID, err)
-		}
-		pi.ProgData = enc.Finish()
-		for _, r := range proc.Memory() {
-			pi.Regions = append(pi.Regions, vos.Region{
-				Name: r.Name,
-				Data: append([]byte(nil), r.Data...),
-			})
-		}
-		for _, fd := range proc.FDs() {
-			s, _ := proc.SocketFor(fd)
-			slot, ok := slotOf[s]
-			if !ok {
-				return nil, fmt.Errorf("ckpt: fd %d of vpid %d references unknown socket", fd, pi.VPID)
-			}
-			pi.FDs = append(pi.FDs, FDEntry{FD: fd, Slot: slot})
-		}
-		img.Procs = append(img.Procs, pi)
+	return img, p.Procs(), slotOf, nil
+}
+
+// captureProc serializes one frozen process: program state, memory
+// regions, and descriptor-to-slot bindings. It reads the process but
+// never mutates it, so captures of distinct processes may run
+// concurrently.
+func captureProc(proc *vos.Process, slotOf map[sockRef]int) (ProcImage, error) {
+	pi := ProcImage{
+		VPID: proc.VPID,
+		Kind: proc.Prog.Kind(),
 	}
-	sort.Slice(img.Procs, func(i, j int) bool { return img.Procs[i].VPID < img.Procs[j].VPID })
-	return img, nil
+	enc := imgfmt.NewEncoder()
+	if err := proc.Prog.Save(enc); err != nil {
+		return pi, fmt.Errorf("ckpt: saving %s (vpid %d): %w", pi.Kind, pi.VPID, err)
+	}
+	pi.ProgData = enc.Finish()
+	for _, r := range proc.Memory() {
+		pi.Regions = append(pi.Regions, vos.Region{
+			Name: r.Name,
+			Data: append([]byte(nil), r.Data...),
+		})
+	}
+	for _, fd := range proc.FDs() {
+		s, _ := proc.SocketFor(fd)
+		slot, ok := slotOf[s]
+		if !ok {
+			return pi, fmt.Errorf("ckpt: fd %d of vpid %d references unknown socket", fd, pi.VPID)
+		}
+		pi.FDs = append(pi.FDs, FDEntry{FD: fd, Slot: slot})
+	}
+	return pi, nil
+}
+
+func sortProcs(procs []ProcImage) {
+	sort.Slice(procs, func(i, j int) bool { return procs[i].VPID < procs[j].VPID })
 }
 
 // Remap rewrites the image's virtual addresses for a restart at

@@ -1,0 +1,619 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"zapc/internal/imgfmt"
+	"zapc/internal/netckpt"
+	"zapc/internal/netstack"
+	"zapc/internal/pod"
+	"zapc/internal/sim"
+	"zapc/internal/vos"
+)
+
+// ErrChainBroken marks an incremental chain whose records do not link:
+// a delta whose ParentSum does not match the preceding record's
+// checksum, a sequence gap, or a pod-name mismatch.
+var ErrChainBroken = errors.New("ckpt: incremental chain broken")
+
+// Delta record field tags (root).
+const (
+	dtagPodName     = 1
+	dtagVIP         = 2
+	dtagVTime       = 3
+	dtagSeq         = 4
+	dtagParentSum   = 5
+	dtagNet         = 6
+	dtagProc        = 7
+	dtagRemovedProc = 8
+)
+
+// ProcDelta field tags.
+const (
+	dtagVPID          = 1
+	dtagKind          = 2
+	dtagNew           = 3
+	dtagProgChanged   = 4
+	dtagProgData      = 5
+	dtagRegion        = 6
+	dtagRemovedRegion = 7
+	dtagFD            = 8
+)
+
+// ProcDelta is the incremental record of one process: only what changed
+// since the parent generation. A New process carries its full state.
+type ProcDelta struct {
+	VPID vos.PID
+	Kind string
+	// New marks a process that did not exist in the parent generation.
+	New bool
+	// ProgChanged marks that ProgData carries fresh program state; when
+	// false the parent's program state is still current.
+	ProgChanged bool
+	ProgData    []byte
+	// Regions holds the full data of every region written since the
+	// parent generation's watermark (region granularity, like the
+	// page-granularity incremental checkpointing of the paper's Zap
+	// layer).
+	Regions        []vos.Region
+	RemovedRegions []string
+	// FDs is the complete descriptor table; it is small enough that
+	// diffing it is not worth the bookkeeping.
+	FDs []FDEntry
+}
+
+// DeltaImage is one incremental checkpoint generation: the pod-level
+// header plus per-process deltas against the parent generation. Network
+// state is always captured in full — sequence numbers and buffer
+// occupancy churn on every exchange, so there is nothing stable to diff
+// against.
+type DeltaImage struct {
+	PodName     string
+	VIP         netstack.IP
+	VirtualTime sim.Time
+	// Seq numbers this delta within its chain: 1 for the first delta
+	// after a full image, then monotonically +1.
+	Seq uint64
+	// ParentSum is the CRC-32 (IEEE) of the parent record's encoded
+	// bytes — the full image for Seq 1, the previous delta otherwise.
+	// It makes every chain self-validating at the file level.
+	ParentSum uint32
+	Net       *netckpt.NetImage
+	Procs     []ProcDelta
+	// RemovedProcs lists virtual PIDs present in the parent generation
+	// but gone now (exited processes).
+	RemovedProcs []vos.PID
+}
+
+// Encode serializes the delta record (ZAPCDLT stream).
+func (d *DeltaImage) Encode() []byte {
+	e := imgfmt.NewDeltaEncoder()
+	e.String(dtagPodName, d.PodName)
+	e.Uint(dtagVIP, uint64(d.VIP))
+	e.Int(dtagVTime, int64(d.VirtualTime))
+	e.Uint(dtagSeq, d.Seq)
+	e.Uint(dtagParentSum, uint64(d.ParentSum))
+	e.Begin(dtagNet)
+	d.Net.Encode(e)
+	e.End()
+	for _, p := range d.Procs {
+		e.Begin(dtagProc)
+		e.Int(dtagVPID, int64(p.VPID))
+		e.String(dtagKind, p.Kind)
+		e.Bool(dtagNew, p.New)
+		e.Bool(dtagProgChanged, p.ProgChanged)
+		if p.ProgChanged {
+			e.Bytes(dtagProgData, p.ProgData)
+		}
+		for _, r := range p.Regions {
+			e.Begin(dtagRegion)
+			e.String(tagRegName, r.Name)
+			e.Bytes(tagRegData, r.Data)
+			e.End()
+		}
+		for _, name := range p.RemovedRegions {
+			e.String(dtagRemovedRegion, name)
+		}
+		for _, fd := range p.FDs {
+			e.Begin(dtagFD)
+			e.Int(tagFDNum, int64(fd.FD))
+			e.Int(tagFDSlot, int64(fd.Slot))
+			e.End()
+		}
+		e.End()
+	}
+	for _, vpid := range d.RemovedProcs {
+		e.Int(dtagRemovedProc, int64(vpid))
+	}
+	return e.Finish()
+}
+
+// DecodeDelta parses a serialized incremental record.
+func DecodeDelta(data []byte) (*DeltaImage, error) {
+	dec, err := imgfmt.NewDeltaDecoder(data)
+	if err != nil {
+		return nil, err
+	}
+	d := &DeltaImage{}
+	if d.PodName, err = dec.String(dtagPodName); err != nil {
+		return nil, err
+	}
+	vip, err := dec.Uint(dtagVIP)
+	if err != nil {
+		return nil, err
+	}
+	d.VIP = netstack.IP(vip)
+	vt, err := dec.Int(dtagVTime)
+	if err != nil {
+		return nil, err
+	}
+	d.VirtualTime = sim.Time(vt)
+	if d.Seq, err = dec.Uint(dtagSeq); err != nil {
+		return nil, err
+	}
+	psum, err := dec.Uint(dtagParentSum)
+	if err != nil {
+		return nil, err
+	}
+	d.ParentSum = uint32(psum)
+	netSec, err := dec.Section(dtagNet)
+	if err != nil {
+		return nil, err
+	}
+	if d.Net, err = netckpt.DecodeImage(netSec); err != nil {
+		return nil, err
+	}
+	for dec.More() {
+		tag, _, err := dec.Peek()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case dtagProc:
+			sec, err := dec.Section(dtagProc)
+			if err != nil {
+				return nil, err
+			}
+			p, err := decodeProcDelta(sec)
+			if err != nil {
+				return nil, err
+			}
+			d.Procs = append(d.Procs, p)
+		case dtagRemovedProc:
+			v, err := dec.Int(dtagRemovedProc)
+			if err != nil {
+				return nil, err
+			}
+			d.RemovedProcs = append(d.RemovedProcs, vos.PID(v))
+		default:
+			if err := dec.Skip(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+func decodeProcDelta(dec *imgfmt.Decoder) (ProcDelta, error) {
+	var p ProcDelta
+	vpid, err := dec.Int(dtagVPID)
+	if err != nil {
+		return p, err
+	}
+	p.VPID = vos.PID(vpid)
+	if p.Kind, err = dec.String(dtagKind); err != nil {
+		return p, err
+	}
+	if p.New, err = dec.Bool(dtagNew); err != nil {
+		return p, err
+	}
+	if p.ProgChanged, err = dec.Bool(dtagProgChanged); err != nil {
+		return p, err
+	}
+	if p.ProgChanged {
+		pd, err := dec.Bytes(dtagProgData)
+		if err != nil {
+			return p, err
+		}
+		p.ProgData = append([]byte(nil), pd...)
+	}
+	for dec.More() {
+		tag, _, err := dec.Peek()
+		if err != nil {
+			return p, err
+		}
+		switch tag {
+		case dtagRegion:
+			sec, err := dec.Section(dtagRegion)
+			if err != nil {
+				return p, err
+			}
+			name, e1 := sec.String(tagRegName)
+			data, e2 := sec.Bytes(tagRegData)
+			if err := errors.Join(e1, e2); err != nil {
+				return p, err
+			}
+			p.Regions = append(p.Regions, vos.Region{Name: name, Data: append([]byte(nil), data...)})
+		case dtagRemovedRegion:
+			name, err := dec.String(dtagRemovedRegion)
+			if err != nil {
+				return p, err
+			}
+			p.RemovedRegions = append(p.RemovedRegions, name)
+		case dtagFD:
+			sec, err := dec.Section(dtagFD)
+			if err != nil {
+				return p, err
+			}
+			fd, e1 := sec.Int(tagFDNum)
+			slot, e2 := sec.Int(tagFDSlot)
+			if err := errors.Join(e1, e2); err != nil {
+				return p, err
+			}
+			p.FDs = append(p.FDs, FDEntry{FD: int(fd), Slot: int(slot)})
+		default:
+			if err := dec.Skip(); err != nil {
+				return p, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// ApplyDelta materializes the child generation: a full image equal to
+// what a full checkpoint at the delta's capture point would have
+// produced. The base image is not modified.
+func ApplyDelta(base *Image, d *DeltaImage) (*Image, error) {
+	if base.PodName != d.PodName {
+		return nil, fmt.Errorf("%w: delta for pod %q applied to image of pod %q",
+			ErrChainBroken, d.PodName, base.PodName)
+	}
+	img := &Image{
+		PodName:     d.PodName,
+		VIP:         d.VIP,
+		VirtualTime: d.VirtualTime,
+		Net:         d.Net,
+	}
+	removed := make(map[vos.PID]bool, len(d.RemovedProcs))
+	for _, vpid := range d.RemovedProcs {
+		removed[vpid] = true
+	}
+	// Indices, not pointers: img.Procs grows below and a reallocation
+	// would strand pointers in the old backing array.
+	byVPID := make(map[vos.PID]int, len(base.Procs))
+	for _, bp := range base.Procs {
+		if removed[bp.VPID] {
+			continue
+		}
+		img.Procs = append(img.Procs, ProcImage{
+			VPID:     bp.VPID,
+			Kind:     bp.Kind,
+			ProgData: bp.ProgData,
+			Regions:  append([]vos.Region(nil), bp.Regions...),
+			FDs:      append([]FDEntry(nil), bp.FDs...),
+		})
+		byVPID[bp.VPID] = len(img.Procs) - 1
+	}
+	for _, pd := range d.Procs {
+		idx, known := byVPID[pd.VPID]
+		if !known {
+			if !pd.New {
+				return nil, fmt.Errorf("%w: delta updates unknown vpid %d", ErrChainBroken, pd.VPID)
+			}
+			img.Procs = append(img.Procs, ProcImage{VPID: pd.VPID, Kind: pd.Kind})
+			idx = len(img.Procs) - 1
+			byVPID[pd.VPID] = idx
+		}
+		pi := &img.Procs[idx]
+		if pd.ProgChanged {
+			pi.ProgData = pd.ProgData
+		}
+		for _, r := range pd.Regions {
+			replaced := false
+			for i := range pi.Regions {
+				if pi.Regions[i].Name == r.Name {
+					pi.Regions[i].Data = r.Data
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				pi.Regions = append(pi.Regions, r)
+			}
+		}
+		for _, name := range pd.RemovedRegions {
+			for i := range pi.Regions {
+				if pi.Regions[i].Name == name {
+					pi.Regions = append(pi.Regions[:i], pi.Regions[i+1:]...)
+					break
+				}
+			}
+		}
+		pi.FDs = append([]FDEntry(nil), pd.FDs...)
+	}
+	sortProcs(img.Procs)
+	return img, nil
+}
+
+// ReconstructChain decodes and validates a base-plus-deltas record
+// chain: records[0] must be a full image, every later record a delta
+// whose ParentSum matches the CRC-32 of the preceding record and whose
+// Seq increments by one. It returns the materialized image of the last
+// generation.
+func ReconstructChain(records [][]byte) (*Image, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("%w: empty chain", ErrChainBroken)
+	}
+	img, err := DecodeImage(records[0])
+	if err != nil {
+		return nil, err
+	}
+	sum := crc32.ChecksumIEEE(records[0])
+	for i, rec := range records[1:] {
+		d, err := DecodeDelta(rec)
+		if err != nil {
+			return nil, err
+		}
+		if d.ParentSum != sum {
+			return nil, fmt.Errorf("%w: record %d parent checksum %08x, want %08x",
+				ErrChainBroken, i+1, d.ParentSum, sum)
+		}
+		if d.Seq != uint64(i+1) {
+			return nil, fmt.Errorf("%w: record %d has sequence %d", ErrChainBroken, i+1, d.Seq)
+		}
+		if img, err = ApplyDelta(img, d); err != nil {
+			return nil, err
+		}
+		sum = crc32.ChecksumIEEE(rec)
+	}
+	return img, nil
+}
+
+// Tracker drives incremental checkpointing of one pod: it remembers the
+// last committed generation (materialized image, per-process dirty
+// watermarks, program-state fingerprints, record checksum) and emits
+// delta records containing only what changed since.
+//
+// Capture is transactional: it returns a Pending holding the encoded
+// record, and the tracker state only advances when the caller commits —
+// a checkpoint operation that aborts after serializing simply drops the
+// Pending and the chain stays anchored at the last durable generation.
+type Tracker struct {
+	seq       uint64 // deltas committed since the last full record
+	sinceFull int    // generations committed since the last full record
+	marks     map[vos.PID]uint64
+	lastProg  map[vos.PID][]byte
+	last      *Image // materialized image of the last committed generation
+	lastSum   uint32 // CRC-32 of the last committed record's bytes
+}
+
+// NewTracker returns an empty tracker; its first capture is always a
+// full image.
+func NewTracker() *Tracker { return &Tracker{} }
+
+// HasBase reports whether a committed generation exists to delta
+// against.
+func (t *Tracker) HasBase() bool { return t.last != nil }
+
+// SinceFull reports the number of generations committed since the last
+// full record (0 right after a full commit).
+func (t *Tracker) SinceFull() int { return t.sinceFull }
+
+// Rebase forgets the chain: the next capture produces a full image.
+// Recovery paths call it when a chain fails validation or ownership of
+// the pod moved (failover), so the tracker never extends a chain it can
+// no longer vouch for.
+func (t *Tracker) Rebase() {
+	t.seq = 0
+	t.sinceFull = 0
+	t.marks = nil
+	t.lastProg = nil
+	t.last = nil
+	t.lastSum = 0
+}
+
+// Pending is a captured-but-uncommitted checkpoint generation.
+type Pending struct {
+	// Image is the materialized full image of this generation,
+	// regardless of record kind — restart never needs to reconstruct
+	// in-memory chains.
+	Image *Image
+	// Delta is the incremental record, nil for a full generation.
+	Delta *DeltaImage
+	// Wire is the encoded record: Image bytes for a full generation,
+	// Delta bytes otherwise.
+	Wire   []byte
+	commit func()
+}
+
+// Full reports whether this generation is a full image record.
+func (pn *Pending) Full() bool { return pn.Delta == nil }
+
+// Commit advances the tracker to this generation. Call exactly once,
+// only after the record is durable (the coordinated operation
+// completed).
+func (pn *Pending) Commit() {
+	if pn.commit != nil {
+		pn.commit()
+		pn.commit = nil
+	}
+}
+
+// Capture checkpoints the frozen pod and builds either a full record
+// (full=true, or no base exists) or a delta record against the last
+// committed generation, using the worker pool for serialization.
+func (t *Tracker) Capture(p *pod.Pod, workers int, full bool) (*Pending, error) {
+	img, err := CheckpointPodWith(p, workers)
+	if err != nil {
+		return nil, err
+	}
+	// Snapshot the dirty watermarks and program fingerprints at capture
+	// time (the pod is frozen, so these are the watermarks of exactly
+	// the state in img).
+	marks := make(map[vos.PID]uint64)
+	for _, proc := range p.Procs() {
+		marks[proc.VPID] = proc.MemClock()
+	}
+	lastProg := make(map[vos.PID][]byte, len(img.Procs))
+	for _, pi := range img.Procs {
+		lastProg[pi.VPID] = pi.ProgData
+	}
+	if full || t.last == nil {
+		wire := img.EncodeParallel(workers)
+		return &Pending{
+			Image: img,
+			Wire:  wire,
+			commit: func() {
+				t.seq = 0
+				t.sinceFull = 0
+				t.marks = marks
+				t.lastProg = lastProg
+				t.last = img
+				t.lastSum = crc32.ChecksumIEEE(wire)
+			},
+		}, nil
+	}
+	d := &DeltaImage{
+		PodName:     img.PodName,
+		VIP:         img.VIP,
+		VirtualTime: img.VirtualTime,
+		Seq:         t.seq + 1,
+		ParentSum:   t.lastSum,
+		Net:         img.Net,
+	}
+	prev := make(map[vos.PID]*ProcImage, len(t.last.Procs))
+	for i := range t.last.Procs {
+		prev[t.last.Procs[i].VPID] = &t.last.Procs[i]
+	}
+	dirtyNames := make(map[vos.PID]map[string]bool)
+	for _, proc := range p.Procs() {
+		names := make(map[string]bool)
+		for _, r := range proc.DirtyRegions(t.marks[proc.VPID]) {
+			names[r.Name] = true
+		}
+		dirtyNames[proc.VPID] = names
+	}
+	for _, pi := range img.Procs {
+		old := prev[pi.VPID]
+		pd := ProcDelta{
+			VPID: pi.VPID,
+			Kind: pi.Kind,
+			FDs:  pi.FDs,
+		}
+		if old == nil {
+			pd.New = true
+			pd.ProgChanged = true
+			pd.ProgData = pi.ProgData
+			pd.Regions = pi.Regions
+		} else {
+			if !bytes.Equal(t.lastProg[pi.VPID], pi.ProgData) {
+				pd.ProgChanged = true
+				pd.ProgData = pi.ProgData
+			}
+			// A region goes into the delta when its write watermark says
+			// it was touched — or, as a safety net for programs that
+			// mutate region bytes in place without TouchRegion, when its
+			// bytes differ from the base generation's copy. The byte
+			// comparison only scans; the delta still carries (and the
+			// sink only writes) the regions that actually changed.
+			names := dirtyNames[pi.VPID]
+			oldReg := make(map[string][]byte, len(old.Regions))
+			for _, r := range old.Regions {
+				oldReg[r.Name] = r.Data
+			}
+			for _, r := range pi.Regions {
+				ob, ok := oldReg[r.Name]
+				if !ok || names[r.Name] || !bytes.Equal(ob, r.Data) {
+					pd.Regions = append(pd.Regions, r)
+				}
+			}
+			cur := make(map[string]bool, len(pi.Regions))
+			for _, r := range pi.Regions {
+				cur[r.Name] = true
+			}
+			for _, r := range old.Regions {
+				if !cur[r.Name] {
+					pd.RemovedRegions = append(pd.RemovedRegions, r.Name)
+				}
+			}
+		}
+		d.Procs = append(d.Procs, pd)
+	}
+	cur := make(map[vos.PID]bool, len(img.Procs))
+	for _, pi := range img.Procs {
+		cur[pi.VPID] = true
+	}
+	for _, bp := range t.last.Procs {
+		if !cur[bp.VPID] {
+			d.RemovedProcs = append(d.RemovedProcs, bp.VPID)
+		}
+	}
+	wire := d.Encode()
+	return &Pending{
+		Image: img,
+		Delta: d,
+		Wire:  wire,
+		commit: func() {
+			t.seq++
+			t.sinceFull++
+			t.marks = marks
+			t.lastProg = lastProg
+			t.last = img
+			t.lastSum = crc32.ChecksumIEEE(wire)
+		},
+	}, nil
+}
+
+// IncrSet manages one Tracker per pod and the full-image cadence: every
+// FullEvery-th generation of a pod is a full record, the ones between
+// are deltas. FullEvery <= 1 means every generation is full
+// (incremental checkpointing off).
+type IncrSet struct {
+	// FullEvery is the chain length bound: a chain holds one full record
+	// followed by at most FullEvery-1 deltas.
+	FullEvery int
+	trackers  map[string]*Tracker
+}
+
+// NewIncrSet returns an IncrSet with the given cadence.
+func NewIncrSet(fullEvery int) *IncrSet {
+	return &IncrSet{FullEvery: fullEvery, trackers: make(map[string]*Tracker)}
+}
+
+// Tracker returns the (created-on-demand) tracker for a pod name.
+func (s *IncrSet) Tracker(name string) *Tracker {
+	if s.trackers == nil {
+		s.trackers = make(map[string]*Tracker)
+	}
+	t := s.trackers[name]
+	if t == nil {
+		t = NewTracker()
+		s.trackers[name] = t
+	}
+	return t
+}
+
+// Capture checkpoints a frozen pod through its tracker, choosing full
+// or delta per the cadence.
+func (s *IncrSet) Capture(p *pod.Pod, workers int) (*Pending, error) {
+	t := s.Tracker(p.Name())
+	full := s.FullEvery <= 1 || t.SinceFull()+1 >= s.FullEvery
+	return t.Capture(p, workers, full)
+}
+
+// Rebase resets every tracker: the next generation of every pod is a
+// full image. Called after failover or when a stored chain fails
+// validation.
+func (s *IncrSet) Rebase() {
+	for _, t := range s.trackers {
+		t.Rebase()
+	}
+}
+
+// Drop forgets the tracker of one pod (the pod left the cluster).
+func (s *IncrSet) Drop(name string) {
+	delete(s.trackers, name)
+}

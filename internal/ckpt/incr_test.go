@@ -1,0 +1,358 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"zapc/internal/pod"
+	"zapc/internal/sim"
+	"zapc/internal/vos"
+)
+
+// mkIdlePod builds a pod whose processes carry a large write-once
+// ballast region plus a small hot region, frozen and ready to
+// checkpoint — the "mostly idle" shape where incremental checkpoints
+// pay off.
+func mkIdlePod(t *testing.T, c *cluster, name string, procs, ballast int) *pod.Pod {
+	t.Helper()
+	p, err := pod.New(name, c.nodes[0], c.nw, c.fs, nextVIP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < procs; i++ {
+		proc := p.AddProcess(&worker{Limit: 10})
+		big := make([]byte, ballast)
+		for j := range big {
+			big[j] = byte(j ^ i)
+		}
+		proc.SetRegion("ballast", big)
+		proc.SetRegion("hot", []byte{byte(i), 0, 0, 0})
+	}
+	c.w.RunUntil(c.w.Now() + sim.Time(2*sim.Millisecond))
+	c.freeze(t, p)
+	return p
+}
+
+func captureCommit(t *testing.T, tr *Tracker, p *pod.Pod, full bool) *Pending {
+	t.Helper()
+	pend, err := tr.Capture(p, 2, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pend.Commit()
+	return pend
+}
+
+func TestDeltaWireRoundTrip(t *testing.T) {
+	c := mkCluster(t, 1)
+	p := mkIdlePod(t, c, "rt", 2, 1024)
+	tr := NewTracker()
+	captureCommit(t, tr, p, true)
+	for _, proc := range p.Procs() {
+		proc.SetRegion("hot", []byte{9, 9, 9, 9})
+	}
+	pend := captureCommit(t, tr, p, false)
+	if pend.Full() {
+		t.Fatal("expected a delta generation")
+	}
+	got, err := DecodeDelta(pend.Wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Encode(), pend.Wire) {
+		t.Fatal("delta decode/encode is not a fixed point")
+	}
+	if got.Seq != 1 || got.PodName != "rt" {
+		t.Fatalf("decoded delta header: seq=%d pod=%q", got.Seq, got.PodName)
+	}
+}
+
+func TestApplyDeltaMatchesFullCheckpoint(t *testing.T) {
+	c := mkCluster(t, 1)
+	p := mkIdlePod(t, c, "app", 3, 2048)
+	tr := NewTracker()
+	base := captureCommit(t, tr, p, true)
+
+	// Mutate: one region via SetRegion, program state by running, one
+	// region dropped, one added.
+	procs := p.Procs()
+	procs[0].SetRegion("hot", []byte{0xaa, 0xbb})
+	procs[1].DropRegion("hot")
+	procs[2].SetRegion("extra", []byte("fresh"))
+	p.Resume()
+	p.UnblockNetwork()
+	c.w.RunUntil(c.w.Now() + sim.Time(3*sim.Millisecond))
+	c.freeze(t, p)
+
+	pend := captureCommit(t, tr, p, false)
+	if pend.Full() {
+		t.Fatal("expected delta")
+	}
+	d, err := DecodeDelta(pend.Wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseImg, err := DecodeImage(base.Wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := ApplyDelta(baseImg, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := CheckpointPod(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rebuilt.Encode(), full.Encode()) {
+		t.Fatal("base+delta reconstruction differs from a full checkpoint")
+	}
+	if !bytes.Equal(pend.Image.Encode(), full.Encode()) {
+		t.Fatal("Pending.Image differs from a full checkpoint")
+	}
+	// The removed region must be gone from the reconstruction.
+	for _, pi := range rebuilt.Procs {
+		if pi.VPID == procs[1].VPID {
+			for _, r := range pi.Regions {
+				if r.Name == "hot" {
+					t.Fatal("removed region survived the delta")
+				}
+			}
+		}
+	}
+}
+
+func TestInPlaceMutationCaughtBySafetyNet(t *testing.T) {
+	c := mkCluster(t, 1)
+	p := mkIdlePod(t, c, "inplace", 1, 512)
+	tr := NewTracker()
+	captureCommit(t, tr, p, true)
+	// Mutate region bytes in place, bypassing SetRegion/TouchRegion —
+	// the watermark never moves, only the byte-compare safety net can
+	// see this write.
+	proc := p.Procs()[0]
+	reg, ok := proc.Region("ballast")
+	if !ok {
+		t.Fatal("no ballast region")
+	}
+	reg[0] ^= 0xff
+	pend := captureCommit(t, tr, p, false)
+	full, err := CheckpointPod(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := DecodeDelta(pend.Wire)
+	found := false
+	for _, pd := range d.Procs {
+		for _, r := range pd.Regions {
+			if r.Name == "ballast" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("in-place write missed by the delta")
+	}
+	if !bytes.Equal(pend.Image.Encode(), full.Encode()) {
+		t.Fatal("delta generation diverged from full checkpoint")
+	}
+}
+
+func TestIncrementalBytesAtLeast5xSmaller(t *testing.T) {
+	c := mkCluster(t, 1)
+	// Mostly idle: 4 procs × 64 KiB ballast, only the tiny hot region
+	// changes between generations.
+	p := mkIdlePod(t, c, "idle", 4, 64<<10)
+	tr := NewTracker()
+	fullPend := captureCommit(t, tr, p, true)
+	for _, proc := range p.Procs() {
+		proc.SetRegion("hot", []byte{1, 2, 3, 4})
+	}
+	deltaPend := captureCommit(t, tr, p, false)
+	fullBytes, deltaBytes := len(fullPend.Wire), len(deltaPend.Wire)
+	if deltaBytes*5 > fullBytes {
+		t.Fatalf("delta %d bytes vs full %d bytes: less than 5x reduction", deltaBytes, fullBytes)
+	}
+}
+
+func TestReconstructChain(t *testing.T) {
+	c := mkCluster(t, 1)
+	p := mkIdlePod(t, c, "chain", 2, 4096)
+	tr := NewTracker()
+	records := [][]byte{captureCommit(t, tr, p, true).Wire}
+	for gen := 0; gen < 3; gen++ {
+		for i, proc := range p.Procs() {
+			proc.SetRegion("hot", []byte{byte(gen), byte(i)})
+		}
+		records = append(records, captureCommit(t, tr, p, false).Wire)
+	}
+	rebuilt, err := ReconstructChain(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := CheckpointPod(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rebuilt.Encode(), full.Encode()) {
+		t.Fatal("chain reconstruction differs from full checkpoint")
+	}
+
+	// Tampering with any link breaks the chain.
+	if _, err := ReconstructChain(records[:1]); err != nil {
+		t.Fatalf("single full record chain: %v", err)
+	}
+	bad := [][]byte{records[0], records[2]} // skip a delta
+	if _, err := ReconstructChain(bad); !errors.Is(err, ErrChainBroken) {
+		t.Fatalf("skipped link: err = %v, want ErrChainBroken", err)
+	}
+	if _, err := ReconstructChain(nil); !errors.Is(err, ErrChainBroken) {
+		t.Fatal("empty chain must be broken")
+	}
+	// A delta applied to the wrong pod's image is refused.
+	other := mkIdlePod(t, c, "other", 1, 64)
+	oimg, err := CheckpointPod(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodeDelta(records[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyDelta(oimg, d); !errors.Is(err, ErrChainBroken) {
+		t.Fatalf("cross-pod apply: err = %v, want ErrChainBroken", err)
+	}
+}
+
+func TestPendingDiscardKeepsChainAnchored(t *testing.T) {
+	c := mkCluster(t, 1)
+	p := mkIdlePod(t, c, "abort", 1, 1024)
+	tr := NewTracker()
+	fullPend := captureCommit(t, tr, p, true)
+
+	p.Procs()[0].SetRegion("hot", []byte{7})
+	aborted, err := tr.Capture(p, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The operation aborts: the pending generation is dropped without
+	// Commit. A later capture must re-anchor on the committed base and
+	// still include the change the aborted record carried.
+	retry := captureCommit(t, tr, p, false)
+	if retry.Delta.Seq != 1 {
+		t.Fatalf("retry seq = %d, want 1 (aborted capture must not advance the chain)", retry.Delta.Seq)
+	}
+	if retry.Delta.ParentSum != crc32.ChecksumIEEE(fullPend.Wire) {
+		t.Fatal("retry does not link to the committed base")
+	}
+	if _, err := ReconstructChain([][]byte{fullPend.Wire, retry.Wire}); err != nil {
+		t.Fatal(err)
+	}
+	// The aborted record, had it been stored, would also have linked —
+	// both captures saw the same parent.
+	if aborted.Delta.ParentSum != retry.Delta.ParentSum {
+		t.Fatal("aborted and retry captures disagree on parent")
+	}
+	// Double Commit is harmless.
+	retry.Commit()
+	if tr.SinceFull() != 1 {
+		t.Fatalf("SinceFull = %d after one committed delta", tr.SinceFull())
+	}
+}
+
+func TestTrackerRebase(t *testing.T) {
+	c := mkCluster(t, 1)
+	p := mkIdlePod(t, c, "rebase", 1, 256)
+	tr := NewTracker()
+	captureCommit(t, tr, p, true)
+	captureCommit(t, tr, p, false)
+	tr.Rebase()
+	if tr.HasBase() {
+		t.Fatal("rebase kept a base")
+	}
+	pend := captureCommit(t, tr, p, false) // asked for delta, must fall back to full
+	if !pend.Full() {
+		t.Fatal("capture after rebase must produce a full image")
+	}
+}
+
+func TestProcessExitProducesRemoval(t *testing.T) {
+	c := mkCluster(t, 1)
+	p, err := pod.New("exit", c.nodes[0], c.nw, c.fs, nextVIP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortLived := p.AddProcess(&worker{Limit: 3})
+	longLived := p.AddProcess(&worker{Limit: 100000})
+	longLived.SetRegion("keep", []byte("x"))
+	c.w.RunUntil(c.w.Now() + sim.Time(sim.Millisecond))
+	c.freeze(t, p)
+	tr := NewTracker()
+	captureCommit(t, tr, p, true)
+
+	// Resume; the short-lived worker exits.
+	p.Resume()
+	p.UnblockNetwork()
+	c.drive(t, func() bool { return shortLived.Status() == vos.StatusExited })
+	c.freeze(t, p)
+	pend := captureCommit(t, tr, p, false)
+	d, err := DecodeDelta(pend.Wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.RemovedProcs) != 1 || d.RemovedProcs[0] != shortLived.VPID {
+		t.Fatalf("RemovedProcs = %v, want [%d]", d.RemovedProcs, shortLived.VPID)
+	}
+	full, err := CheckpointPod(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pend.Image.Encode(), full.Encode()) {
+		t.Fatal("post-exit delta generation diverged from full checkpoint")
+	}
+}
+
+func TestIncrSetCadence(t *testing.T) {
+	c := mkCluster(t, 1)
+	p := mkIdlePod(t, c, "cadence", 1, 128)
+	s := NewIncrSet(3)
+	var kinds []bool
+	for i := 0; i < 7; i++ {
+		p.Procs()[0].SetRegion("hot", []byte{byte(i)})
+		pend, err := s.Capture(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pend.Commit()
+		kinds = append(kinds, pend.Full())
+	}
+	want := []bool{true, false, false, true, false, false, true}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("generation kinds = %v, want %v", kinds, want)
+		}
+	}
+	// FullEvery<=1 disables deltas entirely.
+	s1 := NewIncrSet(1)
+	for i := 0; i < 3; i++ {
+		pend, err := s1.Capture(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pend.Commit()
+		if !pend.Full() {
+			t.Fatal("FullEvery=1 must always produce full images")
+		}
+	}
+	// Rebase forces the next generation full.
+	s.Rebase()
+	pend, err := s.Capture(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pend.Full() {
+		t.Fatal("capture after IncrSet.Rebase must be full")
+	}
+}

@@ -32,85 +32,84 @@ const (
 )
 
 // Encode serializes the image into the intermediate checkpoint format.
+// EncodeParallel produces byte-identical output on a worker pool.
 func (img *Image) Encode() []byte {
-	e := imgfmt.NewEncoder()
-	e.String(tagPodName, img.PodName)
-	e.Uint(tagVIP, uint64(img.VIP))
-	e.Int(tagVTime, int64(img.VirtualTime))
-	e.Begin(tagNet)
-	img.Net.Encode(e)
-	e.End()
-	for _, p := range img.Procs {
-		e.Begin(tagProc)
-		e.Int(tagVPID, int64(p.VPID))
-		e.String(tagKind, p.Kind)
-		e.Bytes(tagProgData, p.ProgData)
-		for _, r := range p.Regions {
-			e.Begin(tagRegion)
-			e.String(tagRegName, r.Name)
-			e.Bytes(tagRegData, r.Data)
-			e.End()
-		}
-		for _, fd := range p.FDs {
-			e.Begin(tagFD)
-			e.Int(tagFDNum, int64(fd.FD))
-			e.Int(tagFDSlot, int64(fd.Slot))
-			e.End()
-		}
+	return img.EncodeParallel(1)
+}
+
+// encodeProcBody writes one process's fields (the body of a tagProc
+// section) to the given encoder.
+func encodeProcBody(e *imgfmt.Encoder, p ProcImage) {
+	e.Int(tagVPID, int64(p.VPID))
+	e.String(tagKind, p.Kind)
+	e.Bytes(tagProgData, p.ProgData)
+	for _, r := range p.Regions {
+		e.Begin(tagRegion)
+		e.String(tagRegName, r.Name)
+		e.Bytes(tagRegData, r.Data)
 		e.End()
 	}
-	return e.Finish()
+	for _, fd := range p.FDs {
+		e.Begin(tagFD)
+		e.Int(tagFDNum, int64(fd.FD))
+		e.Int(tagFDSlot, int64(fd.Slot))
+		e.End()
+	}
 }
 
 // DecodeImage parses a serialized pod image.
 func DecodeImage(data []byte) (*Image, error) {
+	return DecodeImageWith(data, 1)
+}
+
+// decodeImageHeader parses everything up to the process list and
+// collects one sub-decoder per process section for the (possibly
+// parallel) second phase.
+func decodeImageHeader(data []byte) (*Image, []*imgfmt.Decoder, error) {
 	d, err := imgfmt.NewDecoder(data)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	img := &Image{}
 	if img.PodName, err = d.String(tagPodName); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	vip, err := d.Uint(tagVIP)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	img.VIP = netstack.IP(vip)
 	vt, err := d.Int(tagVTime)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	img.VirtualTime = sim.Time(vt)
 	netSec, err := d.Section(tagNet)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if img.Net, err = netckpt.DecodeImage(netSec); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	var secs []*imgfmt.Decoder
 	for d.More() {
 		tag, _, err := d.Peek()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if tag != tagProc {
 			if err := d.Skip(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			continue
 		}
 		sec, err := d.Section(tagProc)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		p, err := decodeProc(sec)
-		if err != nil {
-			return nil, err
-		}
-		img.Procs = append(img.Procs, p)
+		secs = append(secs, sec)
 	}
-	return img, nil
+	return img, secs, nil
 }
 
 func decodeProc(d *imgfmt.Decoder) (ProcImage, error) {

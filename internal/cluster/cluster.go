@@ -45,6 +45,7 @@ type Cluster struct {
 	Mgr   *core.Manager
 
 	nextVIP netstack.IP
+	jobSeq  int
 }
 
 // New builds a cluster.
@@ -118,10 +119,10 @@ type Job struct {
 	baseEnvs []*vos.Env
 }
 
-var jobCounter int
-
 // Launch deploys a job across the cluster's nodes, pods placed
-// round-robin.
+// round-robin. Job (and thus pod) names are numbered per cluster, not
+// per process, so identically-seeded clusters produce byte-identical
+// checkpoint images no matter how many clusters ran before them.
 func (c *Cluster) Launch(spec JobSpec) (*Job, error) {
 	if spec.Endpoints < 1 {
 		return nil, errors.New("cluster: need at least one endpoint")
@@ -132,9 +133,9 @@ func (c *Cluster) Launch(spec JobSpec) (*Job, error) {
 	if spec.Port == 0 {
 		spec.Port = 7100
 	}
-	jobCounter++
+	c.jobSeq++
 	job := &Job{
-		Name:    fmt.Sprintf("%s-%d", spec.App, jobCounter),
+		Name:    fmt.Sprintf("%s-%d", spec.App, c.jobSeq),
 		Spec:    spec,
 		cluster: c,
 		started: c.W.Now(),

@@ -23,6 +23,14 @@ var ErrCorruptImage = ckpt.ErrCorruptImage
 // name. A validation failure names the offending pod and wraps
 // ErrCorruptImage.
 func (c *Cluster) LoadImages(dir string) ([]*ckpt.Image, error) {
+	return c.LoadImagesWith(dir, 1)
+}
+
+// LoadImagesWith is LoadImages with the per-image process sections
+// decoded across a bounded worker pool (workers <= 0 selects one per
+// host CPU), the restart-side mirror of the parallel checkpoint
+// pipeline.
+func (c *Cluster) LoadImagesWith(dir string, workers int) ([]*ckpt.Image, error) {
 	files := c.FS.List(dir)
 	if len(files) == 0 {
 		return nil, fmt.Errorf("cluster: no checkpoint images under %q", dir)
@@ -33,10 +41,10 @@ func (c *Cluster) LoadImages(dir string) ([]*ckpt.Image, error) {
 		if err != nil {
 			return nil, err
 		}
-		img, err := ckpt.VerifyImage(data)
+		img, err := ckpt.DecodeImageWith(data, workers)
 		if err != nil {
 			name := strings.TrimSuffix(f[strings.LastIndex(f, "/")+1:], ".img")
-			return nil, fmt.Errorf("cluster: pod %s (%s): %w", name, f, err)
+			return nil, fmt.Errorf("cluster: pod %s (%s): %w: %v", name, f, ckpt.ErrCorruptImage, err)
 		}
 		images = append(images, img)
 	}

@@ -135,6 +135,42 @@ type Options struct {
 	// Drive deadline. Zero selects DefaultCheckpointTimeout; negative
 	// disables the watchdog.
 	Timeout sim.Duration
+	// Workers is the per-agent serialization pool width: the standalone
+	// checkpoint fans per-process capture and encoding across this many
+	// goroutines, and the modeled memory-copy time divides by the
+	// effective parallelism min(Workers, processes). 0 keeps the
+	// sequential walk; negative selects one worker per host CPU.
+	Workers int
+	// Incr, when non-nil, switches the standalone checkpoint to
+	// incremental mode through the given tracker set: a generation
+	// encodes only the state mutated since the pod's last committed
+	// generation (a delta record), with full images at the set's
+	// cadence. Tracker state commits only when the whole coordinated
+	// operation succeeds, so aborted operations never advance a chain.
+	Incr *ckpt.IncrSet
+}
+
+// effWorkers resolves the Options.Workers convention.
+func effWorkers(w int) int {
+	if w == 0 {
+		return 1
+	}
+	if w < 0 {
+		return ckpt.DefaultWorkers()
+	}
+	return w
+}
+
+// parSpeedup bounds the modeled serialization speedup by the number of
+// parallelizable units (processes).
+func parSpeedup(workers, procs int) sim.Duration {
+	if workers > procs {
+		workers = procs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return sim.Duration(workers)
 }
 
 // AgentStats reports one agent's timing breakdown.
@@ -144,9 +180,14 @@ type AgentStats struct {
 	NetCkpt     sim.Duration // network-state checkpoint
 	Standalone  sim.Duration // standalone pod checkpoint
 	Total       sim.Duration // agent start -> done reported
-	ImageBytes  int64
-	NetBytes    int64 // serialized network-state size
-	NetQueueLen int64 // payload bytes captured from socket queues
+	ImageBytes  int64        // full (materialized) image size
+	NetBytes    int64        // serialized network-state size
+	NetQueueLen int64        // payload bytes captured from socket queues
+	// WireBytes is what this generation actually wrote to the sink: the
+	// full image for a full generation, the delta record otherwise.
+	WireBytes int64
+	// Incremental marks a delta generation.
+	Incremental bool
 }
 
 // CheckpointStats aggregates a coordinated checkpoint.
@@ -180,8 +221,14 @@ func (s *CheckpointStats) MaxImageBytes() int64 {
 
 // CheckpointResult carries the images plus measurements.
 type CheckpointResult struct {
+	// Images holds the materialized full image of every pod — even for
+	// incremental generations, so restart paths never reconstruct
+	// chains in memory.
 	Images map[netstack.IP]*ckpt.Image
-	Stats  CheckpointStats
+	// Records holds each pod's serialized record as written to the
+	// sink: full image bytes, or the delta record in incremental mode.
+	Records map[netstack.IP][]byte
+	Stats   CheckpointStats
 	// FSSnapshot is the consistent file-system image captured before
 	// the pods resumed (nil unless Options.SnapshotFS).
 	FSSnapshot *memfs.FS
@@ -196,9 +243,16 @@ type Manager struct {
 	nw        *netstack.Network
 	fs        *memfs.FS
 	failed    bool
+	workers   int // restart-side serialization pool width (0 = sequential)
 	phaseHook PhaseHook
 	ctrlHook  CtrlHook
 }
+
+// SetWorkers sets the restart-side worker-pool width: the modeled
+// restore time of each agent divides by min(workers, processes), the
+// mirror of Options.Workers on the checkpoint side. 0 keeps the
+// sequential model; negative selects one worker per host CPU.
+func (m *Manager) SetWorkers(n int) { m.workers = n }
 
 // Fail simulates a crash of the Manager client. Agents notice their
 // control connection break and gracefully abort in-flight operations,
@@ -314,6 +368,8 @@ type ckptAgent struct {
 	netTime   sim.Duration
 	saTime    sim.Duration
 	img       *ckpt.Image
+	pend      *ckpt.Pending // incremental mode only; committed on success
+	wire      []byte        // serialized record written to the sink
 	netBytes  int64
 	queueLen  int64
 	saDone    bool
@@ -419,14 +475,33 @@ func (a *ckptAgent) standalone() {
 	}
 	w := a.op.m.w
 	costs := w.Costs
-	img, err := ckpt.CheckpointPod(a.pod)
-	if err != nil {
-		a.op.abort(err)
-		return
+	workers := effWorkers(a.op.opts.Workers)
+	var img *ckpt.Image
+	if a.op.opts.Incr != nil {
+		pend, err := a.op.opts.Incr.Capture(a.pod, workers)
+		if err != nil {
+			a.op.abort(err)
+			return
+		}
+		a.pend = pend
+		a.wire = pend.Wire
+		img = pend.Image
+	} else {
+		var err error
+		img, err = ckpt.CheckpointPodWith(a.pod, workers)
+		if err != nil {
+			a.op.abort(err)
+			return
+		}
+		a.wire = img.EncodeParallel(workers)
 	}
 	a.img = img
-	bytes := costs.EffImageBytes(img.Bytes())
-	cost := w.Jitter(costs.CheckpointFixed, 0.25) + costs.MemCopyTime(bytes)
+	// The copy cost covers what is actually written — the delta record
+	// in incremental mode — and divides by the effective serialization
+	// parallelism (per-process capture fans out across the pool).
+	bytes := costs.EffImageBytes(int64(len(a.wire)))
+	cost := w.Jitter(costs.CheckpointFixed, 0.25) +
+		costs.MemCopyTime(bytes)/parSpeedup(workers, len(img.Procs))
 	w.After(cost, func() {
 		if a.op.aborted {
 			return
@@ -520,11 +595,25 @@ func (op *ckptOp) doneArrived(a *ckptAgent) {
 		ImageBytes:  a.img.Bytes(),
 		NetBytes:    a.netBytes,
 		NetQueueLen: a.queueLen,
+		WireBytes:   int64(len(a.wire)),
+		Incremental: a.pend != nil && !a.pend.Full(),
 	})
 	op.result.Images[a.img.VIP] = a.img
+	if op.result.Records == nil {
+		op.result.Records = make(map[netstack.IP][]byte, len(op.agents))
+	}
+	op.result.Records[a.img.VIP] = a.wire
 	op.dones++
 	if op.dones < len(op.agents) {
 		return
+	}
+	// The whole coordinated operation succeeded: commit the incremental
+	// trackers now, so an abort anywhere above leaves every chain
+	// anchored at its last durable generation.
+	for _, ag := range op.agents {
+		if ag.pend != nil {
+			ag.pend.Commit()
+		}
 	}
 	if op.opts.Redirect && op.opts.Mode == Migrate {
 		nets := make(map[netstack.IP]*netckpt.NetImage, len(op.result.Images))
@@ -537,11 +626,14 @@ func (op *ckptOp) doneArrived(a *ckptAgent) {
 	op.m.w.Cancel(op.watchdog)
 	if op.opts.FlushTo != "" {
 		// Flush after resume; charged to the SAN, not to checkpoint time.
-		for ip, img := range op.result.Images {
-			path := fmt.Sprintf("%s/%s.img", op.opts.FlushTo, img.PodName)
-			data := img.Encode()
-			_ = ip
-			if err := op.m.fs.WriteFile(path, data); err != nil {
+		// Full generations write <pod>.img, deltas write <pod>.delta.
+		for _, ag := range op.agents {
+			ext := "img"
+			if ag.pend != nil && !ag.pend.Full() {
+				ext = "delta"
+			}
+			path := fmt.Sprintf("%s/%s.%s", op.opts.FlushTo, ag.img.PodName, ext)
+			if err := op.m.fs.WriteFile(path, ag.wire); err != nil {
 				op.result.Err = err
 			}
 		}
@@ -677,11 +769,12 @@ func (op *restartOp) runAgent(pl Placement, plan *netckpt.EndpointPlan) {
 				queueCopy := costs.MemCopyTime(pl.Image.Net.QueueBytes()) +
 					costs.ConnSetup*sim.Duration(len(plan.Entries))
 				netTime := sim.Duration(w.Now()-netStart) + queueCopy
-				// Standalone restart cost: fixed + restore bandwidth +
+				// Standalone restart cost: fixed + restore bandwidth
+				// (divided by the decode/rebuild parallelism) +
 				// per-process creation.
 				bytes := costs.EffImageBytes(pl.Image.Bytes())
 				saCost := w.Jitter(costs.RestartFixed, 0.25) +
-					costs.RestoreTime(bytes) +
+					costs.RestoreTime(bytes)/parSpeedup(effWorkers(op.m.workers), len(pl.Image.Procs)) +
 					costs.ProcCreate*sim.Duration(len(pl.Image.Procs))
 				w.After(queueCopy+saCost, func() {
 					if op.aborted || op.checkFailure(pl.Node) {

@@ -1,0 +1,188 @@
+package imgfmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+// exhaust walks every field of a decoder recursively, exercising Peek,
+// typed reads and Skip. It must return an error or reach the end of the
+// stream — never panic — whatever bytes the decoder was built over.
+func exhaust(t *testing.T, d *Decoder, depth int) error {
+	if depth > 64 {
+		return nil // deeply nested sections are legal; bound the walk
+	}
+	for d.More() {
+		tag, typ, err := d.Peek()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case TypeUint:
+			_, err = d.Uint(tag)
+		case TypeInt:
+			_, err = d.Int(tag)
+		case TypeBytes:
+			_, err = d.Bytes(tag)
+		case TypeString:
+			_, err = d.String(tag)
+		case TypeBool:
+			_, err = d.Bool(tag)
+		case TypeFloat64:
+			_, err = d.Float64(tag)
+		case TypeSection:
+			var sec *Decoder
+			sec, err = d.Section(tag)
+			if err == nil {
+				err = exhaust(t, sec, depth+1)
+			}
+		default:
+			err = d.Skip()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FuzzDecode feeds arbitrary bytes to the decoder entry points and the
+// full field walk. Decoding must never panic: malformed input may only
+// produce errors.
+func FuzzDecode(f *testing.F) {
+	// Seed with a well-formed image...
+	e := NewEncoder()
+	e.Uint(1, 42)
+	e.String(2, "pod")
+	e.Begin(3)
+	e.Bytes(1, []byte{1, 2, 3})
+	e.Bool(2, true)
+	e.End()
+	e.Float64(4, 3.14)
+	f.Add(e.Finish())
+	// ...a well-formed delta record...
+	de := NewDeltaEncoder()
+	de.Int(1, -7)
+	f.Add(de.Finish())
+	// ...and a few deliberately broken inputs.
+	f.Add([]byte(Magic))
+	f.Add([]byte(DeltaMagic + "\x01"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mk := range []func([]byte) (*Decoder, error){
+			NewDecoder,
+			NewDeltaDecoder,
+			func(b []byte) (*Decoder, error) { d, _, err := DecodeAny(b); return d, err },
+		} {
+			d, err := mk(data)
+			if err != nil {
+				continue
+			}
+			_ = exhaust(t, d, 0)
+		}
+		// A raw section decoder over arbitrary bytes (a corrupted nested
+		// body whose outer CRC happened to pass) must not panic either.
+		if len(data) > 4 {
+			body := data[:len(data)-4]
+			var trailer [4]byte
+			binary.LittleEndian.PutUint32(trailer[:], crc32.ChecksumIEEE(body))
+			patched := append(append([]byte(nil), body...), trailer[:]...)
+			if d, _, err := DecodeAny(patched); err == nil {
+				_ = exhaust(t, d, 0)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip encodes a deterministic field mix derived from the fuzz
+// input and asserts the decoder returns every value bit-exactly, for
+// both stream kinds and for section-encoder splicing.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(7), int64(-9), []byte("abc"), "name", true, 2.5, false)
+	f.Add(uint64(0), int64(0), []byte{}, "", false, math.Inf(-1), true)
+	f.Add(^uint64(0), int64(math.MinInt64), bytes.Repeat([]byte{0xaa}, 300), "π∂", true, math.NaN(), false)
+
+	f.Fuzz(func(t *testing.T, u uint64, i int64, bs []byte, s string, b bool, fl float64, delta bool) {
+		mkEnc := NewEncoder
+		mkDec := NewDecoder
+		if delta {
+			mkEnc = NewDeltaEncoder
+			mkDec = NewDeltaDecoder
+		}
+		e := mkEnc()
+		e.Uint(1, u)
+		e.Int(2, i)
+		e.Bytes(3, bs)
+		e.String(4, s)
+		e.Bool(5, b)
+		e.Float64(6, fl)
+		// Same fields again inside a section, once via Begin/End and once
+		// via a separately encoded body spliced with RawSection; both
+		// spellings must produce identical bytes.
+		e.Begin(7)
+		e.Uint(1, u)
+		e.String(2, s)
+		e.End()
+		se := NewSectionEncoder()
+		se.Uint(1, u)
+		se.String(2, s)
+		e.RawSection(7, se.Body())
+		img := e.Finish()
+
+		d, err := mkDec(img)
+		if err != nil {
+			t.Fatalf("decode freshly encoded image: %v", err)
+		}
+		gu, err := d.Uint(1)
+		if err != nil || gu != u {
+			t.Fatalf("uint: got %d,%v want %d", gu, err, u)
+		}
+		gi, err := d.Int(2)
+		if err != nil || gi != i {
+			t.Fatalf("int: got %d,%v want %d", gi, err, i)
+		}
+		gbs, err := d.Bytes(3)
+		if err != nil || !bytes.Equal(gbs, bs) {
+			t.Fatalf("bytes: got %x,%v want %x", gbs, err, bs)
+		}
+		gs, err := d.String(4)
+		if err != nil || gs != s {
+			t.Fatalf("string: got %q,%v want %q", gs, err, s)
+		}
+		gb, err := d.Bool(5)
+		if err != nil || gb != b {
+			t.Fatalf("bool: got %v,%v want %v", gb, err, b)
+		}
+		gf, err := d.Float64(6)
+		if err != nil || math.Float64bits(gf) != math.Float64bits(fl) {
+			t.Fatalf("float: got %v,%v want %v", gf, err, fl)
+		}
+		var bodies [][]byte
+		for k := 0; k < 2; k++ {
+			sec, err := d.Section(7)
+			if err != nil {
+				t.Fatalf("section %d: %v", k, err)
+			}
+			bodies = append(bodies, sec.data)
+			su, err := sec.Uint(1)
+			if err != nil || su != u {
+				t.Fatalf("section uint: got %d,%v want %d", su, err, u)
+			}
+			ss, err := sec.String(2)
+			if err != nil || ss != s {
+				t.Fatalf("section string: got %q,%v want %q", ss, err, s)
+			}
+		}
+		if !bytes.Equal(bodies[0], bodies[1]) {
+			t.Fatalf("Begin/End and RawSection bodies differ: %x vs %x", bodies[0], bodies[1])
+		}
+		if d.More() {
+			t.Fatal("trailing fields after round trip")
+		}
+	})
+}

@@ -27,6 +27,13 @@ import (
 // Magic identifies a ZapC checkpoint image stream.
 const Magic = "ZAPCIMG"
 
+// DeltaMagic identifies a ZapC delta record: an incremental checkpoint
+// stream whose generation N+1 encodes only state mutated since
+// generation N. Delta records share the field encoding, version header
+// and CRC-32 trailer with full images; only the magic differs, so a
+// reader can never mistake a delta for a restartable full image.
+const DeltaMagic = "ZAPCDLT"
+
 // Version is the current encoding version written into every header.
 const Version = 1
 
@@ -60,10 +67,29 @@ type Encoder struct {
 
 // NewEncoder returns an encoder with the image header already written.
 func NewEncoder() *Encoder {
+	return newWithMagic(Magic)
+}
+
+// NewDeltaEncoder returns an encoder whose header marks the stream as a
+// delta record rather than a full image.
+func NewDeltaEncoder() *Encoder {
+	return newWithMagic(DeltaMagic)
+}
+
+func newWithMagic(magic string) *Encoder {
 	root := make([]byte, 0, 256)
-	root = append(root, Magic...)
+	root = append(root, magic...)
 	root = appendUvarint(root, Version)
 	return &Encoder{stack: [][]byte{root}}
+}
+
+// NewSectionEncoder returns an encoder producing a bare field stream
+// with no header or trailer, for use as a nested section body spliced
+// into another stream via RawSection. Section bodies can therefore be
+// encoded concurrently (one encoder per worker) and assembled
+// deterministically afterwards.
+func NewSectionEncoder() *Encoder {
+	return &Encoder{stack: [][]byte{make([]byte, 0, 64)}}
 }
 
 func (e *Encoder) top() *[]byte { return &e.stack[len(e.stack)-1] }
@@ -143,6 +169,27 @@ func (e *Encoder) Begin(tag uint64) {
 	e.stack = append(e.stack, make([]byte, 0, 64))
 }
 
+// RawSection writes a section field whose body was encoded separately
+// (by a NewSectionEncoder finished with Body). The resulting bytes are
+// identical to Begin + re-encoding the fields + End, which is what lets
+// parallel encoders produce byte-identical images to sequential ones.
+func (e *Encoder) RawSection(tag uint64, body []byte) {
+	e.field(tag, TypeSection)
+	b := e.top()
+	*b = appendUvarint(*b, uint64(len(body)))
+	*b = append(*b, body...)
+}
+
+// Body returns the bare field stream of a section encoder (no header,
+// no trailer). It is an error to call Body with open sections or on an
+// encoder that has a header.
+func (e *Encoder) Body() []byte {
+	if len(e.stack) != 1 {
+		panic("imgfmt: Body with open sections")
+	}
+	return e.stack[0]
+}
+
 // End closes the innermost open section.
 func (e *Encoder) End() {
 	if len(e.stack) < 2 {
@@ -188,25 +235,55 @@ type Decoder struct {
 // NewDecoder validates the header and trailer of a full image and returns a
 // decoder positioned at the first field.
 func NewDecoder(img []byte) (*Decoder, error) {
+	d, delta, err := DecodeAny(img)
+	if err != nil {
+		return nil, err
+	}
+	if delta {
+		return nil, fmt.Errorf("%w: delta record where a full image was expected", ErrBadMagic)
+	}
+	return d, nil
+}
+
+// NewDeltaDecoder validates the header and trailer of a delta record and
+// returns a decoder positioned at the first field.
+func NewDeltaDecoder(img []byte) (*Decoder, error) {
+	d, delta, err := DecodeAny(img)
+	if err != nil {
+		return nil, err
+	}
+	if !delta {
+		return nil, fmt.Errorf("%w: full image where a delta record was expected", ErrBadMagic)
+	}
+	return d, nil
+}
+
+// DecodeAny validates either stream kind, reporting whether the input is
+// a delta record.
+func DecodeAny(img []byte) (dec *Decoder, delta bool, err error) {
 	if len(img) < len(Magic)+1+4 {
-		return nil, ErrTruncated
+		return nil, false, ErrTruncated
 	}
 	body, trailer := img[:len(img)-4], img[len(img)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
-		return nil, ErrBadChecksum
+		return nil, false, ErrBadChecksum
 	}
-	if string(body[:len(Magic)]) != Magic {
-		return nil, ErrBadMagic
+	switch string(body[:len(Magic)]) {
+	case Magic:
+	case DeltaMagic:
+		delta = true
+	default:
+		return nil, false, ErrBadMagic
 	}
 	d := &Decoder{data: body, off: len(Magic)}
 	v, err := d.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if v != Version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		return nil, false, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
-	return d, nil
+	return d, delta, nil
 }
 
 func (d *Decoder) uvarint() (uint64, error) {

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// CkptBenchRecord is one run of the checkpoint-pipeline benchmark
+// (cmd/zapc-bench -fig ckpt). Records accumulate in BENCH_ckpt.json so
+// successive runs form a trajectory that zapc-benchdiff can compare.
+type CkptBenchRecord struct {
+	// When is an opaque caller-supplied timestamp (RFC 3339 by
+	// convention); the comparison helpers never parse it.
+	When string `json:"when,omitempty"`
+	// Seed, Pods and Procs identify the measured configuration.
+	Seed  int64 `json:"seed"`
+	Pods  int   `json:"pods"`
+	Procs int   `json:"procs"`
+	// Workers is the parallel pool width used for the parallel arm.
+	Workers int `json:"workers"`
+
+	// SeqSimMs and ParSimMs are the modeled coordinated-checkpoint
+	// times (simulated milliseconds) with Workers=1 vs Workers=N on the
+	// same deterministic run; SimSpeedup is their ratio.
+	SeqSimMs   float64 `json:"seq_sim_ms"`
+	ParSimMs   float64 `json:"par_sim_ms"`
+	SimSpeedup float64 `json:"sim_speedup"`
+
+	// FullBytes / DeltaBytes are the average wire bytes of a full vs an
+	// incremental (delta) generation over the measured checkpoint
+	// sequence; BytesReduction is full/delta.
+	FullBytes      int64   `json:"full_bytes"`
+	DeltaBytes     int64   `json:"delta_bytes"`
+	BytesReduction float64 `json:"bytes_reduction"`
+
+	// EncodeMBps is the host wall-clock serialization throughput of the
+	// parallel encoder over the run's images (MiB/s). This is the
+	// figure zapc-benchdiff guards against regression.
+	EncodeMBps float64 `json:"encode_mbps"`
+	// WallNs is the host wall-clock time of the whole benchmark run.
+	WallNs int64 `json:"wall_ns"`
+}
+
+// AppendRun appends rec to a trajectory previously serialized with
+// AppendRun (or to an empty/nil buffer) and returns the new JSON bytes.
+// A corrupt existing buffer is discarded rather than poisoning the
+// trajectory.
+func AppendRun(existing []byte, rec CkptBenchRecord) []byte {
+	recs, err := DecodeTrajectory(existing)
+	if err != nil {
+		recs = nil
+	}
+	recs = append(recs, rec)
+	out, _ := json.MarshalIndent(recs, "", "  ")
+	return append(out, '\n')
+}
+
+// DecodeTrajectory parses a BENCH_ckpt.json trajectory. Nil or empty
+// input decodes to an empty trajectory.
+func DecodeTrajectory(data []byte) ([]CkptBenchRecord, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	var recs []CkptBenchRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("metrics: bad bench trajectory: %w", err)
+	}
+	return recs, nil
+}
+
+// CompareThroughput checks cur against prev and returns an error when
+// the encode throughput regressed by more than tolPct percent. Other
+// fields are informational; throughput is the guarded metric because it
+// is the only host-hardware-dependent one.
+func CompareThroughput(prev, cur CkptBenchRecord, tolPct float64) error {
+	if prev.EncodeMBps <= 0 {
+		return nil // nothing to compare against
+	}
+	drop := 100 * (prev.EncodeMBps - cur.EncodeMBps) / prev.EncodeMBps
+	if drop > tolPct {
+		return fmt.Errorf("encode throughput regressed %.1f%% (%.1f -> %.1f MiB/s, tolerance %.0f%%)",
+			drop, prev.EncodeMBps, cur.EncodeMBps, tolPct)
+	}
+	return nil
+}

@@ -74,11 +74,25 @@ type Policy struct {
 	// MaxBackoff caps the exponential backoff (default 8s).
 	MaxBackoff sim.Duration
 	// Retain is how many validated generations are kept on the shared
-	// filesystem; older ones are garbage collected (default 3).
+	// filesystem; older ones are garbage collected (default 3). With
+	// incremental checkpointing, collection is chain-aware: a full
+	// generation is only dropped together with every delta that depends
+	// on it, so slightly more than Retain generations may be kept.
 	Retain int
 	// Dir is the filesystem prefix for generation directories
 	// (default "supervisor").
 	Dir string
+	// Incremental enables incremental checkpointing: generations
+	// between full images are delta records holding only the state
+	// mutated since the previous generation.
+	Incremental bool
+	// FullEvery is the incremental chain length bound — every
+	// FullEvery-th generation is a full image (default 4; only
+	// meaningful with Incremental).
+	FullEvery int
+	// Workers is the serialization worker-pool width handed to the
+	// coordinated operations (0 = sequential).
+	Workers int
 }
 
 func (p Policy) withDefaults() Policy {
@@ -108,6 +122,9 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.Dir == "" {
 		p.Dir = "supervisor"
+	}
+	if p.Incremental && p.FullEvery <= 1 {
+		p.FullEvery = 4
 	}
 	return p
 }
@@ -173,7 +190,11 @@ type Generation struct {
 	Seq   int
 	Dir   string
 	T     sim.Time // commit time
-	Bytes int64    // serialized size of all images
+	Bytes int64    // serialized size of all records in the directory
+	// Full marks a full-image generation; false means the directory
+	// holds delta records whose restore needs the chain back to the
+	// nearest full generation.
+	Full bool
 }
 
 // Supervisor is the self-healing control loop for one job.
@@ -191,6 +212,7 @@ type Supervisor struct {
 	gen     int          // next generation sequence number
 	gens    []Generation // committed generations, oldest first
 	attempt int          // current retry attempt (checkpoint or restart)
+	incr    *ckpt.IncrSet // non-nil in incremental mode
 
 	monitored []*vos.Node
 	lastSeen  map[*vos.Node]sim.Time
@@ -208,12 +230,16 @@ type Supervisor struct {
 // New builds a supervisor for the target under the given policy. Call
 // Start to arm it.
 func New(t Target, pol Policy) *Supervisor {
-	return &Supervisor{
+	s := &Supervisor{
 		t:        t,
 		pol:      pol.withDefaults(),
 		lastSeen: make(map[*vos.Node]sim.Time),
 		declared: make(map[*vos.Node]bool),
 	}
+	if s.pol.Incremental {
+		s.incr = ckpt.NewIncrSet(s.pol.FullEvery)
+	}
+	return s
 }
 
 // Policy returns the effective (defaulted) policy.
@@ -430,7 +456,13 @@ func (s *Supervisor) checkpointAttempt() {
 		return
 	}
 	dir := s.genDir(s.gen)
-	opts := core.Options{Mode: core.Snapshot, FlushTo: dir, Timeout: s.pol.CheckpointTimeout}
+	opts := core.Options{
+		Mode:    core.Snapshot,
+		FlushTo: dir,
+		Timeout: s.pol.CheckpointTimeout,
+		Workers: s.pol.Workers,
+		Incr:    s.incr,
+	}
 	s.t.Mgr.Checkpoint(s.t.Pods(), opts, func(res *core.CheckpointResult) {
 		s.ckptDone(dir, res)
 	})
@@ -444,6 +476,33 @@ func (s *Supervisor) ckptDone(dir string, res *core.CheckpointResult) {
 	if err == nil {
 		err = s.validateGeneration(dir)
 	}
+	full := true
+	if err == nil {
+		for _, ag := range res.Stats.Agents {
+			if ag.Incremental {
+				full = false
+				break
+			}
+		}
+	}
+	if err == nil {
+		// End-to-end chain validation: the generation (with its chain
+		// back to the nearest full image, for deltas) must reconstruct
+		// from what actually landed on the shared filesystem.
+		s.gens = append(s.gens, Generation{Seq: s.gen, Dir: dir, T: s.t.W.Now(), Full: full})
+		if _, lerr := s.loadGeneration(len(s.gens) - 1); lerr != nil {
+			s.gens = s.gens[:len(s.gens)-1]
+			err = fmt.Errorf("chain validation: %w", lerr)
+			if s.incr != nil {
+				// The tracker committed against a record the storage
+				// cannot reproduce; restart the chain rather than extend
+				// it.
+				s.incr.Rebase()
+			}
+		} else {
+			s.gens = s.gens[:len(s.gens)-1]
+		}
+	}
 	switch {
 	case err == nil:
 		var bytes int64
@@ -452,11 +511,15 @@ func (s *Supervisor) ckptDone(dir string, res *core.CheckpointResult) {
 				bytes += n
 			}
 		}
-		s.gens = append(s.gens, Generation{Seq: s.gen, Dir: dir, T: s.t.W.Now(), Bytes: bytes})
+		s.gens = append(s.gens, Generation{Seq: s.gen, Dir: dir, T: s.t.W.Now(), Bytes: bytes, Full: full})
 		s.gen++
 		s.stats.Checkpoints++
-		s.log(EvCheckpoint, "generation %s committed (%d images, %.1f KB, took %v)",
-			dir, len(res.Images), float64(bytes)/1024, res.Stats.Total)
+		kind := "full"
+		if !full {
+			kind = "delta"
+		}
+		s.log(EvCheckpoint, "generation %s committed (%s, %d records, %.1f KB, took %v)",
+			dir, kind, len(res.Images), float64(bytes)/1024, res.Stats.Total)
 		s.gc()
 		s.endCkptCycle()
 	case s.pendingRecover:
@@ -507,9 +570,11 @@ func (s *Supervisor) scrapGeneration(dir string) {
 	}
 }
 
-// validateGeneration reads back every image just flushed and CRC-checks
-// it, so a generation is only ever trusted after an end-to-end
-// write/read/decode round trip.
+// validateGeneration reads back every record just flushed and
+// decode-checks it (CRC trailer plus full field walk), so a generation
+// is only ever trusted after an end-to-end write/read/decode round
+// trip. Chain linkage of delta records is validated separately via
+// loadGeneration.
 func (s *Supervisor) validateGeneration(dir string) error {
 	files := s.t.FS.List(dir)
 	if len(files) == 0 {
@@ -520,6 +585,12 @@ func (s *Supervisor) validateGeneration(dir string) error {
 		if err != nil {
 			return err
 		}
+		if strings.HasSuffix(f, ".delta") {
+			if _, err := ckpt.DecodeDelta(data); err != nil {
+				return fmt.Errorf("%s: %w", f, err)
+			}
+			continue
+		}
 		if _, err := ckpt.VerifyImage(data); err != nil {
 			return fmt.Errorf("%s: %w", f, err)
 		}
@@ -527,37 +598,103 @@ func (s *Supervisor) validateGeneration(dir string) error {
 	return nil
 }
 
-// gc drops generations beyond the retention depth, oldest first.
+// gc drops generations beyond the retention depth, oldest first. A full
+// generation and the deltas depending on it form a chain that is only
+// ever dropped whole, so every retained delta keeps a restorable base.
 func (s *Supervisor) gc() {
 	for len(s.gens) > s.pol.Retain {
-		g := s.gens[0]
-		s.gens = s.gens[1:]
-		s.scrapGeneration(g.Dir)
-		s.stats.GCCollected++
-		s.log(EvGC, "collected generation %s", g.Dir)
+		chainLen := 1
+		for chainLen < len(s.gens) && !s.gens[chainLen].Full {
+			chainLen++
+		}
+		if len(s.gens)-chainLen < s.pol.Retain {
+			return // dropping the chain would dip below the retention depth
+		}
+		for i := 0; i < chainLen; i++ {
+			g := s.gens[i]
+			s.scrapGeneration(g.Dir)
+			s.stats.GCCollected++
+			s.log(EvGC, "collected generation %s", g.Dir)
+		}
+		s.gens = s.gens[chainLen:]
 	}
 }
 
-// loadGeneration reads and verifies every image of a generation,
-// returning them sorted by pod name for deterministic placement. The
-// error names the first pod whose image fails validation.
-func (s *Supervisor) loadGeneration(g Generation) ([]*ckpt.Image, error) {
-	files := s.t.FS.List(g.Dir)
-	if len(files) == 0 {
-		return nil, fmt.Errorf("generation %s: %w", g.Dir, ErrNoValidCheckpoint)
+// podOf extracts the pod name from a generation record path.
+func podOf(f string) string {
+	base := f[strings.LastIndex(f, "/")+1:]
+	base = strings.TrimSuffix(base, ".img")
+	return strings.TrimSuffix(base, ".delta")
+}
+
+// chainRecords collects, for the generation at index gi, each pod's
+// record chain: the nearest full generation at or before gi plus every
+// delta between it and gi, in order.
+func (s *Supervisor) chainRecords(gi int) (map[string][][]byte, error) {
+	base := gi
+	for base >= 0 && !s.gens[base].Full {
+		base--
 	}
-	images := make([]*ckpt.Image, 0, len(files))
-	for _, f := range files {
+	if base < 0 {
+		return nil, fmt.Errorf("generation %s: no full base generation retained", s.gens[gi].Dir)
+	}
+	chains := make(map[string][][]byte)
+	for _, f := range s.t.FS.List(s.gens[base].Dir) {
 		data, err := s.t.FS.ReadFile(f)
 		if err != nil {
 			return nil, err
 		}
-		img, err := ckpt.VerifyImage(data)
-		if err != nil {
-			pod := strings.TrimSuffix(f[strings.LastIndex(f, "/")+1:], ".img")
-			return nil, fmt.Errorf("pod %s (%s): %w", pod, f, err)
+		chains[podOf(f)] = [][]byte{data}
+	}
+	for j := base + 1; j <= gi; j++ {
+		for name := range chains {
+			f := fmt.Sprintf("%s/%s.delta", s.gens[j].Dir, name)
+			data, err := s.t.FS.ReadFile(f)
+			if err != nil {
+				return nil, fmt.Errorf("generation %s: pod %s: %w", s.gens[j].Dir, name, err)
+			}
+			chains[name] = append(chains[name], data)
 		}
-		images = append(images, img)
+	}
+	return chains, nil
+}
+
+// loadGeneration reads and verifies every image of the generation at
+// index gi into s.gens, reconstructing base+delta chains for
+// incremental generations, and returns the images sorted by pod name
+// for deterministic placement. The error names the first pod whose
+// record (or chain) fails validation.
+func (s *Supervisor) loadGeneration(gi int) ([]*ckpt.Image, error) {
+	g := s.gens[gi]
+	files := s.t.FS.List(g.Dir)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("generation %s: %w", g.Dir, ErrNoValidCheckpoint)
+	}
+	var images []*ckpt.Image
+	if g.Full {
+		for _, f := range files {
+			data, err := s.t.FS.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			img, err := ckpt.VerifyImage(data)
+			if err != nil {
+				return nil, fmt.Errorf("pod %s (%s): %w", podOf(f), f, err)
+			}
+			images = append(images, img)
+		}
+	} else {
+		chains, err := s.chainRecords(gi)
+		if err != nil {
+			return nil, err
+		}
+		for name, recs := range chains {
+			img, err := ckpt.ReconstructChain(recs)
+			if err != nil {
+				return nil, fmt.Errorf("pod %s: %w", name, err)
+			}
+			images = append(images, img)
+		}
 	}
 	sort.Slice(images, func(i, j int) bool { return images[i].PodName < images[j].PodName })
 	return images, nil
@@ -588,12 +725,13 @@ func (s *Supervisor) startRecovery() {
 	for _, p := range s.t.Pods() {
 		p.Destroy()
 	}
-	// Newest valid generation wins; corrupted ones are skipped with an
-	// explicit record, restarting from the previous valid generation.
+	// Newest valid generation wins; corrupted ones (or delta chains
+	// with a broken link) are skipped with an explicit record,
+	// restarting from the previous valid generation.
 	var images []*ckpt.Image
 	for i := len(s.gens) - 1; i >= 0; i-- {
 		var err error
-		images, err = s.loadGeneration(s.gens[i])
+		images, err = s.loadGeneration(i)
 		if err == nil {
 			break
 		}
@@ -618,6 +756,7 @@ func (s *Supervisor) startRecovery() {
 			Node:    survivors[i%len(survivors)],
 		}
 	}
+	s.t.Mgr.SetWorkers(s.pol.Workers)
 	s.t.Mgr.Restart(placements, nil, s.restartDone)
 }
 
@@ -658,6 +797,11 @@ func (s *Supervisor) restartDone(res *core.RestartResult) {
 	s.stats.Failovers++
 	s.log(EvFailover, "restarted %d pods on %d surviving nodes in %v",
 		len(res.Pods), len(s.survivors()), res.Stats.Total)
+	if s.incr != nil {
+		// The trackers' bases refer to pods that no longer exist; the
+		// next generation of every pod starts a fresh chain.
+		s.incr.Rebase()
+	}
 	s.resetMonitoring()
 	if s.pol.CheckpointEvery > 0 {
 		s.ckptTimer = s.t.W.After(s.pol.CheckpointEvery, s.ckptTick)

@@ -149,6 +149,13 @@ type Process struct {
 	nextFD int
 
 	mem []Region
+	// Dirty-region tracking for incremental checkpoints: memClock ticks
+	// on every region write and memVer records, per region, the clock
+	// value of its last write. A checkpoint generation records the clock
+	// as its watermark; the next generation only serializes regions whose
+	// version exceeds it.
+	memClock uint64
+	memVer   map[string]uint64
 
 	// Blocking state.
 	waitFDs  []FDWait
@@ -213,8 +220,10 @@ func (p *Process) MemoryBytes() int64 {
 	return n
 }
 
-// SetRegion creates or replaces a named memory region.
+// SetRegion creates or replaces a named memory region, marking it dirty
+// for incremental checkpointing.
 func (p *Process) SetRegion(name string, data []byte) {
+	p.TouchRegion(name)
 	for i := range p.mem {
 		if p.mem[i].Name == name {
 			p.mem[i].Data = data
@@ -222,6 +231,38 @@ func (p *Process) SetRegion(name string, data []byte) {
 		}
 	}
 	p.mem = append(p.mem, Region{Name: name, Data: data})
+}
+
+// TouchRegion marks a region dirty without replacing its backing slice
+// (programs that mutate region bytes in place call this so incremental
+// checkpoints re-serialize the region).
+func (p *Process) TouchRegion(name string) {
+	if p.memVer == nil {
+		p.memVer = make(map[string]uint64)
+	}
+	p.memClock++
+	p.memVer[name] = p.memClock
+}
+
+// MemClock returns the process's region-write clock. A checkpoint
+// records it as the watermark against which the next incremental
+// generation computes dirty regions.
+func (p *Process) MemClock() uint64 { return p.memClock }
+
+// RegionVersion returns the clock value of a region's last write (0 if
+// the region has never been written through the tracked API).
+func (p *Process) RegionVersion(name string) uint64 { return p.memVer[name] }
+
+// DirtyRegions returns the regions written after the given watermark, in
+// table order.
+func (p *Process) DirtyRegions(since uint64) []Region {
+	var out []Region
+	for _, r := range p.mem {
+		if p.memVer[r.Name] > since {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // Region returns a named memory region's data.

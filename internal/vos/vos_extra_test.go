@@ -177,3 +177,43 @@ func TestRemoveDetachesWithoutClosingSockets(t *testing.T) {
 		t.Fatal("Remove closed the socket; migration teardown must leave kernel state to the stack detach")
 	}
 }
+
+func TestDirtyRegionTracking(t *testing.T) {
+	_, n, env := testEnv(t)
+	p := n.SpawnStopped(&counter{Steps: 1}, env)
+	if p.MemClock() != 0 {
+		t.Fatalf("fresh process mem clock = %d, want 0", p.MemClock())
+	}
+	p.SetRegion("a", []byte{1})
+	p.SetRegion("b", []byte{2})
+	mark := p.MemClock()
+	if mark != 2 {
+		t.Fatalf("mem clock after two writes = %d, want 2", mark)
+	}
+	if got := p.DirtyRegions(0); len(got) != 2 {
+		t.Fatalf("dirty since 0 = %d regions, want 2", len(got))
+	}
+	if got := p.DirtyRegions(mark); len(got) != 0 {
+		t.Fatalf("dirty since watermark = %d regions, want 0", len(got))
+	}
+	// In-place mutation is invisible without TouchRegion...
+	data, _ := p.Region("a")
+	data[0] = 9
+	if got := p.DirtyRegions(mark); len(got) != 0 {
+		t.Fatal("untouched in-place write should not mark dirty")
+	}
+	// ...and visible with it.
+	p.TouchRegion("a")
+	got := p.DirtyRegions(mark)
+	if len(got) != 1 || got[0].Name != "a" {
+		t.Fatalf("dirty after touch = %+v, want region a", got)
+	}
+	if p.RegionVersion("a") <= p.RegionVersion("b") {
+		t.Fatal("touch did not advance region version")
+	}
+	// Replacing a region marks it dirty again.
+	p.SetRegion("b", []byte{3})
+	if got := p.DirtyRegions(p.RegionVersion("a")); len(got) != 1 || got[0].Name != "b" {
+		t.Fatalf("dirty after SetRegion = %+v, want region b", got)
+	}
+}

@@ -24,9 +24,11 @@
 package zapc
 
 import (
+	"zapc/internal/ckpt"
 	"zapc/internal/cluster"
 	"zapc/internal/core"
 	"zapc/internal/faultinject"
+	"zapc/internal/metrics"
 	"zapc/internal/sim"
 	"zapc/internal/supervisor"
 )
@@ -87,6 +89,46 @@ type (
 	// FaultRecord logs one fired fault.
 	FaultRecord = faultinject.Record
 )
+
+// Parallel + incremental checkpoint pipeline (see internal/ckpt). The
+// worker-pool width is selected per checkpoint with
+// CheckpointOptions.Workers (0 = sequential, <0 = one per host CPU);
+// incremental base+delta capture is enabled by handing the same IncrSet
+// to successive checkpoints via CheckpointOptions.Incr, or by setting
+// SupervisorPolicy.Incremental:
+//
+//	incr := zapc.NewIncrSet(4) // full base every 4th generation
+//	res, _ := c.Checkpoint(job, zapc.CheckpointOptions{Workers: -1, Incr: incr})
+type (
+	// IncrSet tracks base+delta checkpoint chains for a set of pods.
+	IncrSet = ckpt.IncrSet
+	// DeltaImage is one incremental checkpoint record.
+	DeltaImage = ckpt.DeltaImage
+	// CkptBenchRecord is one BENCH_ckpt.json trajectory entry.
+	CkptBenchRecord = metrics.CkptBenchRecord
+)
+
+// NewIncrSet creates an incremental-checkpoint tracker set that takes a
+// full base image every fullEvery generations (<=1 means every
+// checkpoint is full).
+func NewIncrSet(fullEvery int) *IncrSet { return ckpt.NewIncrSet(fullEvery) }
+
+// AppendBenchRun appends one checkpoint-pipeline benchmark record to a
+// BENCH_ckpt.json trajectory buffer.
+func AppendBenchRun(existing []byte, rec CkptBenchRecord) []byte {
+	return metrics.AppendRun(existing, rec)
+}
+
+// DecodeBenchTrajectory parses a BENCH_ckpt.json trajectory.
+func DecodeBenchTrajectory(data []byte) ([]CkptBenchRecord, error) {
+	return metrics.DecodeTrajectory(data)
+}
+
+// CompareBenchThroughput fails when cur's encode throughput regressed
+// more than tolPct percent below prev's (zapc-benchdiff's check).
+func CompareBenchThroughput(prev, cur CkptBenchRecord, tolPct float64) error {
+	return metrics.CompareThroughput(prev, cur, tolPct)
+}
 
 // ErrCorruptImage is returned (wrapped, naming the affected pod) when a
 // checkpoint image fails CRC validation during LoadImages/RestartFromFS.
