@@ -2,11 +2,15 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCH_OUT ?= BENCH_ckpt.json
 
-.PHONY: ci vet build test race fuzz cover bench benchdiff examples clean
+.PHONY: ci fmt vet build test race fuzz cover bench benchdiff examples clean
 
 # Full CI gate: static checks, a clean build, the race-enabled suite,
 # short fuzzing of the image-format decoders, and coverage totals.
-ci: vet build race fuzz cover
+ci: fmt vet build race fuzz cover
+
+# gofmt gate: fails listing any file that is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -35,7 +39,7 @@ cover:
 
 # Benchmarks across every package, then the checkpoint-pipeline
 # trajectory run and its regression gate (>25% encode-throughput drop
-# vs the previous record fails).
+# or >25% peak-buffered-bytes growth vs the previous record fails).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/zapc-bench -fig ckpt -out $(BENCH_OUT)

@@ -35,6 +35,12 @@ type CkptPipelineRow struct {
 	// over the run's images (MiB/s), and total harness wall time.
 	EncodeMBps float64
 	Wall       time.Duration
+
+	// PeakBufferedBytes is the largest amount of record data any
+	// streaming serializer held in memory at once across every
+	// checkpoint of the run — the invariant the version-2 chunked
+	// format exists to bound. It stays O(chunk size), never O(image).
+	PeakBufferedBytes int64
 }
 
 // ckptAt drives the job to the given progress and takes one snapshot
@@ -68,7 +74,11 @@ func RunCkptPipeline(cfg ExperimentConfig, app string, endpoints, workers int) (
 	row := CkptPipelineRow{App: app, Pods: endpoints, Workers: workers}
 
 	// --- Arm 1+2: sequential vs parallel modeled checkpoint time on
-	// identical cluster state (same seed, same progress point).
+	// identical cluster state (same seed, same progress point). The
+	// parallel arm streams its records to the cluster's shared
+	// filesystem (Options.FlushTo); they are read back from there for
+	// the host-side encoder measurement — at no point does the
+	// checkpoint path itself materialize a record.
 	var records [][]byte
 	for arm, w := range []int{1, workers} {
 		c := clusterFor(endpoints, cfg)
@@ -76,16 +86,29 @@ func RunCkptPipeline(cfg ExperimentConfig, app string, endpoints, workers int) (
 		if err != nil {
 			return row, err
 		}
-		res, err := ckptAt(c, job, 0.4, core.Options{Mode: core.Snapshot, Workers: w})
+		opts := core.Options{Mode: core.Snapshot, Workers: w}
+		if arm == 1 {
+			opts.FlushTo = "bench/par"
+		}
+		res, err := ckptAt(c, job, 0.4, opts)
 		if err != nil {
 			return row, fmt.Errorf("ckpt pipeline %s/%d workers=%d: %w", app, endpoints, w, err)
+		}
+		for _, a := range res.Stats.Agents {
+			if a.PeakBuffered > row.PeakBufferedBytes {
+				row.PeakBufferedBytes = a.PeakBuffered
+			}
 		}
 		if arm == 0 {
 			row.SeqCkpt = res.Stats.Total
 		} else {
 			row.ParCkpt = res.Stats.Total
 			records = records[:0]
-			for _, rec := range res.Records {
+			for _, a := range res.Stats.Agents {
+				rec, err := c.FS.ReadFile(fmt.Sprintf("bench/par/%s.img", a.Pod))
+				if err != nil {
+					return row, fmt.Errorf("ckpt pipeline %s/%d: reading flushed image: %w", app, endpoints, err)
+				}
 				records = append(records, rec)
 			}
 		}
@@ -117,6 +140,9 @@ func RunCkptPipeline(cfg ExperimentConfig, app string, endpoints, workers int) (
 				deltaB.Add(float64(a.WireBytes))
 			} else {
 				fullB.Add(float64(a.WireBytes))
+			}
+			if a.PeakBuffered > row.PeakBufferedBytes {
+				row.PeakBufferedBytes = a.PeakBuffered
 			}
 		}
 	}
@@ -161,31 +187,33 @@ func RunCkptPipeline(cfg ExperimentConfig, app string, endpoints, workers int) (
 func (r CkptPipelineRow) Record(cfg ExperimentConfig, when string) metrics.CkptBenchRecord {
 	cfg = cfg.defaults()
 	return metrics.CkptBenchRecord{
-		When:           when,
-		Seed:           cfg.Seed,
-		Pods:           r.Pods,
-		Procs:          r.Procs,
-		Workers:        r.Workers,
-		SeqSimMs:       float64(r.SeqCkpt) / 1e6,
-		ParSimMs:       float64(r.ParCkpt) / 1e6,
-		SimSpeedup:     r.SimSpeedup,
-		FullBytes:      r.FullBytes,
-		DeltaBytes:     r.DeltaBytes,
-		BytesReduction: r.BytesReduction,
-		EncodeMBps:     r.EncodeMBps,
-		WallNs:         int64(r.Wall),
+		When:              when,
+		Seed:              cfg.Seed,
+		Pods:              r.Pods,
+		Procs:             r.Procs,
+		Workers:           r.Workers,
+		SeqSimMs:          float64(r.SeqCkpt) / 1e6,
+		ParSimMs:          float64(r.ParCkpt) / 1e6,
+		SimSpeedup:        r.SimSpeedup,
+		FullBytes:         r.FullBytes,
+		DeltaBytes:        r.DeltaBytes,
+		BytesReduction:    r.BytesReduction,
+		EncodeMBps:        r.EncodeMBps,
+		PeakBufferedBytes: r.PeakBufferedBytes,
+		WallNs:            int64(r.Wall),
 	}
 }
 
 // CkptPipelineTable formats pipeline rows for terminal output.
 func CkptPipelineTable(rows []CkptPipelineRow) string {
-	t := metrics.NewTable("app", "pods", "procs", "workers", "seq-ckpt", "par-ckpt", "speedup", "full-img", "delta-img", "reduction", "encode")
+	t := metrics.NewTable("app", "pods", "procs", "workers", "seq-ckpt", "par-ckpt", "speedup", "full-img", "delta-img", "reduction", "encode", "peak-buf")
 	for _, r := range rows {
 		t.Row(r.App, r.Pods, r.Procs, r.Workers, r.SeqCkpt, r.ParCkpt,
 			fmt.Sprintf("%.2fx", r.SimSpeedup),
 			metrics.HumanBytes(r.FullBytes), metrics.HumanBytes(r.DeltaBytes),
 			fmt.Sprintf("%.1fx", r.BytesReduction),
-			fmt.Sprintf("%.0f MiB/s", r.EncodeMBps))
+			fmt.Sprintf("%.0f MiB/s", r.EncodeMBps),
+			metrics.HumanBytes(r.PeakBufferedBytes))
 	}
 	return t.String()
 }

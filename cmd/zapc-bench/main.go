@@ -237,8 +237,8 @@ func main() {
 		if err := os.WriteFile(*out, zapc.AppendBenchRun(prev, rec), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("appended run to %s (sim-speedup %.2fx, delta reduction %.1fx, encode %.0f MiB/s)\n\n",
-			*out, rec.SimSpeedup, rec.BytesReduction, rec.EncodeMBps)
+		fmt.Printf("appended run to %s (sim-speedup %.2fx, delta reduction %.1fx, encode %.0f MiB/s, peak buffered %d B)\n\n",
+			*out, rec.SimSpeedup, rec.BytesReduction, rec.EncodeMBps, rec.PeakBufferedBytes)
 		return nil
 	})
 

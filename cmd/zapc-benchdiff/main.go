@@ -2,7 +2,8 @@
 // performance regressions. It reads a BENCH_ckpt.json trajectory (as
 // appended by `zapc-bench -fig ckpt`) and compares the newest record
 // against the one before it, exiting non-zero when the parallel
-// encoder's host throughput dropped by more than the tolerance.
+// encoder's host throughput dropped — or the streaming serializer's
+// peak buffering grew — by more than the tolerance.
 //
 // Usage:
 //
@@ -45,10 +46,13 @@ func main() {
 		return
 	}
 	prev, cur := recs[len(recs)-2], recs[len(recs)-1]
-	fmt.Printf("zapc-benchdiff: %s: encode %.1f -> %.1f MiB/s, sim-speedup %.2fx -> %.2fx, delta reduction %.1fx -> %.1fx\n",
+	fmt.Printf("zapc-benchdiff: %s: encode %.1f -> %.1f MiB/s, sim-speedup %.2fx -> %.2fx, delta reduction %.1fx -> %.1fx, peak buffered %d -> %d B\n",
 		file, prev.EncodeMBps, cur.EncodeMBps, prev.SimSpeedup, cur.SimSpeedup,
-		prev.BytesReduction, cur.BytesReduction)
+		prev.BytesReduction, cur.BytesReduction, prev.PeakBufferedBytes, cur.PeakBufferedBytes)
 	if err := zapc.CompareBenchThroughput(prev, cur, *tol); err != nil {
+		fatal(err)
+	}
+	if err := zapc.CompareBenchPeakBuffered(prev, cur, *tol); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("zapc-benchdiff: within %.0f%% tolerance\n", *tol)

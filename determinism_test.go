@@ -14,8 +14,29 @@ import (
 	"zapc"
 )
 
+// grabFlushed reads every record a checkpoint streamed to the shared
+// filesystem under prefix, keyed by path (the record is only ever
+// materialized here, in the test's read-back).
+func grabFlushed(t *testing.T, c *zapc.Cluster, prefix string) map[string][]byte {
+	t.Helper()
+	paths := c.FS.List(prefix)
+	if len(paths) == 0 {
+		t.Fatalf("no records flushed under %q", prefix)
+	}
+	out := make(map[string][]byte, len(paths))
+	for _, path := range paths {
+		data, err := c.FS.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[path] = data
+	}
+	return out
+}
+
 // detRun drives one seeded run through a full then an incremental
-// checkpoint and returns the serialized records of both generations.
+// checkpoint and returns the serialized records of both generations,
+// read back from the shared filesystem they streamed to.
 func detRun(t *testing.T, seed int64, workers int) (full, delta map[string][]byte) {
 	t.Helper()
 	c := zapc.New(zapc.Config{Nodes: 4, Seed: seed})
@@ -24,17 +45,17 @@ func detRun(t *testing.T, seed int64, workers int) (full, delta map[string][]byt
 		t.Fatal(err)
 	}
 	incr := zapc.NewIncrSet(10)
+	gen := 0
 	grab := func(p float64) map[string][]byte {
 		driveTo(t, c, job, p)
-		res, err := c.Checkpoint(job, zapc.CheckpointOptions{Mode: zapc.Snapshot, Workers: workers, Incr: incr})
-		if err != nil {
+		prefix := fmt.Sprintf("det/g%d", gen)
+		gen++
+		if _, err := c.Checkpoint(job, zapc.CheckpointOptions{
+			Mode: zapc.Snapshot, Workers: workers, Incr: incr, FlushTo: prefix,
+		}); err != nil {
 			t.Fatal(err)
 		}
-		out := make(map[string][]byte, len(res.Records))
-		for vip, rec := range res.Records {
-			out[fmt.Sprint(vip)] = rec
-		}
-		return out
+		return grabFlushed(t, c, prefix)
 	}
 	full = grab(0.3)
 	delta = grab(0.6)
@@ -86,15 +107,12 @@ func TestCheckpointWorkerWidthInvariance(t *testing.T) {
 			t.Fatal(err)
 		}
 		driveTo(t, c, job, 0.5)
-		res, err := c.Checkpoint(job, zapc.CheckpointOptions{Mode: zapc.Snapshot, Workers: workers})
-		if err != nil {
+		if _, err := c.Checkpoint(job, zapc.CheckpointOptions{
+			Mode: zapc.Snapshot, Workers: workers, FlushTo: "det/w",
+		}); err != nil {
 			t.Fatal(err)
 		}
-		out := make(map[string][]byte, len(res.Records))
-		for vip, rec := range res.Records {
-			out[fmt.Sprint(vip)] = rec
-		}
-		return out
+		return grabFlushed(t, c, "det/w")
 	}
 	seq := grab(1)
 	for _, w := range []int{2, 8} {

@@ -81,22 +81,30 @@ func TestRestoreEquivalenceProperty(t *testing.T) {
 			}
 			incr := zapc.NewIncrSet(10)
 			driveTo(t, c2, job2, 0.3)
-			base, err := c2.Checkpoint(job2, zapc.CheckpointOptions{Mode: zapc.Snapshot, Workers: 4, Incr: incr})
-			if err != nil {
+			if _, err := c2.Checkpoint(job2, zapc.CheckpointOptions{
+				Mode: zapc.Snapshot, Workers: 4, Incr: incr, FlushTo: "eq/base",
+			}); err != nil {
 				t.Fatal(err)
 			}
 			driveTo(t, c2, job2, 0.6)
-			dck, err := c2.Checkpoint(job2, zapc.CheckpointOptions{Mode: zapc.MigrateMode, Workers: 4, Incr: incr})
+			dck, err := c2.Checkpoint(job2, zapc.CheckpointOptions{
+				Mode: zapc.MigrateMode, Workers: 4, Incr: incr, FlushTo: "eq/delta",
+			})
 			if err != nil {
 				t.Fatal(err)
 			}
 
-			// The delta chain must reconstruct exactly the full image
-			// the restart will use.
-			for vip, rec := range dck.Records {
-				full, ok := base.Records[vip]
-				if !ok {
-					t.Fatalf("pod %v has a delta but no base record", vip)
+			// The delta chain — as flushed to the shared filesystem —
+			// must reconstruct exactly the full image the restart will
+			// use.
+			for vip, img := range dck.Images {
+				rec, err := c2.FS.ReadFile(fmt.Sprintf("eq/delta/%s.delta", img.PodName))
+				if err != nil {
+					t.Fatalf("pod %v: flushed delta: %v", vip, err)
+				}
+				full, err := c2.FS.ReadFile(fmt.Sprintf("eq/base/%s.img", img.PodName))
+				if err != nil {
+					t.Fatalf("pod %v: flushed base: %v", vip, err)
 				}
 				if _, err := ckpt.DecodeDelta(rec); err != nil {
 					t.Fatalf("pod %v: second record is not a delta: %v", vip, err)
@@ -105,7 +113,7 @@ func TestRestoreEquivalenceProperty(t *testing.T) {
 				if err != nil {
 					t.Fatalf("pod %v: chain: %v", vip, err)
 				}
-				if !bytes.Equal(rebuilt.Encode(), dck.Images[vip].Encode()) {
+				if !bytes.Equal(rebuilt.Encode(), img.Encode()) {
 					t.Fatalf("pod %v: base+delta reconstruction differs from the materialized image", vip)
 				}
 			}

@@ -16,6 +16,7 @@ package ckpt
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -189,11 +190,14 @@ func (img *Image) Remap(remap map[netstack.IP]netstack.IP) {
 }
 
 // Bytes reports the serialized size of the image (the paper's checkpoint
-// image size, Figure 6c). The value is memoized: images are treated as
-// immutable once the checkpoint completes.
+// image size, Figure 6c) in the version-2 streamed format, computed by
+// encoding to a counting sink — the image is never materialized. The
+// value is memoized: images are treated as immutable once the
+// checkpoint completes.
 func (img *Image) Bytes() int64 {
 	if img.sizeCache == 0 {
-		img.sizeCache = int64(len(img.Encode()))
+		st, _ := img.EncodeStream(io.Discard) // io.Discard never errors
+		img.sizeCache = st.Bytes
 	}
 	return img.sizeCache
 }

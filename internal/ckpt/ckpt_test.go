@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"testing"
@@ -329,8 +330,14 @@ func TestSerializeRoundTrip(t *testing.T) {
 	if string(pi.Regions[0].Data) != string([]byte{1, 2, 3, 4, 5}) {
 		t.Fatal("region data corrupted")
 	}
-	if img.Bytes() != int64(len(data)) {
-		t.Fatal("Bytes() inconsistent")
+	var v2 bytes.Buffer
+	st, err := img.EncodeStream(&v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bytes() != int64(v2.Len()) || img.Bytes() != st.Bytes {
+		t.Fatalf("Bytes() = %d, streamed record is %d bytes (stats %d)",
+			img.Bytes(), v2.Len(), st.Bytes)
 	}
 	if img.MemoryBytes() < 5 {
 		t.Fatal("MemoryBytes too small")

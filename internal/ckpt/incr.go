@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"hash/crc32"
+	"io"
 
 	"zapc/internal/imgfmt"
 	"zapc/internal/netckpt"
@@ -131,8 +131,27 @@ func (d *DeltaImage) Encode() []byte {
 	return e.Finish()
 }
 
-// DecodeDelta parses a serialized incremental record.
+// DecodeDelta parses a serialized incremental record of either format
+// version.
 func DecodeDelta(data []byte) (*DeltaImage, error) {
+	ver, delta, err := imgfmt.SniffVersion(data)
+	if err != nil {
+		return nil, err
+	}
+	if !delta {
+		return nil, fmt.Errorf("%w: pod image where delta record expected", imgfmt.ErrBadMagic)
+	}
+	if ver == imgfmt.Version {
+		return decodeDeltaV1(data)
+	}
+	dec, err := imgfmt.DecodeStream(data)
+	if err != nil {
+		return nil, err
+	}
+	return decodeDeltaV2(dec)
+}
+
+func decodeDeltaV1(data []byte) (*DeltaImage, error) {
 	dec, err := imgfmt.NewDeltaDecoder(data)
 	if err != nil {
 		return nil, err
@@ -338,49 +357,16 @@ func ApplyDelta(base *Image, d *DeltaImage) (*Image, error) {
 	return img, nil
 }
 
-// ReconstructChain decodes and validates a base-plus-deltas record
-// chain: records[0] must be a full image, every later record a delta
-// whose ParentSum matches the CRC-32 of the preceding record and whose
-// Seq increments by one. It returns the materialized image of the last
-// generation.
-func ReconstructChain(records [][]byte) (*Image, error) {
-	if len(records) == 0 {
-		return nil, fmt.Errorf("%w: empty chain", ErrChainBroken)
-	}
-	img, err := DecodeImage(records[0])
-	if err != nil {
-		return nil, err
-	}
-	sum := crc32.ChecksumIEEE(records[0])
-	for i, rec := range records[1:] {
-		d, err := DecodeDelta(rec)
-		if err != nil {
-			return nil, err
-		}
-		if d.ParentSum != sum {
-			return nil, fmt.Errorf("%w: record %d parent checksum %08x, want %08x",
-				ErrChainBroken, i+1, d.ParentSum, sum)
-		}
-		if d.Seq != uint64(i+1) {
-			return nil, fmt.Errorf("%w: record %d has sequence %d", ErrChainBroken, i+1, d.Seq)
-		}
-		if img, err = ApplyDelta(img, d); err != nil {
-			return nil, err
-		}
-		sum = crc32.ChecksumIEEE(rec)
-	}
-	return img, nil
-}
-
 // Tracker drives incremental checkpointing of one pod: it remembers the
 // last committed generation (materialized image, per-process dirty
 // watermarks, program-state fingerprints, record checksum) and emits
 // delta records containing only what changed since.
 //
-// Capture is transactional: it returns a Pending holding the encoded
-// record, and the tracker state only advances when the caller commits —
-// a checkpoint operation that aborts after serializing simply drops the
-// Pending and the chain stays anchored at the last durable generation.
+// Capture is transactional: it returns a Pending that can stream the
+// record to a sink, and the tracker state only advances when the caller
+// commits — a checkpoint operation that aborts after serializing simply
+// drops the Pending and the chain stays anchored at the last durable
+// generation.
 type Tracker struct {
 	seq       uint64 // deltas committed since the last full record
 	sinceFull int    // generations committed since the last full record
@@ -415,7 +401,9 @@ func (t *Tracker) Rebase() {
 	t.lastSum = 0
 }
 
-// Pending is a captured-but-uncommitted checkpoint generation.
+// Pending is a captured-but-uncommitted checkpoint generation. The
+// record is never materialized inside the Pending: callers stream it to
+// their sink with Stream.
 type Pending struct {
 	// Image is the materialized full image of this generation,
 	// regardless of record kind — restart never needs to reconstruct
@@ -423,21 +411,50 @@ type Pending struct {
 	Image *Image
 	// Delta is the incremental record, nil for a full generation.
 	Delta *DeltaImage
-	// Wire is the encoded record: Image bytes for a full generation,
-	// Delta bytes otherwise.
-	Wire   []byte
-	commit func()
+	// stats memoizes the first successful Stream; the encoding is
+	// deterministic, so every sink observes the same bytes and checksum.
+	stats  *StreamStats
+	commit func(sum uint32)
 }
 
 // Full reports whether this generation is a full image record.
 func (pn *Pending) Full() bool { return pn.Delta == nil }
+
+// Stream writes this generation's record — the full image for a full
+// generation, the delta record otherwise — to w in the version-2
+// chunked format. The encoding is deterministic, so Stream may be
+// called any number of times (for a store and for accounting) and every
+// call produces identical bytes.
+func (pn *Pending) Stream(w io.Writer) (StreamStats, error) {
+	var st StreamStats
+	var err error
+	if pn.Delta != nil {
+		st, err = pn.Delta.EncodeStream(w)
+	} else {
+		st, err = pn.Image.EncodeStream(w)
+	}
+	if err == nil && pn.stats == nil {
+		cp := st
+		pn.stats = &cp
+	}
+	return st, err
+}
+
+// Stats returns the record's size, peak-buffering, and checksum
+// figures, encoding to a counting sink if no Stream has run yet.
+func (pn *Pending) Stats() StreamStats {
+	if pn.stats == nil {
+		_, _ = pn.Stream(io.Discard) // cannot fail: io.Discard never errors
+	}
+	return *pn.stats
+}
 
 // Commit advances the tracker to this generation. Call exactly once,
 // only after the record is durable (the coordinated operation
 // completed).
 func (pn *Pending) Commit() {
 	if pn.commit != nil {
-		pn.commit()
+		pn.commit(pn.Stats().Sum)
 		pn.commit = nil
 	}
 }
@@ -462,17 +479,15 @@ func (t *Tracker) Capture(p *pod.Pod, workers int, full bool) (*Pending, error) 
 		lastProg[pi.VPID] = pi.ProgData
 	}
 	if full || t.last == nil {
-		wire := img.EncodeParallel(workers)
 		return &Pending{
 			Image: img,
-			Wire:  wire,
-			commit: func() {
+			commit: func(sum uint32) {
 				t.seq = 0
 				t.sinceFull = 0
 				t.marks = marks
 				t.lastProg = lastProg
 				t.last = img
-				t.lastSum = crc32.ChecksumIEEE(wire)
+				t.lastSum = sum
 			},
 		}, nil
 	}
@@ -551,18 +566,16 @@ func (t *Tracker) Capture(p *pod.Pod, workers int, full bool) (*Pending, error) 
 			d.RemovedProcs = append(d.RemovedProcs, bp.VPID)
 		}
 	}
-	wire := d.Encode()
 	return &Pending{
 		Image: img,
 		Delta: d,
-		Wire:  wire,
-		commit: func() {
+		commit: func(sum uint32) {
 			t.seq++
 			t.sinceFull++
 			t.marks = marks
 			t.lastProg = lastProg
 			t.last = img
-			t.lastSum = crc32.ChecksumIEEE(wire)
+			t.lastSum = sum
 		},
 	}, nil
 }

@@ -45,6 +45,21 @@ func captureCommit(t *testing.T, tr *Tracker, p *pod.Pod, full bool) *Pending {
 	return pend
 }
 
+// wireOf streams a pending generation's record into a buffer. Tests
+// need the raw bytes; production code streams straight to a store.
+func wireOf(t *testing.T, pend *Pending) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	st, err := pend.Stream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bytes != int64(buf.Len()) || st.Sum != crc32.ChecksumIEEE(buf.Bytes()) {
+		t.Fatalf("stream stats disagree with the bytes written: %+v vs %d bytes", st, buf.Len())
+	}
+	return buf.Bytes()
+}
+
 func TestDeltaWireRoundTrip(t *testing.T) {
 	c := mkCluster(t, 1)
 	p := mkIdlePod(t, c, "rt", 2, 1024)
@@ -57,11 +72,16 @@ func TestDeltaWireRoundTrip(t *testing.T) {
 	if pend.Full() {
 		t.Fatal("expected a delta generation")
 	}
-	got, err := DecodeDelta(pend.Wire)
+	wire := wireOf(t, pend)
+	got, err := DecodeDelta(wire)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got.Encode(), pend.Wire) {
+	var again bytes.Buffer
+	if _, err := got.EncodeStream(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), wire) {
 		t.Fatal("delta decode/encode is not a fixed point")
 	}
 	if got.Seq != 1 || got.PodName != "rt" {
@@ -90,11 +110,11 @@ func TestApplyDeltaMatchesFullCheckpoint(t *testing.T) {
 	if pend.Full() {
 		t.Fatal("expected delta")
 	}
-	d, err := DecodeDelta(pend.Wire)
+	d, err := DecodeDelta(wireOf(t, pend))
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseImg, err := DecodeImage(base.Wire)
+	baseImg, err := DecodeImage(wireOf(t, base))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +163,10 @@ func TestInPlaceMutationCaughtBySafetyNet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, _ := DecodeDelta(pend.Wire)
+	d, err := DecodeDelta(wireOf(t, pend))
+	if err != nil {
+		t.Fatal(err)
+	}
 	found := false
 	for _, pd := range d.Procs {
 		for _, r := range pd.Regions {
@@ -171,7 +194,7 @@ func TestIncrementalBytesAtLeast5xSmaller(t *testing.T) {
 		proc.SetRegion("hot", []byte{1, 2, 3, 4})
 	}
 	deltaPend := captureCommit(t, tr, p, false)
-	fullBytes, deltaBytes := len(fullPend.Wire), len(deltaPend.Wire)
+	fullBytes, deltaBytes := int(fullPend.Stats().Bytes), int(deltaPend.Stats().Bytes)
 	if deltaBytes*5 > fullBytes {
 		t.Fatalf("delta %d bytes vs full %d bytes: less than 5x reduction", deltaBytes, fullBytes)
 	}
@@ -181,12 +204,12 @@ func TestReconstructChain(t *testing.T) {
 	c := mkCluster(t, 1)
 	p := mkIdlePod(t, c, "chain", 2, 4096)
 	tr := NewTracker()
-	records := [][]byte{captureCommit(t, tr, p, true).Wire}
+	records := [][]byte{wireOf(t, captureCommit(t, tr, p, true))}
 	for gen := 0; gen < 3; gen++ {
 		for i, proc := range p.Procs() {
 			proc.SetRegion("hot", []byte{byte(gen), byte(i)})
 		}
-		records = append(records, captureCommit(t, tr, p, false).Wire)
+		records = append(records, wireOf(t, captureCommit(t, tr, p, false)))
 	}
 	rebuilt, err := ReconstructChain(records)
 	if err != nil {
@@ -244,10 +267,10 @@ func TestPendingDiscardKeepsChainAnchored(t *testing.T) {
 	if retry.Delta.Seq != 1 {
 		t.Fatalf("retry seq = %d, want 1 (aborted capture must not advance the chain)", retry.Delta.Seq)
 	}
-	if retry.Delta.ParentSum != crc32.ChecksumIEEE(fullPend.Wire) {
+	if retry.Delta.ParentSum != fullPend.Stats().Sum {
 		t.Fatal("retry does not link to the committed base")
 	}
-	if _, err := ReconstructChain([][]byte{fullPend.Wire, retry.Wire}); err != nil {
+	if _, err := ReconstructChain([][]byte{wireOf(t, fullPend), wireOf(t, retry)}); err != nil {
 		t.Fatal(err)
 	}
 	// The aborted record, had it been stored, would also have linked —
@@ -298,7 +321,7 @@ func TestProcessExitProducesRemoval(t *testing.T) {
 	c.drive(t, func() bool { return shortLived.Status() == vos.StatusExited })
 	c.freeze(t, p)
 	pend := captureCommit(t, tr, p, false)
-	d, err := DecodeDelta(pend.Wire)
+	d, err := DecodeDelta(wireOf(t, pend))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -170,10 +171,30 @@ func (img *Image) EncodeParallel(workers int) []byte {
 	return e.Finish()
 }
 
-// DecodeImageWith parses a serialized pod image, decoding the process
-// sections on a bounded worker pool (the restart path's mirror of
-// CheckpointPodWith). workers <= 0 selects DefaultWorkers.
+// DecodeImageWith parses a serialized pod image of either format
+// version. A version-1 image decodes its process sections on a bounded
+// worker pool (the restart path's mirror of CheckpointPodWith); a
+// version-2 image decodes through the chunk-verifying stream walk.
+// workers <= 0 selects DefaultWorkers.
 func DecodeImageWith(data []byte, workers int) (*Image, error) {
+	ver, delta, err := imgfmt.SniffVersion(data)
+	if err != nil {
+		return nil, err
+	}
+	if delta {
+		return nil, fmt.Errorf("%w: delta record where pod image expected", imgfmt.ErrBadMagic)
+	}
+	if ver == imgfmt.Version {
+		return decodeImageV1(data, workers)
+	}
+	sd, err := imgfmt.DecodeStream(data)
+	if err != nil {
+		return nil, err
+	}
+	return decodeImageV2(sd)
+}
+
+func decodeImageV1(data []byte, workers int) (*Image, error) {
 	img, secs, err := decodeImageHeader(data)
 	if err != nil {
 		return nil, err

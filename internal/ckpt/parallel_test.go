@@ -235,20 +235,46 @@ func FuzzDecodeImage(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Add(fullPend.Wire)
-	f.Add(deltaPend.Wire)
+	var fullWire, deltaWire bytes.Buffer
+	if _, err := fullPend.Stream(&fullWire); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := deltaPend.Stream(&deltaWire); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fullWire.Bytes())
+	f.Add(deltaWire.Bytes())
+	// Legacy version-1 records must keep decoding too.
+	f.Add(fullPend.Image.Encode())
+	f.Add(deltaPend.Delta.Encode())
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0x5a}, 64))
+	// A truncated v2 record: every decode path must error, never hang.
+	f.Add(fullWire.Bytes()[:fullWire.Len()*2/3])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if img, err := DecodeImage(data); err == nil {
 			if _, err := DecodeImage(img.Encode()); err != nil {
 				t.Fatalf("re-decode of decoded image failed: %v", err)
 			}
+			var v2 bytes.Buffer
+			if _, err := img.EncodeStream(&v2); err != nil {
+				t.Fatalf("streaming re-encode failed: %v", err)
+			}
+			if _, err := DecodeImage(v2.Bytes()); err != nil {
+				t.Fatalf("re-decode of streamed image failed: %v", err)
+			}
 		}
 		if d, err := DecodeDelta(data); err == nil {
 			if _, err := DecodeDelta(d.Encode()); err != nil {
 				t.Fatalf("re-decode of decoded delta failed: %v", err)
+			}
+			var v2 bytes.Buffer
+			if _, err := d.EncodeStream(&v2); err != nil {
+				t.Fatalf("streaming re-encode failed: %v", err)
+			}
+			if _, err := DecodeDelta(v2.Bytes()); err != nil {
+				t.Fatalf("re-decode of streamed delta failed: %v", err)
 			}
 		}
 		_, _ = VerifyImage(data)

@@ -18,30 +18,33 @@ import (
 // so errors.Is works across layers.
 var ErrCorruptImage = ckpt.ErrCorruptImage
 
-// LoadImages reads every checkpoint image under the given shared-FS
-// directory and CRC-verifies each before returning it, sorted by pod
-// name. A validation failure names the offending pod and wraps
-// ErrCorruptImage.
+// LoadImages streams every checkpoint image under the given image-store
+// directory through the chunk-verifying decoder before returning it,
+// sorted by pod name. Images are never materialized as contiguous
+// buffers on the way in. A validation failure names the offending pod
+// and wraps ErrCorruptImage.
 func (c *Cluster) LoadImages(dir string) ([]*ckpt.Image, error) {
 	return c.LoadImagesWith(dir, 1)
 }
 
-// LoadImagesWith is LoadImages with the per-image process sections
-// decoded across a bounded worker pool (workers <= 0 selects one per
-// host CPU), the restart-side mirror of the parallel checkpoint
-// pipeline.
+// LoadImagesWith is LoadImages with legacy version-1 images decoded
+// across a bounded worker pool (workers <= 0 selects one per host CPU),
+// the restart-side mirror of the parallel checkpoint pipeline.
+// Version-2 images decode through the streaming walk.
 func (c *Cluster) LoadImagesWith(dir string, workers int) ([]*ckpt.Image, error) {
-	files := c.FS.List(dir)
+	store := c.Mgr.Store()
+	files := store.List(dir)
 	if len(files) == 0 {
 		return nil, fmt.Errorf("cluster: no checkpoint images under %q", dir)
 	}
 	images := make([]*ckpt.Image, 0, len(files))
 	for _, f := range files {
-		data, err := c.FS.ReadFile(f)
+		rc, err := store.Open(f)
 		if err != nil {
 			return nil, err
 		}
-		img, err := ckpt.DecodeImageWith(data, workers)
+		img, err := ckpt.DecodeImageFrom(rc, workers)
+		rc.Close()
 		if err != nil {
 			name := strings.TrimSuffix(f[strings.LastIndex(f, "/")+1:], ".img")
 			return nil, fmt.Errorf("cluster: pod %s (%s): %w: %v", name, f, ckpt.ErrCorruptImage, err)
@@ -101,6 +104,7 @@ func (c *Cluster) Supervise(j *Job, pol supervisor.Policy) (*supervisor.Supervis
 		W:        c.W,
 		Mgr:      c.Mgr,
 		FS:       c.FS,
+		Store:    c.Mgr.Store(),
 		Pods:     func() []*pod.Pod { return j.Pods },
 		Nodes:    func() []*vos.Node { return c.Nodes },
 		Rebind:   j.Rebind,

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
+	"zapc/internal/ckpt"
 	"zapc/internal/core"
 	"zapc/internal/sim"
 )
@@ -83,6 +85,77 @@ func TestRestartFromFSRefusesCorruptImage(t *testing.T) {
 	}
 	if got := job.Result(); got != want {
 		t.Fatalf("result %v != reference %v", got, want)
+	}
+}
+
+// TestLoadImagesRefusesTruncatedImage truncates a flushed checkpoint
+// image mid-stream — in the chunked version-2 format and in the legacy
+// version-1 format — and asserts that LoadImages and RestartFromFS
+// refuse it with ErrCorruptImage naming the pod, while the intact
+// record of either version loads fine.
+func TestLoadImagesRefusesTruncatedImage(t *testing.T) {
+	c := New(Config{Nodes: 2, Seed: 23})
+	job, err := c.Launch(JobSpec{App: "cpi", Endpoints: 2, Work: 0.01, Scale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drive(func() bool { return job.Progress() > 0.2 }, 30*60*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	const dir = "ckpt/tr"
+	if _, err := c.Checkpoint(job, core.Options{Mode: core.Migrate, FlushTo: dir}); err != nil {
+		t.Fatal(err)
+	}
+	files := c.FS.List(dir)
+	if len(files) != 2 {
+		t.Fatalf("flushed %d images, want 2", len(files))
+	}
+	victim := files[0]
+	podName := strings.TrimSuffix(victim[strings.LastIndex(victim, "/")+1:], ".img")
+	v2, err := c.FS.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := ckpt.DecodeImage(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := img.Encode()
+
+	expectCorrupt := func(label string) {
+		t.Helper()
+		if _, err := c.LoadImages(dir); !errors.Is(err, ErrCorruptImage) {
+			t.Fatalf("%s: LoadImages err = %v, want ErrCorruptImage", label, err)
+		} else if !strings.Contains(err.Error(), podName) {
+			t.Fatalf("%s: error %q does not name pod %s", label, err, podName)
+		}
+		if _, err := c.RestartFromFS(job, dir, c.Nodes); !errors.Is(err, ErrCorruptImage) {
+			t.Fatalf("%s: RestartFromFS err = %v, want ErrCorruptImage", label, err)
+		}
+	}
+
+	for _, tc := range []struct {
+		label string
+		whole []byte
+	}{
+		{"v2", v2},
+		{"v1", v1},
+	} {
+		// The intact record of either version loads.
+		if err := c.FS.WriteFile(victim, tc.whole); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.LoadImages(dir); err != nil {
+			t.Fatalf("%s intact: %v", tc.label, err)
+		}
+		// Truncations at several depths — inside the header, mid-frame,
+		// and just short of the trailer — all refuse with the pod named.
+		for _, keep := range []int{4, len(tc.whole) / 2, len(tc.whole) - 1} {
+			if err := c.FS.WriteFile(victim, tc.whole[:keep]); err != nil {
+				t.Fatal(err)
+			}
+			expectCorrupt(fmt.Sprintf("%s truncated to %d/%d bytes", tc.label, keep, len(tc.whole)))
+		}
 	}
 }
 

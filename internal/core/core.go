@@ -26,8 +26,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"zapc/internal/ckpt"
+	"zapc/internal/imagestore"
 	"zapc/internal/memfs"
 	"zapc/internal/netckpt"
 	"zapc/internal/netstack"
@@ -186,6 +188,10 @@ type AgentStats struct {
 	// WireBytes is what this generation actually wrote to the sink: the
 	// full image for a full generation, the delta record otherwise.
 	WireBytes int64
+	// PeakBuffered is the most bytes the streaming serializer held at
+	// once while producing the record — bounded by the frame chunk size
+	// plus the largest metadata section, never by the image size.
+	PeakBuffered int64
 	// Incremental marks a delta generation.
 	Incremental bool
 }
@@ -219,16 +225,16 @@ func (s *CheckpointStats) MaxImageBytes() int64 {
 	return m
 }
 
-// CheckpointResult carries the images plus measurements.
+// CheckpointResult carries the images plus measurements. Serialized
+// records are never materialized in the result: they stream to the
+// manager's image store when Options.FlushTo is set, and can be
+// re-streamed deterministically from the images at any time.
 type CheckpointResult struct {
 	// Images holds the materialized full image of every pod — even for
 	// incremental generations, so restart paths never reconstruct
 	// chains in memory.
 	Images map[netstack.IP]*ckpt.Image
-	// Records holds each pod's serialized record as written to the
-	// sink: full image bytes, or the delta record in incremental mode.
-	Records map[netstack.IP][]byte
-	Stats   CheckpointStats
+	Stats  CheckpointStats
 	// FSSnapshot is the consistent file-system image captured before
 	// the pods resumed (nil unless Options.SnapshotFS).
 	FSSnapshot *memfs.FS
@@ -242,11 +248,21 @@ type Manager struct {
 	w         *sim.World
 	nw        *netstack.Network
 	fs        *memfs.FS
+	store     imagestore.Store // sink for flushed checkpoint records
 	failed    bool
 	workers   int // restart-side serialization pool width (0 = sequential)
 	phaseHook PhaseHook
 	ctrlHook  CtrlHook
 }
+
+// SetStore replaces the image store that FlushTo streams records into.
+// The default is the shared filesystem; a netstack-backed remote store
+// ships records straight to a peer node instead (the paper's direct
+// checkpoint-to-network migration).
+func (m *Manager) SetStore(s imagestore.Store) { m.store = s }
+
+// Store returns the manager's image store.
+func (m *Manager) Store() imagestore.Store { return m.store }
 
 // SetWorkers sets the restart-side worker-pool width: the modeled
 // restore time of each agent divides by min(workers, processes), the
@@ -283,9 +299,11 @@ func (m *Manager) notify(p Phase) {
 	}
 }
 
-// NewManager creates a manager for the given cluster substrate.
+// NewManager creates a manager for the given cluster substrate. Flushed
+// records stream to the shared filesystem unless SetStore installs a
+// different sink.
 func NewManager(w *sim.World, nw *netstack.Network, fs *memfs.FS) *Manager {
-	return &Manager{w: w, nw: nw, fs: fs}
+	return &Manager{w: w, nw: nw, fs: fs, store: imagestore.NewFS(fs)}
 }
 
 // ctrl models one manager<->agent control message.
@@ -368,8 +386,8 @@ type ckptAgent struct {
 	netTime   sim.Duration
 	saTime    sim.Duration
 	img       *ckpt.Image
-	pend      *ckpt.Pending // incremental mode only; committed on success
-	wire      []byte        // serialized record written to the sink
+	pend      *ckpt.Pending    // incremental mode only; committed on success
+	stats     ckpt.StreamStats // size/peak/checksum of the serialized record
 	netBytes  int64
 	queueLen  int64
 	saDone    bool
@@ -484,7 +502,7 @@ func (a *ckptAgent) standalone() {
 			return
 		}
 		a.pend = pend
-		a.wire = pend.Wire
+		a.stats = pend.Stats()
 		img = pend.Image
 	} else {
 		var err error
@@ -493,13 +511,20 @@ func (a *ckptAgent) standalone() {
 			a.op.abort(err)
 			return
 		}
-		a.wire = img.EncodeParallel(workers)
+		// Size the record by streaming it to a counting sink; nothing is
+		// materialized, and the peak-buffering figure comes for free.
+		st, serr := img.EncodeStream(io.Discard)
+		if serr != nil {
+			a.op.abort(serr)
+			return
+		}
+		a.stats = st
 	}
 	a.img = img
 	// The copy cost covers what is actually written — the delta record
 	// in incremental mode — and divides by the effective serialization
 	// parallelism (per-process capture fans out across the pool).
-	bytes := costs.EffImageBytes(int64(len(a.wire)))
+	bytes := costs.EffImageBytes(a.stats.Bytes)
 	cost := w.Jitter(costs.CheckpointFixed, 0.25) +
 		costs.MemCopyTime(bytes)/parSpeedup(workers, len(img.Procs))
 	w.After(cost, func() {
@@ -587,22 +612,19 @@ func (op *ckptOp) doneArrived(a *ckptAgent) {
 	a2 := a
 	total := sim.Duration(op.m.w.Now() - a2.began)
 	op.result.Stats.Agents = append(op.result.Stats.Agents, AgentStats{
-		Pod:         a.pod.Name(),
-		Suspend:     a.suspend,
-		NetCkpt:     a.netTime,
-		Standalone:  a.saTime,
-		Total:       total,
-		ImageBytes:  a.img.Bytes(),
-		NetBytes:    a.netBytes,
-		NetQueueLen: a.queueLen,
-		WireBytes:   int64(len(a.wire)),
-		Incremental: a.pend != nil && !a.pend.Full(),
+		Pod:          a.pod.Name(),
+		Suspend:      a.suspend,
+		NetCkpt:      a.netTime,
+		Standalone:   a.saTime,
+		Total:        total,
+		ImageBytes:   a.img.Bytes(),
+		NetBytes:     a.netBytes,
+		NetQueueLen:  a.queueLen,
+		WireBytes:    a.stats.Bytes,
+		PeakBuffered: a.stats.Peak,
+		Incremental:  a.pend != nil && !a.pend.Full(),
 	})
 	op.result.Images[a.img.VIP] = a.img
-	if op.result.Records == nil {
-		op.result.Records = make(map[netstack.IP][]byte, len(op.agents))
-	}
-	op.result.Records[a.img.VIP] = a.wire
 	op.dones++
 	if op.dones < len(op.agents) {
 		return
@@ -627,19 +649,39 @@ func (op *ckptOp) doneArrived(a *ckptAgent) {
 	if op.opts.FlushTo != "" {
 		// Flush after resume; charged to the SAN, not to checkpoint time.
 		// Full generations write <pod>.img, deltas write <pod>.delta.
+		// Records stream chunk by chunk into the manager's store — at no
+		// point does a flushed record exist as one contiguous buffer.
 		for _, ag := range op.agents {
 			ext := "img"
 			if ag.pend != nil && !ag.pend.Full() {
 				ext = "delta"
 			}
 			path := fmt.Sprintf("%s/%s.%s", op.opts.FlushTo, ag.img.PodName, ext)
-			if err := op.m.fs.WriteFile(path, ag.wire); err != nil {
+			if err := op.flushRecord(path, ag); err != nil {
 				op.result.Err = err
 			}
 		}
 	}
 	op.m.notify(PhaseCheckpointDone)
 	op.onDone(op.result)
+}
+
+// flushRecord streams one agent's record into the manager's store.
+func (op *ckptOp) flushRecord(path string, ag *ckptAgent) error {
+	wc, err := op.m.store.Create(path)
+	if err != nil {
+		return err
+	}
+	if ag.pend != nil {
+		_, err = ag.pend.Stream(wc)
+	} else {
+		_, err = ag.img.EncodeStream(wc)
+	}
+	if err != nil {
+		wc.Close()
+		return err
+	}
+	return wc.Close()
 }
 
 // Placement names the target node for one pod image.

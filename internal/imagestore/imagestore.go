@@ -1,0 +1,84 @@
+// Package imagestore defines the pluggable storage behind the
+// checkpoint image pipeline.
+//
+// ZapC streams checkpoint images rather than materializing them: to
+// shared storage in the normal case, or straight over the network to
+// the target node in the paper's direct-migration mode. Store is the
+// seam between the two — producers write images through Create without
+// knowing whether bytes land on the shared filesystem (FSStore) or on a
+// peer node's store via a socket (Remote/Server in this package), and
+// consumers read them back through Open without knowing where they came
+// from. Everything above this interface (the coordination manager, the
+// supervisor, the cluster restart paths) handles images only as
+// streams, never as whole buffers.
+package imagestore
+
+import (
+	"errors"
+	"io"
+
+	"zapc/internal/memfs"
+)
+
+// ErrUnsupported is returned by stores that implement only one
+// direction of the interface (e.g. the write-only remote store).
+var ErrUnsupported = errors.New("imagestore: operation not supported by this store")
+
+// Info is the stored metadata of one image.
+type Info struct {
+	Path string
+	Size int64
+	// Chunks is the number of separate buffers backing the stored
+	// image: one for a legacy whole-buffer write, one per streamed
+	// Write otherwise. Tests assert Chunks > 1 to prove an image was
+	// streamed end to end without ever being materialized contiguously.
+	Chunks int
+}
+
+// Store is a pluggable checkpoint image store. Images are write-once
+// blobs: Create returns a streaming writer whose Close commits the
+// image atomically (a failed writer must leave no partial image
+// visible), and Open returns a streaming reader over a committed image.
+type Store interface {
+	Create(path string) (io.WriteCloser, error)
+	Open(path string) (io.ReadCloser, error)
+	// List returns the sorted paths of images under the prefix.
+	List(prefix string) []string
+	Remove(path string) error
+	Stat(path string) (Info, error)
+}
+
+// FSStore stores images on the shared in-memory filesystem — the
+// paper's SAN/GFS path. It inherits memfs's chunked storage, so
+// streamed images stay chunked at rest.
+type FSStore struct {
+	fs *memfs.FS
+}
+
+// NewFS returns a Store backed by the given filesystem.
+func NewFS(fs *memfs.FS) *FSStore { return &FSStore{fs: fs} }
+
+// FS returns the backing filesystem.
+func (s *FSStore) FS() *memfs.FS { return s.fs }
+
+// Create returns a streaming writer committing to the filesystem on
+// Close.
+func (s *FSStore) Create(path string) (io.WriteCloser, error) { return s.fs.Create(path) }
+
+// Open returns a streaming reader over a committed image.
+func (s *FSStore) Open(path string) (io.ReadCloser, error) { return s.fs.Open(path) }
+
+// List returns the sorted image paths under prefix.
+func (s *FSStore) List(prefix string) []string { return s.fs.List(prefix) }
+
+// Remove deletes an image.
+func (s *FSStore) Remove(path string) error { return s.fs.Remove(path) }
+
+// Stat returns image metadata.
+func (s *FSStore) Stat(path string) (Info, error) {
+	fi, err := s.fs.Stat(path)
+	if err != nil {
+		return Info{}, err
+	}
+	return Info{Path: fi.Path, Size: fi.Size, Chunks: fi.Chunks}, nil
+}

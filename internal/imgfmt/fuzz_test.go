@@ -49,6 +49,42 @@ func exhaust(t *testing.T, d *Decoder, depth int) error {
 	return nil
 }
 
+// exhaustStream walks every field of a streaming decoder, mirroring
+// exhaust for the io.Reader form.
+func exhaustStream(t *testing.T, d *StreamDecoder) {
+	for i := 0; i < 1<<16; i++ { // bound the walk against pathological streams
+		tag, typ, err := d.Peek()
+		if err != nil {
+			return
+		}
+		switch typ {
+		case TypeUint:
+			_, err = d.Uint(tag)
+		case TypeInt:
+			_, err = d.Int(tag)
+		case TypeBytes:
+			_, err = d.Bytes(tag)
+		case TypeString:
+			_, err = d.String(tag)
+		case TypeBool:
+			_, err = d.Bool(tag)
+		case TypeFloat64:
+			_, err = d.Float64(tag)
+		case TypeSection:
+			var sec *Decoder
+			sec, err = d.Section(tag)
+			if err == nil {
+				err = exhaust(t, sec, 0)
+			}
+		default:
+			err = d.Skip()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
 // FuzzDecode feeds arbitrary bytes to the decoder entry points and the
 // full field walk. Decoding must never panic: malformed input may only
 // produce errors.
@@ -72,6 +108,25 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(DeltaMagic + "\x01"))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	// Chunked v2 seeds: a valid framed stream, a truncated frame, a
+	// frame with a corrupt chunk CRC, and a frame declaring a huge
+	// payload length.
+	var v2 bytes.Buffer
+	s2 := NewStreamEncoder(&v2)
+	s2.Uint(1, 42)
+	s2.Bytes(2, bytes.Repeat([]byte{0xab}, DefaultChunk+33))
+	s2.String(3, "pod")
+	if err := s2.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(v2.Bytes()[:len(v2.Bytes())/2])
+	crcFlip := append([]byte(nil), v2.Bytes()...)
+	crcFlip[len(crcFlip)-2] ^= 0xff
+	f.Add(crcFlip)
+	huge := appendUvarint([]byte(Magic), StreamVersion)
+	huge = appendUvarint(huge, 1<<40)
+	f.Add(append(huge, 0xde, 0xad, 0xbe, 0xef))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, mk := range []func([]byte) (*Decoder, error){
@@ -84,6 +139,11 @@ func FuzzDecode(f *testing.F) {
 				continue
 			}
 			_ = exhaust(t, d, 0)
+		}
+		// The streaming decoder must be equally panic-free on arbitrary
+		// bytes of either version.
+		if sd, err := NewStreamDecoder(bytes.NewReader(data)); err == nil {
+			exhaustStream(t, sd)
 		}
 		// A raw section decoder over arbitrary bytes (a corrupted nested
 		// body whose outer CRC happened to pass) must not panic either.

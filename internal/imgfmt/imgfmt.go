@@ -59,28 +59,27 @@ var (
 	ErrEndOfSection = errors.New("imgfmt: end of section")
 )
 
-// Encoder builds a checkpoint image. The zero value is not usable; create
-// encoders with NewEncoder. Encoders are not safe for concurrent use.
+// Encoder builds a checkpoint image in memory. The zero value is not
+// usable; create encoders with NewEncoder. Encoders are not safe for
+// concurrent use.
+//
+// Encoder is a thin buffered wrapper over StreamEncoder: it shares the
+// field encoding and section stack, buffers everything, and finishes
+// with the version-1 whole-stream CRC trailer. Its output is
+// byte-identical to the pre-streaming format.
 type Encoder struct {
-	stack [][]byte // stack[0] is the root buffer; deeper entries are open sections
+	s *StreamEncoder
 }
 
 // NewEncoder returns an encoder with the image header already written.
 func NewEncoder() *Encoder {
-	return newWithMagic(Magic)
+	return &Encoder{s: newBuffered(Magic)}
 }
 
 // NewDeltaEncoder returns an encoder whose header marks the stream as a
 // delta record rather than a full image.
 func NewDeltaEncoder() *Encoder {
-	return newWithMagic(DeltaMagic)
-}
-
-func newWithMagic(magic string) *Encoder {
-	root := make([]byte, 0, 256)
-	root = append(root, magic...)
-	root = appendUvarint(root, Version)
-	return &Encoder{stack: [][]byte{root}}
+	return &Encoder{s: newBuffered(DeltaMagic)}
 }
 
 // NewSectionEncoder returns an encoder producing a bare field stream
@@ -89,10 +88,8 @@ func newWithMagic(magic string) *Encoder {
 // encoded concurrently (one encoder per worker) and assembled
 // deterministically afterwards.
 func NewSectionEncoder() *Encoder {
-	return &Encoder{stack: [][]byte{make([]byte, 0, 64)}}
+	return &Encoder{s: newSection()}
 }
-
-func (e *Encoder) top() *[]byte { return &e.stack[len(e.stack)-1] }
 
 func appendUvarint(b []byte, v uint64) []byte {
 	var tmp [binary.MaxVarintLen64]byte
@@ -106,123 +103,48 @@ func appendSvarint(b []byte, v int64) []byte {
 	return append(b, tmp[:n]...)
 }
 
-func (e *Encoder) field(tag uint64, typ byte) {
-	b := e.top()
-	*b = appendUvarint(*b, tag)
-	*b = append(*b, typ)
-}
-
 // Uint writes an unsigned integer field.
-func (e *Encoder) Uint(tag uint64, v uint64) {
-	e.field(tag, TypeUint)
-	b := e.top()
-	*b = appendUvarint(*b, v)
-}
+func (e *Encoder) Uint(tag uint64, v uint64) { e.s.Uint(tag, v) }
 
 // Int writes a signed integer field.
-func (e *Encoder) Int(tag uint64, v int64) {
-	e.field(tag, TypeInt)
-	b := e.top()
-	*b = appendSvarint(*b, v)
-}
+func (e *Encoder) Int(tag uint64, v int64) { e.s.Int(tag, v) }
 
 // Bytes writes an opaque byte-slice field.
-func (e *Encoder) Bytes(tag uint64, v []byte) {
-	e.field(tag, TypeBytes)
-	b := e.top()
-	*b = appendUvarint(*b, uint64(len(v)))
-	*b = append(*b, v...)
-}
+func (e *Encoder) Bytes(tag uint64, v []byte) { e.s.Bytes(tag, v) }
 
 // String writes a string field.
-func (e *Encoder) String(tag uint64, v string) {
-	e.field(tag, TypeString)
-	b := e.top()
-	*b = appendUvarint(*b, uint64(len(v)))
-	*b = append(*b, v...)
-}
+func (e *Encoder) String(tag uint64, v string) { e.s.String(tag, v) }
 
 // Bool writes a boolean field.
-func (e *Encoder) Bool(tag uint64, v bool) {
-	e.field(tag, TypeBool)
-	b := e.top()
-	if v {
-		*b = append(*b, 1)
-	} else {
-		*b = append(*b, 0)
-	}
-}
+func (e *Encoder) Bool(tag uint64, v bool) { e.s.Bool(tag, v) }
 
 // Float64 writes an IEEE-754 double field.
-func (e *Encoder) Float64(tag uint64, v float64) {
-	e.field(tag, TypeFloat64)
-	b := e.top()
-	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
-	*b = append(*b, tmp[:]...)
-}
+func (e *Encoder) Float64(tag uint64, v float64) { e.s.Float64(tag, v) }
 
 // Begin opens a nested section with the given tag. Sections may nest to any
 // depth; each Begin must be matched by an End.
-func (e *Encoder) Begin(tag uint64) {
-	e.field(tag, TypeSection)
-	e.stack = append(e.stack, make([]byte, 0, 64))
-}
+func (e *Encoder) Begin(tag uint64) { e.s.Begin(tag) }
 
 // RawSection writes a section field whose body was encoded separately
 // (by a NewSectionEncoder finished with Body). The resulting bytes are
 // identical to Begin + re-encoding the fields + End, which is what lets
 // parallel encoders produce byte-identical images to sequential ones.
-func (e *Encoder) RawSection(tag uint64, body []byte) {
-	e.field(tag, TypeSection)
-	b := e.top()
-	*b = appendUvarint(*b, uint64(len(body)))
-	*b = append(*b, body...)
-}
+func (e *Encoder) RawSection(tag uint64, body []byte) { e.s.RawSection(tag, body) }
 
 // Body returns the bare field stream of a section encoder (no header,
 // no trailer). It is an error to call Body with open sections or on an
 // encoder that has a header.
-func (e *Encoder) Body() []byte {
-	if len(e.stack) != 1 {
-		panic("imgfmt: Body with open sections")
-	}
-	return e.stack[0]
-}
+func (e *Encoder) Body() []byte { return e.s.Body() }
 
 // End closes the innermost open section.
-func (e *Encoder) End() {
-	if len(e.stack) < 2 {
-		panic("imgfmt: End without matching Begin")
-	}
-	sec := e.stack[len(e.stack)-1]
-	e.stack = e.stack[:len(e.stack)-1]
-	b := e.top()
-	*b = appendUvarint(*b, uint64(len(sec)))
-	*b = append(*b, sec...)
-}
+func (e *Encoder) End() { e.s.End() }
 
-// Bytes returns the finished image, appending the CRC-32 trailer. It is an
-// error to call Bytes with unclosed sections.
-func (e *Encoder) Finish() []byte {
-	if len(e.stack) != 1 {
-		panic("imgfmt: Finish with open sections")
-	}
-	b := e.stack[0]
-	sum := crc32.ChecksumIEEE(b)
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], sum)
-	return append(b, tmp[:]...)
-}
+// Finish returns the finished image, appending the CRC-32 trailer. It is an
+// error to call Finish with unclosed sections.
+func (e *Encoder) Finish() []byte { return e.s.Finish() }
 
 // Len reports the current encoded length in bytes, excluding the trailer.
-func (e *Encoder) Len() int {
-	n := 0
-	for _, b := range e.stack {
-		n += len(b)
-	}
-	return n
-}
+func (e *Encoder) Len() int { return e.s.Len() }
 
 // Decoder reads a checkpoint image produced by Encoder. Create decoders
 // with NewDecoder (for a full image) — section decoders are produced by

@@ -1,0 +1,816 @@
+// Chunked streaming forms of the image format.
+//
+// Version 1 images are a single TLV body with one CRC-32 trailer over
+// the whole stream, which forces every producer and consumer to hold
+// the complete image in memory. Version 2 keeps the exact same field
+// encoding but splits the byte stream into framed chunks:
+//
+//	magic ("ZAPCIMG" | "ZAPCDLT")
+//	uvarint version (2)
+//	frame*   :=  uvarint payloadLen (>0) | payload | crc32(payload) LE
+//	terminator = uvarint 0 | crc32(header + all payloads) LE
+//
+// Each frame carries its own CRC, so a consumer (the supervisor's
+// generation validator, a migration receiver) can verify data
+// incrementally and fail fast on truncation without ever materializing
+// the image; the terminator CRC seals the whole logical stream. The
+// frame layer is pure transport: concatenating every payload yields
+// exactly the version-1 field stream, so the TLV walker above it is
+// shared between versions.
+package imgfmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// StreamVersion is the chunked framing version written by streaming
+// encoders.
+const StreamVersion = 2
+
+// DefaultChunk is the frame payload size streaming encoders flush at.
+// Peak encoder buffering is O(DefaultChunk + open section bodies).
+const DefaultChunk = 64 << 10
+
+// MaxFrame bounds a single frame's declared payload length. A frame
+// claiming more than this is corrupt by definition, which stops a
+// hostile length prefix from driving a huge allocation.
+const MaxFrame = 1 << 20
+
+// ErrFrame reports a malformed chunk frame in a version-2 stream.
+var ErrFrame = fmt.Errorf("%w: malformed chunk frame", ErrBadChecksum)
+
+// StreamEncoder writes an image as a sequence of CRC-framed chunks to
+// an io.Writer. It shares the field encoding (and the section stack)
+// with the in-memory Encoder, which is a thin buffered wrapper around
+// this type. StreamEncoders are not safe for concurrent use.
+//
+// Fields written at the top level are flushed to the writer as soon as
+// a full chunk accumulates; section bodies buffer until their End so
+// their length prefix can be written. Keep sections small (metadata)
+// and hoist bulk payloads to top-level Bytes fields to preserve the
+// O(chunk) buffering bound.
+type StreamEncoder struct {
+	w       io.Writer
+	version int      // 0 bare section, 1 buffered legacy, 2 framed streaming
+	stack   [][]byte // stack[0] is the root buffer; deeper entries are open sections
+	chunk   int
+	crc     uint32 // running CRC over header + logical payload (version 2)
+	written int64
+	peak    int64
+	err     error
+	closed  bool
+}
+
+// NewStreamEncoder returns a streaming encoder that has already written
+// the version-2 full-image header to w.
+func NewStreamEncoder(w io.Writer) *StreamEncoder { return newStream(w, Magic) }
+
+// NewStreamDeltaEncoder returns a streaming encoder that has already
+// written the version-2 delta-record header to w.
+func NewStreamDeltaEncoder(w io.Writer) *StreamEncoder { return newStream(w, DeltaMagic) }
+
+func newStream(w io.Writer, magic string) *StreamEncoder {
+	s := &StreamEncoder{
+		w:       w,
+		version: StreamVersion,
+		chunk:   DefaultChunk,
+		stack:   [][]byte{make([]byte, 0, 512)},
+	}
+	hdr := appendUvarint(append([]byte(nil), magic...), StreamVersion)
+	s.crc = crc32.Update(0, crc32.IEEETable, hdr)
+	s.writeRaw(hdr)
+	return s
+}
+
+// newBuffered returns the version-1 in-memory form: the legacy header
+// followed by an unframed field stream, finished with Finish.
+func newBuffered(magic string) *StreamEncoder {
+	root := make([]byte, 0, 256)
+	root = append(root, magic...)
+	root = appendUvarint(root, Version)
+	return &StreamEncoder{version: Version, stack: [][]byte{root}}
+}
+
+// newSection returns the bare-body form used by NewSectionEncoder.
+func newSection() *StreamEncoder {
+	return &StreamEncoder{stack: [][]byte{make([]byte, 0, 64)}}
+}
+
+// Err returns the first write error encountered, if any. Once set, all
+// further operations are no-ops returning the same error from Close.
+func (s *StreamEncoder) Err() error { return s.err }
+
+// Written reports the bytes emitted to the writer so far.
+func (s *StreamEncoder) Written() int64 { return s.written }
+
+// Peak reports the maximum bytes this encoder ever buffered at once
+// (staging chunk plus any open section bodies). For buffered versions
+// this approaches the full image size; for version 2 it stays bounded
+// by the chunk size plus the largest section body.
+func (s *StreamEncoder) Peak() int64 { return s.peak }
+
+func (s *StreamEncoder) top() *[]byte { return &s.stack[len(s.stack)-1] }
+
+func (s *StreamEncoder) writeRaw(b []byte) {
+	if s.err != nil {
+		return
+	}
+	n, err := s.w.Write(b)
+	s.written += int64(n)
+	if err != nil {
+		s.err = err
+	}
+}
+
+// emitFrame writes one framed chunk and folds its payload into the
+// whole-stream CRC.
+func (s *StreamEncoder) emitFrame(payload []byte) {
+	if len(payload) == 0 || s.err != nil {
+		return
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	s.writeRaw(hdr[:n])
+	s.writeRaw(payload)
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], crc32.ChecksumIEEE(payload))
+	s.writeRaw(tr[:])
+	s.crc = crc32.Update(s.crc, crc32.IEEETable, payload)
+}
+
+// settle updates buffering accounting and, on a streaming encoder with
+// no open sections, flushes full chunks out of the staging buffer.
+func (s *StreamEncoder) settle() {
+	if s.version == StreamVersion && len(s.stack) == 1 && s.err == nil {
+		b := s.stack[0]
+		for len(b) >= s.chunk {
+			s.emitFrame(b[:s.chunk])
+			b = b[s.chunk:]
+		}
+		if len(b) != len(s.stack[0]) {
+			s.stack[0] = append(s.stack[0][:0], b...)
+		}
+	}
+	var n int64
+	for _, b := range s.stack {
+		n += int64(len(b))
+	}
+	if n > s.peak {
+		s.peak = n
+	}
+}
+
+func (s *StreamEncoder) field(tag uint64, typ byte) {
+	b := s.top()
+	*b = appendUvarint(*b, tag)
+	*b = append(*b, typ)
+}
+
+// Uint writes an unsigned integer field.
+func (s *StreamEncoder) Uint(tag uint64, v uint64) {
+	s.field(tag, TypeUint)
+	b := s.top()
+	*b = appendUvarint(*b, v)
+	s.settle()
+}
+
+// Int writes a signed integer field.
+func (s *StreamEncoder) Int(tag uint64, v int64) {
+	s.field(tag, TypeInt)
+	b := s.top()
+	*b = appendSvarint(*b, v)
+	s.settle()
+}
+
+// Bytes writes an opaque byte-slice field. On a streaming encoder a
+// top-level value of at least one chunk is framed directly out of v
+// without being copied into the staging buffer, so bulk payloads never
+// count against peak buffering.
+func (s *StreamEncoder) Bytes(tag uint64, v []byte) {
+	s.field(tag, TypeBytes)
+	b := s.top()
+	*b = appendUvarint(*b, uint64(len(v)))
+	if s.version == StreamVersion && len(s.stack) == 1 && len(v) >= s.chunk {
+		s.settle() // account for the staged header before flushing it
+		s.emitFrame(s.stack[0])
+		s.stack[0] = s.stack[0][:0]
+		for off := 0; off < len(v); off += s.chunk {
+			end := off + s.chunk
+			if end > len(v) {
+				end = len(v)
+			}
+			s.emitFrame(v[off:end])
+		}
+		return
+	}
+	*b = append(*b, v...)
+	s.settle()
+}
+
+// String writes a string field.
+func (s *StreamEncoder) String(tag uint64, v string) {
+	s.field(tag, TypeString)
+	b := s.top()
+	*b = appendUvarint(*b, uint64(len(v)))
+	*b = append(*b, v...)
+	s.settle()
+}
+
+// Bool writes a boolean field.
+func (s *StreamEncoder) Bool(tag uint64, v bool) {
+	s.field(tag, TypeBool)
+	b := s.top()
+	if v {
+		*b = append(*b, 1)
+	} else {
+		*b = append(*b, 0)
+	}
+	s.settle()
+}
+
+// Float64 writes an IEEE-754 double field.
+func (s *StreamEncoder) Float64(tag uint64, v float64) {
+	s.field(tag, TypeFloat64)
+	b := s.top()
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+	*b = append(*b, tmp[:]...)
+	s.settle()
+}
+
+// Begin opens a nested section with the given tag. Section bodies
+// buffer in memory until End, even on a streaming encoder, because
+// their length prefix precedes them on the wire.
+func (s *StreamEncoder) Begin(tag uint64) {
+	s.field(tag, TypeSection)
+	s.stack = append(s.stack, make([]byte, 0, 64))
+}
+
+// End closes the innermost open section.
+func (s *StreamEncoder) End() {
+	if len(s.stack) < 2 {
+		panic("imgfmt: End without matching Begin")
+	}
+	sec := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	b := s.top()
+	*b = appendUvarint(*b, uint64(len(sec)))
+	*b = append(*b, sec...)
+	s.settle()
+}
+
+// RawSection writes a section field whose body was encoded separately
+// (by a NewSectionEncoder finished with Body).
+func (s *StreamEncoder) RawSection(tag uint64, body []byte) {
+	s.field(tag, TypeSection)
+	b := s.top()
+	*b = appendUvarint(*b, uint64(len(body)))
+	*b = append(*b, body...)
+	s.settle()
+}
+
+// Body returns the bare field stream of a section encoder.
+func (s *StreamEncoder) Body() []byte {
+	if len(s.stack) != 1 {
+		panic("imgfmt: Body with open sections")
+	}
+	return s.stack[0]
+}
+
+// Finish returns the finished buffered (version-1) image, appending the
+// CRC-32 trailer.
+func (s *StreamEncoder) Finish() []byte {
+	if len(s.stack) != 1 {
+		panic("imgfmt: Finish with open sections")
+	}
+	if s.version == StreamVersion {
+		panic("imgfmt: Finish on a streaming encoder; use Close")
+	}
+	b := s.stack[0]
+	sum := crc32.ChecksumIEEE(b)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], sum)
+	return append(b, tmp[:]...)
+}
+
+// Len reports the bytes currently buffered across the section stack.
+func (s *StreamEncoder) Len() int {
+	n := 0
+	for _, b := range s.stack {
+		n += len(b)
+	}
+	return n
+}
+
+// Close flushes the final partial chunk and writes the stream
+// terminator carrying the whole-stream CRC. It must be called exactly
+// once, with no sections open, and returns the first write error.
+func (s *StreamEncoder) Close() error {
+	if s.closed {
+		return s.err
+	}
+	if len(s.stack) != 1 {
+		panic("imgfmt: Close with open sections")
+	}
+	if s.version != StreamVersion {
+		panic("imgfmt: Close on a buffered encoder; use Finish")
+	}
+	s.closed = true
+	s.emitFrame(s.stack[0])
+	s.stack[0] = s.stack[0][:0]
+	var tr [5]byte // uvarint(0) is the single byte 0
+	binary.LittleEndian.PutUint32(tr[1:], s.crc)
+	s.writeRaw(tr[:])
+	return s.err
+}
+
+// SniffVersion reads just the header of an encoded record, reporting
+// its format version and whether it is a delta, without validating the
+// rest.
+func SniffVersion(data []byte) (version int, delta bool, err error) {
+	if len(data) < len(Magic)+1 {
+		return 0, false, ErrTruncated
+	}
+	switch string(data[:len(Magic)]) {
+	case Magic:
+	case DeltaMagic:
+		delta = true
+	default:
+		return 0, false, ErrBadMagic
+	}
+	v, n := binary.Uvarint(data[len(Magic):])
+	if n <= 0 {
+		return 0, false, ErrTruncated
+	}
+	switch v {
+	case Version, StreamVersion:
+		return int(v), delta, nil
+	default:
+		return 0, false, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+}
+
+// StreamDecoder reads an encoded record from an io.Reader, verifying
+// chunk CRCs as frames arrive. It handles both format versions: a
+// version-1 stream is read fully and validated like DecodeAny (its raw
+// bytes stay available through Raw for callers that re-parse them); a
+// version-2 stream is pulled frame by frame, holding only the bytes of
+// the field currently being decoded.
+//
+// All reads are bounded: a truncated or corrupt stream always yields an
+// error (never a hang), and declared lengths are only trusted up to the
+// bytes that actually arrived under a valid frame CRC.
+type StreamDecoder struct {
+	mem     *Decoder // non-nil when the input was a buffered version-1 record
+	raw     []byte   // the full version-1 record, trailer included
+	delta   bool
+	version int
+
+	r   io.Reader
+	win []byte // verified-but-unconsumed payload window
+	off int
+	crc uint32 // running CRC over header + consumed payloads
+	fin bool   // terminator seen and whole-stream CRC verified
+	err error
+
+	peeked bool
+	ptag   uint64
+	ptyp   byte
+}
+
+// NewStreamDecoder reads and validates the record header from r and
+// returns a decoder positioned at the first field.
+func NewStreamDecoder(r io.Reader) (*StreamDecoder, error) {
+	hdr := make([]byte, len(Magic), len(Magic)+binary.MaxVarintLen64)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, ErrTruncated
+	}
+	d := &StreamDecoder{r: r}
+	switch string(hdr) {
+	case Magic:
+	case DeltaMagic:
+		d.delta = true
+	default:
+		return nil, ErrBadMagic
+	}
+	ver, vbytes, err := readUvarintFrom(r)
+	if err != nil {
+		return nil, ErrTruncated
+	}
+	hdr = append(hdr, vbytes...)
+	switch ver {
+	case Version:
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			return nil, err
+		}
+		raw := append(hdr, rest...)
+		dec, delta, err := DecodeAny(raw)
+		if err != nil {
+			return nil, err
+		}
+		if delta != d.delta {
+			return nil, ErrBadMagic
+		}
+		d.mem, d.raw, d.version = dec, raw, Version
+	case StreamVersion:
+		d.version = StreamVersion
+		d.crc = crc32.Update(0, crc32.IEEETable, hdr)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	return d, nil
+}
+
+// readUvarintFrom decodes a uvarint byte-at-a-time, returning the raw
+// bytes consumed alongside the value.
+func readUvarintFrom(r io.Reader) (uint64, []byte, error) {
+	var raw []byte
+	var v uint64
+	var shift uint
+	var one [1]byte
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		if _, err := io.ReadFull(r, one[:]); err != nil {
+			return 0, nil, ErrTruncated
+		}
+		raw = append(raw, one[0])
+		if one[0] < 0x80 {
+			return v | uint64(one[0])<<shift, raw, nil
+		}
+		v |= uint64(one[0]&0x7f) << shift
+		shift += 7
+	}
+	return 0, nil, ErrTruncated
+}
+
+// Version reports the format version of the stream (1 or 2).
+func (d *StreamDecoder) Version() int { return d.version }
+
+// IsDelta reports whether the stream is a delta record.
+func (d *StreamDecoder) IsDelta() bool { return d.delta }
+
+// Raw returns the complete validated record bytes for a version-1
+// stream (nil for version 2, which is never materialized).
+func (d *StreamDecoder) Raw() []byte { return d.raw }
+
+func (d *StreamDecoder) avail() int { return len(d.win) - d.off }
+
+// pull reads, verifies, and appends the next frame to the window.
+// It returns false at the terminator or on error.
+func (d *StreamDecoder) pull() bool {
+	if d.err != nil || d.fin {
+		return false
+	}
+	n, _, err := readUvarintFrom(d.r)
+	if err != nil {
+		d.err = ErrTruncated
+		return false
+	}
+	if n == 0 {
+		var sum [4]byte
+		if _, err := io.ReadFull(d.r, sum[:]); err != nil {
+			d.err = ErrTruncated
+			return false
+		}
+		if binary.LittleEndian.Uint32(sum[:]) != d.crc {
+			d.err = fmt.Errorf("%w: stream trailer", ErrBadChecksum)
+			return false
+		}
+		d.fin = true
+		return false
+	}
+	if n > MaxFrame {
+		d.err = fmt.Errorf("%w: declared payload of %d bytes", ErrFrame, n)
+		return false
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		d.err = ErrTruncated
+		return false
+	}
+	var tr [4]byte
+	if _, err := io.ReadFull(d.r, tr[:]); err != nil {
+		d.err = ErrTruncated
+		return false
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(tr[:]) {
+		d.err = fmt.Errorf("%w: chunk CRC", ErrBadChecksum)
+		return false
+	}
+	d.crc = crc32.Update(d.crc, crc32.IEEETable, payload)
+	if d.off > 0 {
+		d.win = append(d.win[:0], d.win[d.off:]...)
+		d.off = 0
+	}
+	d.win = append(d.win, payload...)
+	return true
+}
+
+// need blocks until at least n verified payload bytes are available in
+// the window. Truncation surfaces as an error, never a hang, because
+// every read is bounded by the declared frame sizes.
+func (d *StreamDecoder) need(n int) error {
+	for d.avail() < n {
+		if !d.pull() {
+			if d.err != nil {
+				return d.err
+			}
+			return ErrTruncated
+		}
+	}
+	return nil
+}
+
+func (d *StreamDecoder) uvarint() (uint64, error) {
+	for {
+		v, n := binary.Uvarint(d.win[d.off:])
+		if n > 0 {
+			d.off += n
+			return v, nil
+		}
+		if n < 0 {
+			return 0, ErrTruncated
+		}
+		if !d.pull() {
+			if d.err != nil {
+				return 0, d.err
+			}
+			return 0, ErrTruncated
+		}
+	}
+}
+
+func (d *StreamDecoder) svarint() (int64, error) {
+	for {
+		v, n := binary.Varint(d.win[d.off:])
+		if n > 0 {
+			d.off += n
+			return v, nil
+		}
+		if n < 0 {
+			return 0, ErrTruncated
+		}
+		if !d.pull() {
+			if d.err != nil {
+				return 0, d.err
+			}
+			return 0, ErrTruncated
+		}
+	}
+}
+
+// tagOrEnd reads the next field tag, distinguishing a clean end of
+// stream (ErrEndOfSection) from truncation.
+func (d *StreamDecoder) tagOrEnd() (uint64, error) {
+	if d.avail() == 0 && !d.pull() {
+		if d.err != nil {
+			return 0, d.err
+		}
+		if d.fin {
+			return 0, ErrEndOfSection
+		}
+		return 0, ErrTruncated
+	}
+	return d.uvarint()
+}
+
+// Peek returns the tag and type of the next field without consuming it
+// (ErrEndOfSection at a clean end of stream).
+func (d *StreamDecoder) Peek() (tag uint64, typ byte, err error) {
+	if d.mem != nil {
+		return d.mem.Peek()
+	}
+	if d.peeked {
+		return d.ptag, d.ptyp, nil
+	}
+	tag, err = d.tagOrEnd()
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := d.need(1); err != nil {
+		return 0, 0, err
+	}
+	typ = d.win[d.off]
+	d.off++
+	d.peeked, d.ptag, d.ptyp = true, tag, typ
+	return tag, typ, nil
+}
+
+func (d *StreamDecoder) header(wantTag uint64, wantType byte) error {
+	var tag uint64
+	var typ byte
+	if d.peeked {
+		tag, typ = d.ptag, d.ptyp
+		d.peeked = false
+	} else {
+		var err error
+		tag, err = d.tagOrEnd()
+		if err != nil {
+			return err
+		}
+		if err := d.need(1); err != nil {
+			return err
+		}
+		typ = d.win[d.off]
+		d.off++
+	}
+	if tag != wantTag {
+		return fmt.Errorf("%w: got %d want %d", ErrTagMismatch, tag, wantTag)
+	}
+	if typ != wantType {
+		return fmt.Errorf("%w: tag %d got type %d want %d", ErrTypeMismatch, tag, typ, wantType)
+	}
+	return nil
+}
+
+// lengthPrefixed consumes a length-prefixed value, returning a copy the
+// caller owns. The window only ever grows by CRC-verified frames, so a
+// lying length prefix fails with ErrTruncated before any allocation
+// larger than the data that actually arrived.
+func (d *StreamDecoder) lengthPrefixed() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > math.MaxInt32 {
+		return nil, ErrTruncated
+	}
+	if err := d.need(int(n)); err != nil {
+		return nil, err
+	}
+	v := append([]byte(nil), d.win[d.off:d.off+int(n)]...)
+	d.off += int(n)
+	return v, nil
+}
+
+// Uint reads an unsigned integer field with the given tag.
+func (d *StreamDecoder) Uint(tag uint64) (uint64, error) {
+	if d.mem != nil {
+		return d.mem.Uint(tag)
+	}
+	if err := d.header(tag, TypeUint); err != nil {
+		return 0, err
+	}
+	return d.uvarint()
+}
+
+// Int reads a signed integer field with the given tag.
+func (d *StreamDecoder) Int(tag uint64) (int64, error) {
+	if d.mem != nil {
+		return d.mem.Int(tag)
+	}
+	if err := d.header(tag, TypeInt); err != nil {
+		return 0, err
+	}
+	return d.svarint()
+}
+
+// Bytes reads an opaque byte-slice field with the given tag. Unlike
+// Decoder.Bytes, the returned slice is caller-owned.
+func (d *StreamDecoder) Bytes(tag uint64) ([]byte, error) {
+	if d.mem != nil {
+		return d.mem.Bytes(tag)
+	}
+	if err := d.header(tag, TypeBytes); err != nil {
+		return nil, err
+	}
+	return d.lengthPrefixed()
+}
+
+// String reads a string field with the given tag.
+func (d *StreamDecoder) String(tag uint64) (string, error) {
+	if d.mem != nil {
+		return d.mem.String(tag)
+	}
+	if err := d.header(tag, TypeString); err != nil {
+		return "", err
+	}
+	b, err := d.lengthPrefixed()
+	return string(b), err
+}
+
+// Bool reads a boolean field with the given tag.
+func (d *StreamDecoder) Bool(tag uint64) (bool, error) {
+	if d.mem != nil {
+		return d.mem.Bool(tag)
+	}
+	if err := d.header(tag, TypeBool); err != nil {
+		return false, err
+	}
+	if err := d.need(1); err != nil {
+		return false, err
+	}
+	v := d.win[d.off]
+	d.off++
+	return v != 0, nil
+}
+
+// Float64 reads an IEEE-754 double field with the given tag.
+func (d *StreamDecoder) Float64(tag uint64) (float64, error) {
+	if d.mem != nil {
+		return d.mem.Float64(tag)
+	}
+	if err := d.header(tag, TypeFloat64); err != nil {
+		return 0, err
+	}
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	bits := binary.LittleEndian.Uint64(d.win[d.off:])
+	d.off += 8
+	return math.Float64frombits(bits), nil
+}
+
+// Section reads a nested section field with the given tag, returning an
+// in-memory decoder over its (copied) body. Sections are expected to be
+// small metadata groups; bulk data lives in top-level Bytes fields.
+func (d *StreamDecoder) Section(tag uint64) (*Decoder, error) {
+	if d.mem != nil {
+		return d.mem.Section(tag)
+	}
+	if err := d.header(tag, TypeSection); err != nil {
+		return nil, err
+	}
+	body, err := d.lengthPrefixed()
+	if err != nil {
+		return nil, err
+	}
+	return &Decoder{data: body}, nil
+}
+
+// Skip consumes the next field regardless of tag or type.
+func (d *StreamDecoder) Skip() error {
+	if d.mem != nil {
+		return d.mem.Skip()
+	}
+	var typ byte
+	if d.peeked {
+		typ = d.ptyp
+		d.peeked = false
+	} else {
+		if _, err := d.tagOrEnd(); err != nil {
+			return err
+		}
+		if err := d.need(1); err != nil {
+			return err
+		}
+		typ = d.win[d.off]
+		d.off++
+	}
+	switch typ {
+	case TypeUint:
+		_, err := d.uvarint()
+		return err
+	case TypeInt:
+		_, err := d.svarint()
+		return err
+	case TypeBytes, TypeString, TypeSection:
+		_, err := d.lengthPrefixed()
+		return err
+	case TypeBool:
+		if err := d.need(1); err != nil {
+			return err
+		}
+		d.off++
+		return nil
+	case TypeFloat64:
+		if err := d.need(8); err != nil {
+			return err
+		}
+		d.off += 8
+		return nil
+	default:
+		return fmt.Errorf("imgfmt: unknown wire type %d", typ)
+	}
+}
+
+// Finished verifies that the stream ends cleanly after the last
+// consumed field: no unread fields, terminator present, whole-stream
+// CRC valid. For version-1 streams it checks the in-memory decoder is
+// exhausted (the trailer was validated up front).
+func (d *StreamDecoder) Finished() error {
+	if d.mem != nil {
+		if d.mem.More() {
+			return fmt.Errorf("%w: trailing fields", ErrTagMismatch)
+		}
+		return nil
+	}
+	if _, err := d.tagOrEnd(); err != ErrEndOfSection {
+		if err == nil {
+			return fmt.Errorf("%w: trailing fields", ErrTagMismatch)
+		}
+		return err
+	}
+	return nil
+}
+
+// DecodeStream is a convenience wrapper decoding an in-memory record of
+// either version into a StreamDecoder.
+func DecodeStream(data []byte) (*StreamDecoder, error) {
+	return NewStreamDecoder(bytes.NewReader(data))
+}

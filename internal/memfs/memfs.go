@@ -4,15 +4,21 @@
 // shared storage and exclude file-system state from checkpoint images.
 //
 // The FS supports whole-file read/write (checkpoint images are write-once
-// blobs), directory listing, and cheap copy-on-write snapshots standing in
-// for the file-system snapshot functionality the paper points at (NetApp,
-// unionfs) for capturing a consistent file-system image alongside a pod
-// checkpoint.
+// blobs), streamed create/open for the image pipeline, directory listing,
+// and cheap copy-on-write snapshots standing in for the file-system
+// snapshot functionality the paper points at (NetApp, unionfs) for
+// capturing a consistent file-system image alongside a pod checkpoint.
+//
+// Files are stored as an ordered chunk list — one chunk per streamed
+// Write (or a single chunk for WriteFile) — so a checkpoint image
+// streamed through Create never exists as one contiguous buffer inside
+// the store, and readers can consume it chunk by chunk.
 package memfs
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -23,11 +29,26 @@ var (
 	ErrNotExist = errors.New("memfs: file does not exist")
 	ErrExist    = errors.New("memfs: file already exists")
 	ErrBadPath  = errors.New("memfs: invalid path")
+	ErrClosed   = errors.New("memfs: closed")
 )
 
 type file struct {
-	data []byte // treated as immutable once stored; writes replace the slice
-	ver  uint64
+	chunks [][]byte // treated as immutable once stored; writes replace the list
+	size   int64
+	ver    uint64
+}
+
+// FileInfo is the stored metadata of one file.
+type FileInfo struct {
+	Path string
+	Size int64
+	// Chunks is the number of separate buffers backing the file: 1 for
+	// a whole-file WriteFile, one per Write for a streamed Create. The
+	// image pipeline asserts on this to prove an image was never
+	// materialized contiguously.
+	Chunks int
+	// Ver is the filesystem version at which the file was committed.
+	Ver uint64
 }
 
 // FS is an in-memory filesystem shared by all cluster nodes. It is safe
@@ -68,6 +89,13 @@ func Clean(path string) (string, error) {
 	return strings.Join(out, "/"), nil
 }
 
+func (fs *FS) commit(p string, chunks [][]byte, size int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.ver++
+	fs.files[p] = &file{chunks: chunks, size: size, ver: fs.ver}
+}
+
 // WriteFile stores data at path, replacing any existing file. The data
 // slice is copied.
 func (fs *FS) WriteFile(path string, data []byte) error {
@@ -76,27 +104,121 @@ func (fs *FS) WriteFile(path string, data []byte) error {
 		return err
 	}
 	cp := append([]byte(nil), data...)
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fs.ver++
-	fs.files[p] = &file{data: cp, ver: fs.ver}
+	fs.commit(p, [][]byte{cp}, int64(len(cp)))
 	return nil
 }
 
 // ReadFile returns the contents stored at path. The returned slice must
-// not be modified by the caller.
+// not be modified by the caller. Multi-chunk files (streamed writes)
+// are concatenated into a fresh buffer; single-chunk files are returned
+// without copying.
 func (fs *FS) ReadFile(path string) ([]byte, error) {
 	p, err := Clean(path)
 	if err != nil {
 		return nil, err
 	}
 	fs.mu.RLock()
-	defer fs.mu.RUnlock()
 	f, ok := fs.files[p]
+	fs.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotExist, p)
 	}
-	return f.data, nil
+	if len(f.chunks) == 1 {
+		return f.chunks[0], nil
+	}
+	out := make([]byte, 0, f.size)
+	for _, c := range f.chunks {
+		out = append(out, c...)
+	}
+	return out, nil
+}
+
+// Create returns a streaming writer for path. Every Write becomes its
+// own stored chunk; nothing is visible at path until Close commits the
+// file atomically (a crashed writer leaves no partial file behind).
+func (fs *FS) Create(path string) (io.WriteCloser, error) {
+	p, err := Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	return &fileWriter{fs: fs, path: p}, nil
+}
+
+type fileWriter struct {
+	fs     *FS
+	path   string
+	chunks [][]byte
+	size   int64
+	closed bool
+}
+
+func (w *fileWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if len(p) > 0 {
+		w.chunks = append(w.chunks, append([]byte(nil), p...))
+		w.size += int64(len(p))
+	}
+	return len(p), nil
+}
+
+func (w *fileWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.chunks == nil {
+		w.chunks = [][]byte{}
+	}
+	w.fs.commit(w.path, w.chunks, w.size)
+	return nil
+}
+
+// Open returns a streaming reader over the file at path. The reader
+// holds a point-in-time snapshot of the chunk list, so concurrent
+// replacement of the file does not disturb it.
+func (fs *FS) Open(path string) (io.ReadCloser, error) {
+	p, err := Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.RLock()
+	f, ok := fs.files[p]
+	fs.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	return &fileReader{chunks: f.chunks}, nil
+}
+
+type fileReader struct {
+	chunks [][]byte
+	idx    int
+	off    int
+	closed bool
+}
+
+func (r *fileReader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, ErrClosed
+	}
+	for r.idx < len(r.chunks) {
+		c := r.chunks[r.idx]
+		if r.off < len(c) {
+			n := copy(p, c[r.off:])
+			r.off += n
+			return n, nil
+		}
+		r.idx++
+		r.off = 0
+	}
+	return 0, io.EOF
+}
+
+func (r *fileReader) Close() error {
+	r.closed = true
+	return nil
 }
 
 // Remove deletes the file at path.
@@ -126,13 +248,29 @@ func (fs *FS) Exists(path string) bool {
 	return ok
 }
 
-// Size returns the length of the file at path.
+// Size returns the length of the file at path from its metadata, without
+// touching the contents.
 func (fs *FS) Size(path string) (int64, error) {
-	b, err := fs.ReadFile(path)
+	info, err := fs.Stat(path)
 	if err != nil {
 		return 0, err
 	}
-	return int64(len(b)), nil
+	return info.Size, nil
+}
+
+// Stat returns the stored metadata of the file at path.
+func (fs *FS) Stat(path string) (FileInfo, error) {
+	p, err := Clean(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[p]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	return FileInfo{Path: p, Size: f.size, Chunks: len(f.chunks), Ver: f.ver}, nil
 }
 
 // List returns the sorted paths of all files under the given directory
@@ -165,13 +303,13 @@ func (fs *FS) TotalBytes() int64 {
 	defer fs.mu.RUnlock()
 	var n int64
 	for _, f := range fs.files {
-		n += int64(len(f.data))
+		n += f.size
 	}
 	return n
 }
 
 // Snapshot returns a point-in-time copy of the filesystem. File contents
-// are shared copy-on-write: since WriteFile replaces slices rather than
+// are shared copy-on-write: since writes replace chunk lists rather than
 // mutating them, sharing is safe and snapshots are O(files), standing in
 // for the SAN-level snapshot the paper takes immediately prior to
 // reactivating a pod.
@@ -180,7 +318,7 @@ func (fs *FS) Snapshot() *FS {
 	defer fs.mu.RUnlock()
 	clone := &FS{files: make(map[string]*file, len(fs.files)), ver: fs.ver}
 	for p, f := range fs.files {
-		clone.files[p] = &file{data: f.data, ver: f.ver}
+		clone.files[p] = &file{chunks: f.chunks, size: f.size, ver: f.ver}
 	}
 	return clone
 }

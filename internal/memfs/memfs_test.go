@@ -165,3 +165,58 @@ func TestQuickRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Streamed writes: one chunk per Write, atomic commit on Close, and
+// metadata reads that never touch the contents.
+func TestCreateOpenStat(t *testing.T) {
+	fs := New()
+	w, err := fs.Create("img/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("hello "))
+	w.Write([]byte("world"))
+	if fs.Exists("img/a") {
+		t.Fatal("file visible before Close")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat("img/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 11 || info.Chunks != 2 {
+		t.Fatalf("stat: %+v", info)
+	}
+	if n, err := fs.Size("img/a"); err != nil || n != 11 {
+		t.Fatalf("size: %d %v", n, err)
+	}
+	r, err := fs.Open("img/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "hello world" {
+		t.Fatalf("streamed read: %q", buf.String())
+	}
+	// Multi-chunk whole-file read concatenates correctly too.
+	got, err := fs.ReadFile("img/a")
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("ReadFile: %q %v", got, err)
+	}
+	// A reader opened before replacement keeps its snapshot.
+	r2, _ := fs.Open("img/a")
+	fs.WriteFile("img/a", []byte("new"))
+	var buf2 bytes.Buffer
+	buf2.ReadFrom(r2)
+	if buf2.String() != "hello world" {
+		t.Fatalf("snapshot read after replace: %q", buf2.String())
+	}
+	if info, _ := fs.Stat("img/a"); info.Chunks != 1 || info.Size != 3 {
+		t.Fatalf("replaced stat: %+v", info)
+	}
+}

@@ -37,6 +37,12 @@ type CkptBenchRecord struct {
 	// parallel encoder over the run's images (MiB/s). This is the
 	// figure zapc-benchdiff guards against regression.
 	EncodeMBps float64 `json:"encode_mbps"`
+	// PeakBufferedBytes is the largest amount of record data any
+	// streaming serializer held in memory at once during the run. The
+	// version-2 chunked format keeps it O(chunk size); zapc-benchdiff
+	// guards it against regression alongside throughput. Zero in
+	// records written before the field existed.
+	PeakBufferedBytes int64 `json:"peak_buffered_bytes,omitempty"`
 	// WallNs is the host wall-clock time of the whole benchmark run.
 	WallNs int64 `json:"wall_ns"`
 }
@@ -80,6 +86,24 @@ func CompareThroughput(prev, cur CkptBenchRecord, tolPct float64) error {
 	if drop > tolPct {
 		return fmt.Errorf("encode throughput regressed %.1f%% (%.1f -> %.1f MiB/s, tolerance %.0f%%)",
 			drop, prev.EncodeMBps, cur.EncodeMBps, tolPct)
+	}
+	return nil
+}
+
+// ComparePeakBuffered checks cur against prev and returns an error when
+// the streaming serializer's peak buffering grew by more than tolPct
+// percent — the regression that would mean a full image is being
+// materialized again. Records from before the field existed (prev <= 0)
+// compare clean.
+func ComparePeakBuffered(prev, cur CkptBenchRecord, tolPct float64) error {
+	if prev.PeakBufferedBytes <= 0 {
+		return nil // nothing to compare against
+	}
+	limit := float64(prev.PeakBufferedBytes) * (1 + tolPct/100)
+	if float64(cur.PeakBufferedBytes) > limit {
+		growth := 100 * (float64(cur.PeakBufferedBytes) - float64(prev.PeakBufferedBytes)) / float64(prev.PeakBufferedBytes)
+		return fmt.Errorf("peak buffered bytes regressed %.1f%% (%d -> %d bytes, tolerance %.0f%%)",
+			growth, prev.PeakBufferedBytes, cur.PeakBufferedBytes, tolPct)
 	}
 	return nil
 }

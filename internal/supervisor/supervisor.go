@@ -32,11 +32,13 @@ package supervisor
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
 	"zapc/internal/ckpt"
 	"zapc/internal/core"
+	"zapc/internal/imagestore"
 	"zapc/internal/memfs"
 	"zapc/internal/pod"
 	"zapc/internal/sim"
@@ -136,6 +138,11 @@ type Target struct {
 	W   *sim.World
 	Mgr *core.Manager
 	FS  *memfs.FS
+	// Store is where generations are validated and loaded from; nil
+	// selects the shared filesystem (imagestore.NewFS(FS)). It should
+	// match the manager's store, which is where FlushTo streams the
+	// records.
+	Store imagestore.Store
 	// Pods returns the job's current pods (changes after a failover).
 	Pods func() []*pod.Pod
 	// Nodes returns every node restart placement may consider; the
@@ -209,9 +216,9 @@ type Supervisor struct {
 	recovering     bool
 	pendingRecover bool
 
-	gen     int          // next generation sequence number
-	gens    []Generation // committed generations, oldest first
-	attempt int          // current retry attempt (checkpoint or restart)
+	gen     int           // next generation sequence number
+	gens    []Generation  // committed generations, oldest first
+	attempt int           // current retry attempt (checkpoint or restart)
 	incr    *ckpt.IncrSet // non-nil in incremental mode
 
 	monitored []*vos.Node
@@ -230,6 +237,9 @@ type Supervisor struct {
 // New builds a supervisor for the target under the given policy. Call
 // Start to arm it.
 func New(t Target, pol Policy) *Supervisor {
+	if t.Store == nil {
+		t.Store = imagestore.NewFS(t.FS)
+	}
 	s := &Supervisor{
 		t:        t,
 		pol:      pol.withDefaults(),
@@ -506,9 +516,9 @@ func (s *Supervisor) ckptDone(dir string, res *core.CheckpointResult) {
 	switch {
 	case err == nil:
 		var bytes int64
-		for _, f := range s.t.FS.List(dir) {
-			if n, e := s.t.FS.Size(f); e == nil {
-				bytes += n
+		for _, f := range s.t.Store.List(dir) {
+			if info, e := s.t.Store.Stat(f); e == nil {
+				bytes += info.Size
 			}
 		}
 		s.gens = append(s.gens, Generation{Seq: s.gen, Dir: dir, T: s.t.W.Now(), Bytes: bytes, Full: full})
@@ -565,33 +575,34 @@ func (s *Supervisor) endCkptCycle() {
 
 // scrapGeneration removes the partial output of a failed attempt.
 func (s *Supervisor) scrapGeneration(dir string) {
-	for _, f := range s.t.FS.List(dir) {
-		_ = s.t.FS.Remove(f)
+	for _, f := range s.t.Store.List(dir) {
+		_ = s.t.Store.Remove(f)
 	}
 }
 
-// validateGeneration reads back every record just flushed and
-// decode-checks it (CRC trailer plus full field walk), so a generation
-// is only ever trusted after an end-to-end write/read/decode round
-// trip. Chain linkage of delta records is validated separately via
-// loadGeneration.
+// validateGeneration streams back every record just flushed and
+// decode-checks it (per-chunk CRCs, trailer, and full field walk), so a
+// generation is only ever trusted after an end-to-end
+// write/read/decode round trip. Records are verified as streams — the
+// supervisor never materializes one. Chain linkage of delta records is
+// validated separately via loadGeneration.
 func (s *Supervisor) validateGeneration(dir string) error {
-	files := s.t.FS.List(dir)
+	files := s.t.Store.List(dir)
 	if len(files) == 0 {
 		return fmt.Errorf("supervisor: generation %s flushed no images", dir)
 	}
 	for _, f := range files {
-		data, err := s.t.FS.ReadFile(f)
+		rc, err := s.t.Store.Open(f)
 		if err != nil {
 			return err
 		}
 		if strings.HasSuffix(f, ".delta") {
-			if _, err := ckpt.DecodeDelta(data); err != nil {
-				return fmt.Errorf("%s: %w", f, err)
-			}
-			continue
+			_, err = ckpt.DecodeDeltaFrom(rc)
+		} else {
+			_, err = ckpt.VerifyImageFrom(rc)
 		}
-		if _, err := ckpt.VerifyImage(data); err != nil {
+		rc.Close()
+		if err != nil {
 			return fmt.Errorf("%s: %w", f, err)
 		}
 	}
@@ -627,10 +638,11 @@ func podOf(f string) string {
 	return strings.TrimSuffix(base, ".delta")
 }
 
-// chainRecords collects, for the generation at index gi, each pod's
-// record chain: the nearest full generation at or before gi plus every
-// delta between it and gi, in order.
-func (s *Supervisor) chainRecords(gi int) (map[string][][]byte, error) {
+// chainPaths collects, for the generation at index gi, each pod's
+// record-chain paths: the nearest full generation at or before gi plus
+// every delta between it and gi, in order. Records themselves stay in
+// the store; reconstruction streams them one at a time.
+func (s *Supervisor) chainPaths(gi int) (map[string][]string, error) {
 	base := gi
 	for base >= 0 && !s.gens[base].Full {
 		base--
@@ -638,22 +650,17 @@ func (s *Supervisor) chainRecords(gi int) (map[string][][]byte, error) {
 	if base < 0 {
 		return nil, fmt.Errorf("generation %s: no full base generation retained", s.gens[gi].Dir)
 	}
-	chains := make(map[string][][]byte)
-	for _, f := range s.t.FS.List(s.gens[base].Dir) {
-		data, err := s.t.FS.ReadFile(f)
-		if err != nil {
-			return nil, err
-		}
-		chains[podOf(f)] = [][]byte{data}
+	chains := make(map[string][]string)
+	for _, f := range s.t.Store.List(s.gens[base].Dir) {
+		chains[podOf(f)] = []string{f}
 	}
 	for j := base + 1; j <= gi; j++ {
 		for name := range chains {
 			f := fmt.Sprintf("%s/%s.delta", s.gens[j].Dir, name)
-			data, err := s.t.FS.ReadFile(f)
-			if err != nil {
+			if _, err := s.t.Store.Stat(f); err != nil {
 				return nil, fmt.Errorf("generation %s: pod %s: %w", s.gens[j].Dir, name, err)
 			}
-			chains[name] = append(chains[name], data)
+			chains[name] = append(chains[name], f)
 		}
 	}
 	return chains, nil
@@ -666,30 +673,34 @@ func (s *Supervisor) chainRecords(gi int) (map[string][][]byte, error) {
 // record (or chain) fails validation.
 func (s *Supervisor) loadGeneration(gi int) ([]*ckpt.Image, error) {
 	g := s.gens[gi]
-	files := s.t.FS.List(g.Dir)
+	files := s.t.Store.List(g.Dir)
 	if len(files) == 0 {
 		return nil, fmt.Errorf("generation %s: %w", g.Dir, ErrNoValidCheckpoint)
 	}
 	var images []*ckpt.Image
 	if g.Full {
 		for _, f := range files {
-			data, err := s.t.FS.ReadFile(f)
+			rc, err := s.t.Store.Open(f)
 			if err != nil {
 				return nil, err
 			}
-			img, err := ckpt.VerifyImage(data)
+			img, err := ckpt.VerifyImageFrom(rc)
+			rc.Close()
 			if err != nil {
 				return nil, fmt.Errorf("pod %s (%s): %w", podOf(f), f, err)
 			}
 			images = append(images, img)
 		}
 	} else {
-		chains, err := s.chainRecords(gi)
+		chains, err := s.chainPaths(gi)
 		if err != nil {
 			return nil, err
 		}
-		for name, recs := range chains {
-			img, err := ckpt.ReconstructChain(recs)
+		for name, paths := range chains {
+			paths := paths
+			img, err := ckpt.ReconstructChainFrom(len(paths), func(i int) (io.ReadCloser, error) {
+				return s.t.Store.Open(paths[i])
+			})
 			if err != nil {
 				return nil, fmt.Errorf("pod %s: %w", name, err)
 			}

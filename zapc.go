@@ -28,6 +28,7 @@ import (
 	"zapc/internal/cluster"
 	"zapc/internal/core"
 	"zapc/internal/faultinject"
+	"zapc/internal/imagestore"
 	"zapc/internal/metrics"
 	"zapc/internal/sim"
 	"zapc/internal/supervisor"
@@ -108,6 +109,24 @@ type (
 	CkptBenchRecord = metrics.CkptBenchRecord
 )
 
+// Streaming image pipeline (see internal/imagestore). Checkpoint records
+// stream chunk by chunk into an ImageStore — the shared filesystem by
+// default (NewFSImageStore), or a netstack-backed remote store that
+// ships each record straight to a peer node for the paper's direct
+// checkpoint-to-network migration. The manager's store is swapped with
+// c.Mgr.SetStore; records flush when CheckpointOptions.FlushTo names a
+// prefix.
+type (
+	// ImageStore is a named destination checkpoint records stream into.
+	ImageStore = imagestore.Store
+	// ImageStoreInfo describes one stored record.
+	ImageStoreInfo = imagestore.Info
+)
+
+// NewFSImageStore wraps a cluster's shared filesystem as an ImageStore
+// (the manager's default).
+func NewFSImageStore(c *Cluster) ImageStore { return imagestore.NewFS(c.FS) }
+
 // NewIncrSet creates an incremental-checkpoint tracker set that takes a
 // full base image every fullEvery generations (<=1 means every
 // checkpoint is full).
@@ -128,6 +147,13 @@ func DecodeBenchTrajectory(data []byte) ([]CkptBenchRecord, error) {
 // more than tolPct percent below prev's (zapc-benchdiff's check).
 func CompareBenchThroughput(prev, cur CkptBenchRecord, tolPct float64) error {
 	return metrics.CompareThroughput(prev, cur, tolPct)
+}
+
+// CompareBenchPeakBuffered fails when cur's peak streaming buffer grew
+// more than tolPct percent above prev's (zapc-benchdiff's guard that no
+// path went back to materializing whole images).
+func CompareBenchPeakBuffered(prev, cur CkptBenchRecord, tolPct float64) error {
+	return metrics.ComparePeakBuffered(prev, cur, tolPct)
 }
 
 // ErrCorruptImage is returned (wrapped, naming the affected pod) when a
