@@ -2,11 +2,12 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCH_OUT ?= BENCH_ckpt.json
 
-.PHONY: ci fmt vet build test race fuzz cover bench benchdiff examples clean
+.PHONY: ci fmt vet build test race fuzz cover bench benchdiff trace-check examples clean
 
 # Full CI gate: static checks, a clean build, the race-enabled suite,
-# short fuzzing of the image-format decoders, and coverage totals.
-ci: fmt vet build race fuzz cover
+# short fuzzing of the image-format decoders, trace determinism, and
+# coverage totals.
+ci: fmt vet build race fuzz trace-check cover
 
 # gofmt gate: fails listing any file that is not gofmt-clean.
 fmt:
@@ -31,6 +32,16 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/imgfmt
 	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/imgfmt
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeImage$$' -fuzztime $(FUZZTIME) ./internal/ckpt
+	$(GO) test -run '^$$' -fuzz '^FuzzReadJSONL$$' -fuzztime $(FUZZTIME) ./internal/trace
+
+# Trace determinism gate: the traced crash-and-failover scenario run
+# twice with the same seed must export byte-identical JSONL event logs.
+trace-check:
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/zapc-bench -fig trace -events $$dir/a.jsonl -trace $$dir/a.json >/dev/null && \
+	$(GO) run ./cmd/zapc-bench -fig trace -events $$dir/b.jsonl -trace $$dir/b.json >/dev/null && \
+	cmp $$dir/a.jsonl $$dir/b.jsonl && echo "trace-check: deterministic ($$(wc -l < $$dir/a.jsonl) events)"; \
+	st=$$?; rm -rf $$dir; exit $$st
 
 # Coverage profile plus per-package totals.
 cover:
@@ -39,11 +50,13 @@ cover:
 
 # Benchmarks across every package, then the checkpoint-pipeline
 # trajectory run and its regression gate (>25% encode-throughput drop
-# or >25% peak-buffered-bytes growth vs the previous record fails).
+# or >25% peak-buffered-bytes growth vs the previous record fails),
+# then the traced pipeline run with its phase/metric summary.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/zapc-bench -fig ckpt -out $(BENCH_OUT)
 	$(GO) run ./cmd/zapc-benchdiff $(BENCH_OUT)
+	$(GO) run ./cmd/zapc-bench -fig trace
 
 benchdiff:
 	$(GO) run ./cmd/zapc-benchdiff $(BENCH_OUT)

@@ -187,6 +187,7 @@ func RunCkptPipeline(cfg ExperimentConfig, app string, endpoints, workers int) (
 func (r CkptPipelineRow) Record(cfg ExperimentConfig, when string) metrics.CkptBenchRecord {
 	cfg = cfg.defaults()
 	return metrics.CkptBenchRecord{
+		Schema:            metrics.BenchSchema,
 		When:              when,
 		Seed:              cfg.Seed,
 		Pods:              r.Pods,

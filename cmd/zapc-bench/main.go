@@ -13,11 +13,19 @@
 //	zapc-bench -fig redirect   # ablation A2: send-queue redirect
 //	zapc-bench -fig reconnect  # ablation A3: reconnection scaling
 //	zapc-bench -fig ckpt       # parallel/incremental checkpoint pipeline
+//	zapc-bench -fig trace      # traced checkpoint–failover–restart run
 //	zapc-bench -fig all        # everything
 //
 // -fig ckpt additionally appends one record per run to the trajectory
 // file named by -out (default BENCH_ckpt.json); zapc-benchdiff compares
 // the last two records and fails on an encode-throughput regression.
+//
+// -fig trace runs the canonical supervised crash-and-failover scenario
+// with tracing enabled and writes two artifacts alongside the
+// trajectory file: a JSONL event log (-events, default BENCH_trace.jsonl)
+// and a Chrome trace-event timeline (-trace, default BENCH_trace.json)
+// that loads directly in ui.perfetto.dev. Both are byte-deterministic
+// for a fixed -seed.
 //
 // -scale 1.0 reproduces paper-scale image sizes in memory (expensive);
 // the default 1/16 shrinks footprints while the cost model still charges
@@ -36,7 +44,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, net, timeline, sync, redirect, reconnect, ckpt, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, net, timeline, sync, redirect, reconnect, ckpt, trace, all")
 	scale := flag.Float64("scale", 1.0/16, "memory footprint scale (1.0 = paper scale)")
 	work := flag.Float64("work", 0.25, "application runtime scale")
 	ckpts := flag.Int("ckpts", 10, "checkpoints per measured run")
@@ -44,6 +52,8 @@ func main() {
 	seed := flag.Int64("seed", 2005, "simulation seed")
 	workers := flag.Int("workers", 0, "checkpoint worker-pool width for -fig ckpt (<=0: one per host CPU)")
 	out := flag.String("out", "BENCH_ckpt.json", "trajectory file appended by -fig ckpt")
+	traceOut := flag.String("trace", "BENCH_trace.json", "Chrome trace-event timeline written by -fig trace")
+	eventsOut := flag.String("events", "BENCH_trace.jsonl", "JSONL event log written by -fig trace")
 	flag.Parse()
 
 	cfg := zapc.ExperimentConfig{
@@ -239,6 +249,39 @@ func main() {
 		}
 		fmt.Printf("appended run to %s (sim-speedup %.2fx, delta reduction %.1fx, encode %.0f MiB/s, peak buffered %d B)\n\n",
 			*out, rec.SimSpeedup, rec.BytesReduction, rec.EncodeMBps, rec.PeakBufferedBytes)
+		return nil
+	})
+
+	run("trace", func() error {
+		fmt.Println("== Traced checkpoint–failover–restart pipeline ==")
+		res, err := zapc.RunTraceScenario(cfg)
+		if err != nil {
+			return err
+		}
+		ef, err := os.Create(*eventsOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Tracer.WriteJSONL(ef); err != nil {
+			ef.Close()
+			return err
+		}
+		if err := ef.Close(); err != nil {
+			return err
+		}
+		chrome, err := zapc.ChromeTraceBytes(res.Tracer.Events())
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*traceOut, chrome, 0o644); err != nil {
+			return err
+		}
+		fmt.Println(zapc.TracePhaseSummary(res.Tracer.Events()))
+		fmt.Println(res.Metrics.Summary())
+		fmt.Printf("scenario: %d checkpoints, %d failover(s), %d fault(s) fired, result %.6f\n",
+			res.Stats.Checkpoints, res.Stats.Failovers, len(res.Faults), res.Result)
+		fmt.Printf("wrote %s (%d events) and %s (open in ui.perfetto.dev)\n\n",
+			*eventsOut, res.Tracer.Len(), *traceOut)
 		return nil
 	})
 

@@ -10,7 +10,9 @@
 //	zapc-benchdiff [-tol 25] [BENCH_ckpt.json]
 //
 // With fewer than two records the check passes vacuously (first run of
-// a fresh checkout has no baseline).
+// a fresh checkout has no baseline). Records carrying different schema
+// versions are refused outright — a stale trajectory must be deleted
+// and regenerated rather than silently compared across formats.
 package main
 
 import (
@@ -46,6 +48,9 @@ func main() {
 		return
 	}
 	prev, cur := recs[len(recs)-2], recs[len(recs)-1]
+	if err := zapc.CompareBenchSchema(prev, cur); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("zapc-benchdiff: %s: encode %.1f -> %.1f MiB/s, sim-speedup %.2fx -> %.2fx, delta reduction %.1fx -> %.1fx, peak buffered %d -> %d B\n",
 		file, prev.EncodeMBps, cur.EncodeMBps, prev.SimSpeedup, cur.SimSpeedup,
 		prev.BytesReduction, cur.BytesReduction, prev.PeakBufferedBytes, cur.PeakBufferedBytes)

@@ -8,9 +8,15 @@
 // image is parsed in a fresh process with no access to the simulation
 // that produced it.
 //
+// With -trace it instead reads JSONL trace logs (as written by
+// `zapc-bench -fig trace` or Tracer.WriteJSONL) and prints the
+// per-phase latency breakdown. Malformed trace input is rejected with a
+// diagnostic naming the offending line — never a panic.
+//
 // Usage:
 //
 //	zapc-inspect pod0.img [pod1.img ...]
+//	zapc-inspect -trace BENCH_trace.jsonl [more.jsonl ...]
 package main
 
 import (
@@ -20,19 +26,61 @@ import (
 	"zapc/internal/ckpt"
 	"zapc/internal/metrics"
 	"zapc/internal/netstack"
+	"zapc/internal/sim"
+	"zapc/internal/trace"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	args := os.Args[1:]
+	traceMode := false
+	if len(args) > 0 && args[0] == "-trace" {
+		traceMode = true
+		args = args[1:]
+	}
+	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: zapc-inspect <image-file> ...")
+		fmt.Fprintln(os.Stderr, "       zapc-inspect -trace <trace.jsonl> ...")
 		os.Exit(2)
 	}
-	for _, path := range os.Args[1:] {
-		if err := inspect(path); err != nil {
+	do := inspect
+	if traceMode {
+		do = inspectTrace
+	}
+	for _, path := range args {
+		if err := do(path); err != nil {
 			fmt.Fprintf(os.Stderr, "zapc-inspect: %s: %v\n", path, err)
 			os.Exit(1)
 		}
 	}
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	var first, last int64
+	instants := 0
+	for i, ev := range events {
+		if i == 0 || ev.T < first {
+			first = ev.T
+		}
+		if ev.T > last {
+			last = ev.T
+		}
+		if ev.Ph == trace.PhInstant {
+			instants++
+		}
+	}
+	fmt.Printf("%s: %d events (%d instants), timeline %s\n",
+		path, len(events), instants, sim.Duration(last-first))
+	fmt.Println(trace.PhaseSummary(events))
+	return nil
 }
 
 func inspect(path string) error {

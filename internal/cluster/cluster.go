@@ -18,11 +18,13 @@ import (
 	"zapc/internal/apps"
 	"zapc/internal/ckpt"
 	"zapc/internal/core"
+	"zapc/internal/imagestore"
 	"zapc/internal/memfs"
 	"zapc/internal/mpi"
 	"zapc/internal/netstack"
 	"zapc/internal/pod"
 	"zapc/internal/sim"
+	"zapc/internal/trace"
 	"zapc/internal/vos"
 )
 
@@ -46,7 +48,34 @@ type Cluster struct {
 
 	nextVIP netstack.IP
 	jobSeq  int
+	tr      *trace.Tracer
+	reg     *trace.Registry
 }
+
+// EnableTracing turns on pipeline observability for the whole cluster:
+// it builds a tracer bound to the virtual clock plus a metrics registry,
+// wires both into the coordination manager, and wraps the manager's
+// image store so Create/Open streams appear as store spans. Subsequently
+// created supervisors and fault injectors pick the pair up through
+// Tracer()/Metrics(). Calling it again returns the existing pair.
+// Tracing is off by default — an untraced cluster pays only nil checks.
+func (c *Cluster) EnableTracing() (*trace.Tracer, *trace.Registry) {
+	if c.tr != nil {
+		return c.tr, c.reg
+	}
+	c.tr = trace.New(func() int64 { return int64(c.W.Now()) })
+	c.reg = trace.NewRegistry()
+	c.Mgr.SetTracer(c.tr, c.reg)
+	c.Mgr.SetStore(imagestore.Traced(c.Mgr.Store(), c.tr, c.reg))
+	return c.tr, c.reg
+}
+
+// Tracer returns the cluster's tracer (nil until EnableTracing).
+func (c *Cluster) Tracer() *trace.Tracer { return c.tr }
+
+// Metrics returns the cluster's metrics registry (nil until
+// EnableTracing).
+func (c *Cluster) Metrics() *trace.Registry { return c.reg }
 
 // New builds a cluster.
 func New(cfg Config) *Cluster {

@@ -110,6 +110,7 @@ func (c *Cluster) Supervise(j *Job, pol supervisor.Policy) (*supervisor.Supervis
 		Rebind:   j.Rebind,
 		Finished: j.Finished,
 	}, pol)
+	s.SetTracer(c.tr, c.reg)
 	s.Start()
 	return s, nil
 }

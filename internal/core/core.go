@@ -35,6 +35,7 @@ import (
 	"zapc/internal/netstack"
 	"zapc/internal/pod"
 	"zapc/internal/sim"
+	"zapc/internal/trace"
 	"zapc/internal/vos"
 )
 
@@ -253,7 +254,24 @@ type Manager struct {
 	workers   int // restart-side serialization pool width (0 = sequential)
 	phaseHook PhaseHook
 	ctrlHook  CtrlHook
+	tr        *trace.Tracer
+	reg       *trace.Registry
 }
+
+// SetTracer installs an observability pair: every coordinated operation
+// then emits phase spans into tr and pipeline counters into reg. Either
+// may be nil; both default to nil, which costs the pipeline nothing but
+// nil checks.
+func (m *Manager) SetTracer(tr *trace.Tracer, reg *trace.Registry) {
+	m.tr = tr
+	m.reg = reg
+}
+
+// Tracer returns the manager's tracer (nil when tracing is off).
+func (m *Manager) Tracer() *trace.Tracer { return m.tr }
+
+// Metrics returns the manager's metrics registry (nil when off).
+func (m *Manager) Metrics() *trace.Registry { return m.reg }
 
 // SetStore replaces the image store that FlushTo streams records into.
 // The default is the shared filesystem; a netstack-backed remote store
@@ -356,6 +374,13 @@ func (m *Manager) Checkpoint(pods []*pod.Pod, opts Options, onDone func(*Checkpo
 			op.abort(fmt.Errorf("%w: checkpoint stalled for %v", ErrTimeout, timeout))
 		})
 	}
+	mode := "snapshot"
+	if opts.Mode == Migrate {
+		mode = "migrate"
+	}
+	op.span = m.tr.Start(nil, "ckpt/coordinated", trace.Track("manager"),
+		trace.I64("pods", int64(len(pods))), trace.Str("mode", mode),
+		trace.I64("incremental", b2i(opts.Incr != nil)))
 	m.notify(PhaseCheckpointStart)
 	// Step M1: broadcast 'checkpoint' to all agents.
 	for _, a := range op.agents {
@@ -376,6 +401,15 @@ type ckptOp struct {
 	watchdog sim.EventID
 	result   *CheckpointResult
 	onDone   func(*CheckpointResult)
+	span     *trace.Span
+}
+
+// b2i renders a bool as a 0/1 trace attribute.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 type ckptAgent struct {
@@ -393,6 +427,9 @@ type ckptAgent struct {
 	saDone    bool
 	contRecvd bool
 	finished  bool
+	span      *trace.Span // ckpt/agent, open from suspend to done-report
+	qSpan     *trace.Span // ckpt/quiesce
+	saSpan    *trace.Span // ckpt/serialize
 }
 
 func (op *ckptOp) abort(err error) {
@@ -408,6 +445,9 @@ func (op *ckptOp) abort(err error) {
 			a.pod.Resume()
 		}
 	}
+	op.m.tr.Instant(op.span, "ckpt/abort", trace.Str("err", err.Error()))
+	op.span.End(trace.Str("outcome", "aborted"))
+	op.m.reg.Counter("ckpt_aborts_total").Add(1)
 	op.result.Err = err
 	op.onDone(op.result)
 }
@@ -434,6 +474,10 @@ func (a *ckptAgent) start() {
 	a.began = a.op.m.w.Now()
 	costs := a.op.m.w.Costs
 	procs := a.pod.Procs()
+	a.span = a.op.m.tr.Start(a.op.span, "ckpt/agent", trace.Track(a.pod.Name()))
+	a.qSpan = a.op.m.tr.Start(a.span, "ckpt/quiesce",
+		trace.I64("procs", int64(len(procs))),
+		trace.I64("sockets", int64(len(a.pod.Stack().Sockets()))))
 	a.pod.Suspend()
 	a.pod.BlockNetwork()
 	cost := costs.SignalDeliver*sim.Duration(len(procs)) +
@@ -450,6 +494,7 @@ func (a *ckptAgent) waitQuiescent() {
 		return
 	}
 	a.suspend = sim.Duration(a.op.m.w.Now() - a.began)
+	a.qSpan.End()
 	a.netCheckpoint()
 }
 
@@ -464,6 +509,8 @@ func (a *ckptAgent) netCheckpoint() {
 	}
 	a.netBytes = netImg.Bytes()
 	a.queueLen = netImg.QueueBytes()
+	nSpan := a.op.m.tr.Start(a.span, "ckpt/net-ckpt",
+		trace.I64("sockets", int64(len(netImg.Sockets))))
 	// Cost: read the full option set per socket plus copy queue payload.
 	nSocks := len(netImg.Sockets)
 	cost := costs.SockOptRead*sim.Duration(nSocks*len(netstack.AllOpts())) +
@@ -474,6 +521,11 @@ func (a *ckptAgent) netCheckpoint() {
 			return
 		}
 		a.netTime = cost
+		nSpan.End(trace.I64("bytes", a.netBytes),
+			trace.I64("queue_bytes", a.queueLen),
+			trace.I64("queue_msgs", netImg.QueueMsgs()))
+		a.op.m.reg.Counter("netstack_drained_msgs").Add(netImg.QueueMsgs())
+		a.op.m.reg.Counter("netstack_drained_bytes").Add(a.queueLen)
 		// 2a: report meta-data (the manager only needs the connectivity
 		// map; transferring it costs latency plus wire time).
 		a.op.m.ctrlAfter(costs.NetTransferTime(a.netBytes), func() { a.op.metaArrived() })
@@ -521,20 +573,82 @@ func (a *ckptAgent) standalone() {
 		a.stats = st
 	}
 	a.img = img
+	a.saSpan = a.op.m.tr.Start(a.span, "ckpt/serialize",
+		trace.I64("workers", int64(workers)),
+		trace.I64("incremental", b2i(a.pend != nil && !a.pend.Full())))
+	saStart := w.Now()
 	// The copy cost covers what is actually written — the delta record
 	// in incremental mode — and divides by the effective serialization
-	// parallelism (per-process capture fans out across the pool).
+	// parallelism (per-process capture fans out across the pool). The
+	// fixed and copy components stay separate so the modeled worker
+	// lanes can start where the fixed prologue ends.
 	bytes := costs.EffImageBytes(a.stats.Bytes)
-	cost := w.Jitter(costs.CheckpointFixed, 0.25) +
-		costs.MemCopyTime(bytes)/parSpeedup(workers, len(img.Procs))
+	fixed := w.Jitter(costs.CheckpointFixed, 0.25)
+	cost := fixed + costs.MemCopyTime(bytes)/parSpeedup(workers, len(img.Procs))
 	w.After(cost, func() {
 		if a.op.aborted {
 			return
 		}
 		a.saTime = cost
 		a.saDone = true
+		a.emitWorkerLanes(saStart, fixed, workers)
+		a.saSpan.End(trace.I64("wire_bytes", a.stats.Bytes),
+			trace.I64("peak_buffered", a.stats.Peak))
+		a.op.m.reg.Counter("ckpt_encode_bytes_total").Add(a.stats.Bytes)
+		a.op.m.reg.Gauge("store_peak_buffered_bytes").SetMax(a.stats.Peak)
 		a.maybeFinish()
 	})
+}
+
+// emitWorkerLanes reconstructs the per-worker serialization schedule the
+// cost model implies and records it as modeled sub-spans of
+// ckpt/serialize. Real goroutine interleavings are nondeterministic, so
+// the lanes are computed analytically — greedy least-busy assignment of
+// per-process copy costs, the same policy a work-stealing pool converges
+// to — and emitted with explicit timestamps from a single event
+// callback, which keeps the trace byte-deterministic. Each lane reports
+// its encode time and how long it idled waiting for the slowest peer.
+func (a *ckptAgent) emitWorkerLanes(saStart sim.Time, fixed sim.Duration, workers int) {
+	tr := a.op.m.tr
+	if tr == nil || len(a.img.Procs) == 0 {
+		return
+	}
+	costs := a.op.m.w.Costs
+	if workers > len(a.img.Procs) {
+		workers = len(a.img.Procs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	busy := make([]sim.Duration, workers)
+	laneBytes := make([]int64, workers)
+	laneProcs := make([]int64, workers)
+	for _, p := range a.img.Procs {
+		wi := 0
+		for j := 1; j < workers; j++ {
+			if busy[j] < busy[wi] {
+				wi = j
+			}
+		}
+		busy[wi] += costs.MemCopyTime(costs.EffImageBytes(p.ApproxBytes()))
+		laneBytes[wi] += p.ApproxBytes()
+		laneProcs[wi]++
+	}
+	var longest sim.Duration
+	for _, b := range busy {
+		if b > longest {
+			longest = b
+		}
+	}
+	lanesStart := int64(saStart) + int64(fixed)
+	for wi := 0; wi < workers; wi++ {
+		tr.SpanBetween(a.saSpan, "ckpt/worker", lanesStart, lanesStart+int64(busy[wi]),
+			trace.I64("worker", int64(wi)),
+			trace.I64("procs", laneProcs[wi]),
+			trace.I64("bytes", laneBytes[wi]),
+			trace.I64("encode_ns", int64(busy[wi])),
+			trace.I64("wait_ns", int64(longest-busy[wi])))
+	}
 }
 
 // metaArrived is manager step M2/M3: collect meta-data; once all have
@@ -548,6 +662,7 @@ func (op *ckptOp) metaArrived() {
 		return
 	}
 	op.contSent = true
+	op.m.tr.Instant(op.span, "ckpt/meta-sync", trace.I64("agents", int64(len(op.agents))))
 	op.m.notify(PhaseMetaSync)
 	for _, a := range op.agents {
 		a := a
@@ -590,9 +705,11 @@ func (a *ckptAgent) maybeFinish() {
 		a.pod.UnblockNetwork()
 		a.pod.Resume()
 		cost = costs.FilterRule + costs.SignalDeliver*sim.Duration(len(a.pod.Procs()))
+		a.op.m.tr.Instant(a.span, "ckpt/resume")
 	case Migrate:
 		a.pod.Destroy()
 		cost = sim.Millisecond
+		a.op.m.tr.Instant(a.span, "ckpt/teardown")
 	}
 	// 4: report 'done'.
 	a.op.m.ctrlAfter(cost, func() { a.op.doneArrived(a) })
@@ -611,6 +728,9 @@ func (op *ckptOp) doneArrived(a *ckptAgent) {
 	}
 	a2 := a
 	total := sim.Duration(op.m.w.Now() - a2.began)
+	a.span.End(trace.I64("image_bytes", a.img.Bytes()),
+		trace.I64("wire_bytes", a.stats.Bytes))
+	op.m.reg.Histogram("ckpt_agent_total_ns").Observe(int64(total))
 	op.result.Stats.Agents = append(op.result.Stats.Agents, AgentStats{
 		Pod:          a.pod.Name(),
 		Suspend:      a.suspend,
@@ -657,11 +777,19 @@ func (op *ckptOp) doneArrived(a *ckptAgent) {
 				ext = "delta"
 			}
 			path := fmt.Sprintf("%s/%s.%s", op.opts.FlushTo, ag.img.PodName, ext)
+			fSpan := op.m.tr.Start(op.span, "store/flush",
+				trace.Track(ag.img.PodName), trace.Str("path", path))
 			if err := op.flushRecord(path, ag); err != nil {
 				op.result.Err = err
+				fSpan.End(trace.Str("err", err.Error()))
+			} else {
+				fSpan.End(trace.I64("bytes", ag.stats.Bytes))
 			}
 		}
 	}
+	op.span.End(trace.Str("outcome", "ok"),
+		trace.I64("total_ns", int64(op.result.Stats.Total)))
+	op.m.reg.Counter("ckpt_ops_total").Add(1)
 	op.m.notify(PhaseCheckpointDone)
 	op.onDone(op.result)
 }
@@ -757,6 +885,9 @@ func (m *Manager) Restart(placements []Placement, remap map[netstack.IP]netstack
 	op.watchdog = m.w.After(DefaultRestartTimeout, func() {
 		op.fail(fmt.Errorf("%w: restart stalled for %v", ErrTimeout, DefaultRestartTimeout))
 	})
+	op.span = m.tr.Start(nil, "restart/coordinated", trace.Track("manager"),
+		trace.I64("pods", int64(len(placements))),
+		trace.I64("remapped", b2i(remap != nil)))
 	m.notify(PhaseRestartStart)
 	for _, pl := range placements {
 		pl := pl
@@ -777,6 +908,7 @@ type restartOp struct {
 	watchdog sim.EventID
 	result   *RestartResult
 	onDone   func(*RestartResult)
+	span     *trace.Span
 }
 
 // runAgent executes the agent-side restart of Figure 3: create a pod,
@@ -790,12 +922,17 @@ func (op *restartOp) runAgent(pl Placement, plan *netckpt.EndpointPlan) {
 	w := op.m.w
 	costs := w.Costs
 	began := w.Now()
+	agSpan := op.m.tr.Start(op.span, "restart/agent", trace.Track(pl.PodName),
+		trace.Str("node", pl.Node.Name()))
 	// Pod creation cost precedes connectivity recovery.
 	w.After(costs.PodCreate, func() {
 		if op.aborted || op.checkFailure(pl.Node) {
 			return
 		}
+		op.m.tr.SpanBetween(agSpan, "restart/pod-create", int64(began), int64(w.Now()))
 		netStart := w.Now()
+		netSpan := op.m.tr.Start(agSpan, "restart/net-restore",
+			trace.I64("entries", int64(len(plan.Entries))))
 		np := ckpt.RestorePod(pl.Image, pl.PodName, pl.Node, op.m.nw, op.m.fs, plan,
 			func(np *pod.Pod, err error) {
 				if err != nil {
@@ -808,9 +945,16 @@ func (op *restartOp) runAgent(pl Placement, plan *netckpt.EndpointPlan) {
 				// Network restore time includes the real (simulated)
 				// reconnection exchanges plus the agent-side
 				// per-connection cost and the queue-restore copy.
-				queueCopy := costs.MemCopyTime(pl.Image.Net.QueueBytes()) +
+				queueBytes := pl.Image.Net.QueueBytes()
+				queueMsgs := pl.Image.Net.QueueMsgs()
+				queueCopy := costs.MemCopyTime(queueBytes) +
 					costs.ConnSetup*sim.Duration(len(plan.Entries))
 				netTime := sim.Duration(w.Now()-netStart) + queueCopy
+				netSpan.End(trace.I64("queue_bytes", queueBytes),
+					trace.I64("queue_msgs", queueMsgs),
+					trace.I64("queue_copy_ns", int64(queueCopy)))
+				op.m.reg.Counter("netstack_reinjected_msgs").Add(queueMsgs)
+				op.m.reg.Counter("netstack_reinjected_bytes").Add(queueBytes)
 				// Standalone restart cost: fixed + restore bandwidth
 				// (divided by the decode/rebuild parallelism) +
 				// per-process creation.
@@ -818,11 +962,18 @@ func (op *restartOp) runAgent(pl Placement, plan *netckpt.EndpointPlan) {
 				saCost := w.Jitter(costs.RestartFixed, 0.25) +
 					costs.RestoreTime(bytes)/parSpeedup(effWorkers(op.m.workers), len(pl.Image.Procs)) +
 					costs.ProcCreate*sim.Duration(len(pl.Image.Procs))
+				saStart := w.Now()
 				w.After(queueCopy+saCost, func() {
 					if op.aborted || op.checkFailure(pl.Node) {
 						return
 					}
+					op.m.tr.SpanBetween(agSpan, "restart/standalone",
+						int64(saStart)+int64(queueCopy), int64(w.Now()),
+						trace.I64("bytes", pl.Image.Bytes()),
+						trace.I64("procs", int64(len(pl.Image.Procs))))
 					np.Resume() // no further delay, per the paper
+					agSpan.End()
+					op.m.reg.Histogram("restart_agent_total_ns").Observe(int64(w.Now() - began))
 					op.m.ctrl(func() {
 						op.agentDone(pl.PodName, netTime, saCost, sim.Duration(w.Now()-began), np)
 					})
@@ -866,6 +1017,9 @@ func (op *restartOp) fail(err error) {
 	for _, ip := range op.vips {
 		op.m.nw.Release(ip)
 	}
+	op.m.tr.Instant(op.span, "restart/abort", trace.Str("err", err.Error()))
+	op.span.End(trace.Str("outcome", "aborted"))
+	op.m.reg.Counter("restart_aborts_total").Add(1)
 	op.result.Pods = nil
 	op.result.Err = fmt.Errorf("%w: %w", ErrAborted, err)
 	op.onDone(op.result)
@@ -883,6 +1037,9 @@ func (op *restartOp) agentDone(name string, netT, saT, total sim.Duration, np *p
 	if op.dones == op.total {
 		op.result.Stats.Total = sim.Duration(op.m.w.Now() - op.start)
 		op.m.w.Cancel(op.watchdog)
+		op.span.End(trace.Str("outcome", "ok"),
+			trace.I64("total_ns", int64(op.result.Stats.Total)))
+		op.m.reg.Counter("restart_ops_total").Add(1)
 		op.m.notify(PhaseRestartDone)
 		op.onDone(op.result)
 	}

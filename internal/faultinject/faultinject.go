@@ -22,6 +22,7 @@ import (
 	"zapc/internal/core"
 	"zapc/internal/memfs"
 	"zapc/internal/sim"
+	"zapc/internal/trace"
 	"zapc/internal/vos"
 )
 
@@ -82,6 +83,19 @@ type Injector struct {
 	delayUntil sim.Time
 
 	fired []Record
+
+	tr  *trace.Tracer
+	reg *trace.Registry
+}
+
+// SetTracer installs an observability pair: every fired fault is then
+// also recorded as a "fault/<name>" instant on the faults track (so
+// injected faults appear on the same timeline as the pipeline spans
+// they perturb) and counted in faults_injected_total. Either may be
+// nil; the harness is silent by default.
+func (inj *Injector) SetTracer(tr *trace.Tracer, reg *trace.Registry) {
+	inj.tr = tr
+	inj.reg = reg
 }
 
 // New creates an injector on the given world. fs may be nil if no
@@ -113,6 +127,8 @@ func (inj *Injector) Fired() []Record {
 
 func (inj *Injector) record(name string) {
 	inj.fired = append(inj.fired, Record{T: inj.w.Now(), Name: name})
+	inj.tr.Instant(nil, "fault/"+name, trace.Track("faults"))
+	inj.reg.Counter("faults_injected_total").Add(1)
 }
 
 // At arms a fault that fires a fixed delay from now on the simulation

@@ -5,10 +5,20 @@ import (
 	"fmt"
 )
 
+// BenchSchema is the current CkptBenchRecord schema version. It is
+// bumped whenever a field changes meaning (not when one is added with a
+// zero-value default); zapc-benchdiff refuses to compare records of
+// different versions rather than produce a silently wrong verdict.
+// Records written before versioning decode as Schema 0.
+const BenchSchema = 1
+
 // CkptBenchRecord is one run of the checkpoint-pipeline benchmark
 // (cmd/zapc-bench -fig ckpt). Records accumulate in BENCH_ckpt.json so
 // successive runs form a trajectory that zapc-benchdiff can compare.
 type CkptBenchRecord struct {
+	// Schema is the record's schema version (see BenchSchema). Zero in
+	// records written before the field existed.
+	Schema int `json:"schema,omitempty"`
 	// When is an opaque caller-supplied timestamp (RFC 3339 by
 	// convention); the comparison helpers never parse it.
 	When string `json:"when,omitempty"`
@@ -72,6 +82,17 @@ func DecodeTrajectory(data []byte) ([]CkptBenchRecord, error) {
 		return nil, fmt.Errorf("metrics: bad bench trajectory: %w", err)
 	}
 	return recs, nil
+}
+
+// CompareSchema refuses comparison of records written under different
+// schema versions. The error says exactly how to get back to a
+// comparable trajectory.
+func CompareSchema(prev, cur CkptBenchRecord) error {
+	if prev.Schema != cur.Schema {
+		return fmt.Errorf("metrics: bench record schema mismatch: previous record has schema %d, current has schema %d (current tool writes schema %d) — the records are not comparable; delete the stale trajectory file and re-run `zapc-bench -fig ckpt` twice to rebuild a baseline",
+			prev.Schema, cur.Schema, BenchSchema)
+	}
+	return nil
 }
 
 // CompareThroughput checks cur against prev and returns an error when

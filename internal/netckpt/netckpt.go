@@ -250,6 +250,25 @@ func (img *NetImage) QueueBytes() int64 {
 	return n
 }
 
+// QueueMsgs counts the discrete queued payloads captured in the image —
+// receive streams, out-of-band marks, send chunks, and datagrams. These
+// are the units the restart path reinjects into fresh sockets, so the
+// figure pairs with QueueBytes in trace attributes and the
+// netstack_reinjected_msgs counter.
+func (img *NetImage) QueueMsgs() int64 {
+	var n int64
+	for _, r := range img.Sockets {
+		if len(r.RecvData) > 0 {
+			n++
+		}
+		if len(r.OOBData) > 0 {
+			n++
+		}
+		n += int64(len(r.SendChunks)) + int64(len(r.Datagrams))
+	}
+	return n
+}
+
 // Image field tags.
 const (
 	tagPodIP    = 1

@@ -42,6 +42,7 @@ import (
 	"zapc/internal/memfs"
 	"zapc/internal/pod"
 	"zapc/internal/sim"
+	"zapc/internal/trace"
 	"zapc/internal/vos"
 )
 
@@ -232,6 +233,11 @@ type Supervisor struct {
 
 	events []Event
 	stats  Stats
+
+	tr        *trace.Tracer
+	reg       *trace.Registry
+	cycleSpan *trace.Span // supervisor/ckpt-cycle, open across retries
+	recSpan   *trace.Span // supervisor/failover, open across retries
 }
 
 // New builds a supervisor for the target under the given policy. Call
@@ -288,8 +294,62 @@ func (s *Supervisor) Err() error { return s.haltErr }
 // Running reports whether the loop is armed.
 func (s *Supervisor) Running() bool { return s.running && !s.done }
 
+// SetTracer installs an observability pair: every activity-log event is
+// then mirrored as a structured "supervisor/<kind>" instant on the
+// supervisor track, control-loop phases become spans, and the registry
+// accumulates supervision counters. Either may be nil; the default (both
+// nil) keeps the supervisor quiet.
+func (s *Supervisor) SetTracer(tr *trace.Tracer, reg *trace.Registry) {
+	s.tr = tr
+	s.reg = reg
+}
+
+// counterOf maps a log-event kind to its registry counter name ("" for
+// kinds that are not counted).
+func counterOf(kind EventKind) string {
+	switch kind {
+	case EvCheckpoint:
+		return "supervisor_checkpoints_total"
+	case EvRetry:
+		return "supervisor_ckpt_retries_total"
+	case EvNodeDown:
+		return "supervisor_nodes_declared_total"
+	case EvFailover:
+		return "supervisor_failovers_total"
+	case EvSkipCorrupt:
+		return "supervisor_corrupt_skipped_total"
+	case EvRestartRetry:
+		return "supervisor_restart_retries_total"
+	case EvGC:
+		return "supervisor_gc_total"
+	}
+	return ""
+}
+
 func (s *Supervisor) log(kind EventKind, format string, args ...any) {
-	s.events = append(s.events, Event{T: s.t.W.Now(), Kind: kind, Detail: fmt.Sprintf(format, args...)})
+	detail := fmt.Sprintf(format, args...)
+	s.events = append(s.events, Event{T: s.t.W.Now(), Kind: kind, Detail: detail})
+	s.tr.Instant(nil, "supervisor/"+string(kind), trace.Track("supervisor"),
+		trace.Str("detail", detail))
+	if name := counterOf(kind); name != "" {
+		s.reg.Counter(name).Add(1)
+	}
+}
+
+// endCycleSpan closes the current checkpoint-cycle span, if one is open.
+func (s *Supervisor) endCycleSpan(outcome string) {
+	if s.cycleSpan != nil {
+		s.cycleSpan.End(trace.Str("outcome", outcome))
+		s.cycleSpan = nil
+	}
+}
+
+// endRecSpan closes the current failover span, if one is open.
+func (s *Supervisor) endRecSpan(outcome string) {
+	if s.recSpan != nil {
+		s.recSpan.End(trace.Str("outcome", outcome))
+		s.recSpan = nil
+	}
 }
 
 // Start arms the failure detector and the checkpoint policy.
@@ -313,12 +373,16 @@ func (s *Supervisor) Stop() {
 	s.done = true
 	s.t.W.Cancel(s.hbTimer)
 	s.t.W.Cancel(s.ckptTimer)
+	s.endCycleSpan("stopped")
+	s.endRecSpan("stopped")
 }
 
 // halt is a terminal Stop with a recorded reason.
 func (s *Supervisor) halt(err error) {
 	s.haltErr = err
 	s.log(EvHalt, "%v", err)
+	s.endCycleSpan("halt")
+	s.endRecSpan("halt")
 	s.Stop()
 }
 
@@ -384,6 +448,7 @@ func (s *Supervisor) hbTick() {
 		if drop {
 			continue
 		}
+		s.reg.Counter("supervisor_heartbeats_total").Add(1)
 		s.t.W.After(lat+delay, func() {
 			if n.Failed() {
 				return // ping lands on a dead node: no pong
@@ -427,6 +492,8 @@ func (s *Supervisor) ckptTick() {
 	}
 	s.ckptBusy = true
 	s.attempt = 0
+	s.cycleSpan = s.tr.Start(nil, "supervisor/ckpt-cycle", trace.Track("supervisor"),
+		trace.I64("gen", int64(s.gen)))
 	s.checkpointAttempt()
 }
 
@@ -453,12 +520,14 @@ func (s *Supervisor) genDir(seq int) string {
 func (s *Supervisor) checkpointAttempt() {
 	if s.done || s.recovering {
 		s.ckptBusy = false
+		s.endCycleSpan("superseded")
 		return
 	}
 	if s.pendingRecover {
 		// The detector declared a node between attempts; stop retrying
 		// and fail over instead.
 		s.ckptBusy = false
+		s.endCycleSpan("diverted-to-recovery")
 		s.startRecovery()
 		return
 	}
@@ -538,6 +607,7 @@ func (s *Supervisor) ckptDone(dir string, res *core.CheckpointResult) {
 		s.scrapGeneration(dir)
 		s.log(EvRetry, "checkpoint aborted during failure handling: %v", err)
 		s.ckptBusy = false
+		s.endCycleSpan("diverted-to-recovery")
 		s.startRecovery()
 	default:
 		// Every other abort — watchdog timeout, lost control message,
@@ -563,6 +633,7 @@ func (s *Supervisor) ckptDone(dir string, res *core.CheckpointResult) {
 // endCkptCycle closes a checkpoint cycle and re-arms the period timer.
 func (s *Supervisor) endCkptCycle() {
 	s.ckptBusy = false
+	s.endCycleSpan("done")
 	if s.pendingRecover {
 		s.startRecovery()
 		return
@@ -673,6 +744,19 @@ func (s *Supervisor) chainPaths(gi int) (map[string][]string, error) {
 // record (or chain) fails validation.
 func (s *Supervisor) loadGeneration(gi int) ([]*ckpt.Image, error) {
 	g := s.gens[gi]
+	span := s.tr.Start(nil, "supervisor/load-generation", trace.Track("supervisor"),
+		trace.Str("dir", g.Dir), trace.I64("seq", int64(g.Seq)))
+	images, err := s.loadGenerationRecords(gi)
+	if err != nil {
+		span.End(trace.Str("err", err.Error()))
+		return nil, err
+	}
+	span.End(trace.I64("images", int64(len(images))))
+	return images, nil
+}
+
+func (s *Supervisor) loadGenerationRecords(gi int) ([]*ckpt.Image, error) {
+	g := s.gens[gi]
 	files := s.t.Store.List(g.Dir)
 	if len(files) == 0 {
 		return nil, fmt.Errorf("generation %s: %w", g.Dir, ErrNoValidCheckpoint)
@@ -696,14 +780,26 @@ func (s *Supervisor) loadGeneration(gi int) ([]*ckpt.Image, error) {
 		if err != nil {
 			return nil, err
 		}
-		for name, paths := range chains {
-			paths := paths
+		// Walk the chains in pod-name order: map iteration order must not
+		// decide which pod's error surfaces first or the order trace
+		// events are emitted in.
+		names := make([]string, 0, len(chains))
+		for name := range chains {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			paths := chains[name]
+			cSpan := s.tr.Start(nil, "supervisor/chain-reconstruct", trace.Track("supervisor"),
+				trace.Str("pod", name), trace.I64("links", int64(len(paths))))
 			img, err := ckpt.ReconstructChainFrom(len(paths), func(i int) (io.ReadCloser, error) {
 				return s.t.Store.Open(paths[i])
 			})
 			if err != nil {
+				cSpan.End(trace.Str("err", err.Error()))
 				return nil, fmt.Errorf("pod %s: %w", name, err)
 			}
+			cSpan.End(trace.I64("bytes", img.Bytes()))
 			images = append(images, img)
 		}
 	}
@@ -722,6 +818,8 @@ func (s *Supervisor) startRecovery() {
 		s.recovering = true
 		s.attempt = 0
 		s.t.W.Cancel(s.ckptTimer)
+		s.recSpan = s.tr.Start(nil, "supervisor/failover", trace.Track("supervisor"),
+			trace.I64("generations", int64(len(s.gens))))
 	}
 	// Recovery may be entered from a checkpoint abort before the
 	// detector's timeout expires; mark the dead nodes declared so the
@@ -808,6 +906,7 @@ func (s *Supervisor) restartDone(res *core.RestartResult) {
 	s.stats.Failovers++
 	s.log(EvFailover, "restarted %d pods on %d surviving nodes in %v",
 		len(res.Pods), len(s.survivors()), res.Stats.Total)
+	s.endRecSpan("ok")
 	if s.incr != nil {
 		// The trackers' bases refer to pods that no longer exist; the
 		// next generation of every pod starts a fresh chain.

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzReadJSONL holds the trace reader to its contract on hostile
+// input: it either parses the log or returns an error wrapping
+// ErrBadTrace — it never panics, and anything it accepts must survive
+// a serialize/re-read round trip.
+func FuzzReadJSONL(f *testing.F) {
+	// A well-formed two-event log.
+	f.Add([]byte(`{"t":0,"ph":"B","name":"ckpt/quiesce","id":1,"track":"pod0"}` + "\n" +
+		`{"t":150000,"ph":"E","name":"ckpt/quiesce","id":1,"track":"pod0","args":{"procs":"4"}}` + "\n"))
+	// An instant event with args.
+	f.Add([]byte(`{"t":7,"ph":"I","name":"fault/crash-node","track":"faults","args":{"node":"node01"}}` + "\n"))
+	// Corrupted seeds: truncated mid-record, flipped bytes, garbage.
+	f.Add([]byte(`{"t":0,"ph":"B","name":"ckpt/qu`))
+	f.Add([]byte(`{"t":0,"ph":"B","nam\xff\x00e":"x","id":9}` + "\n"))
+	f.Add([]byte("\x89PNG\r\n\x1a\nnot a trace at all"))
+	f.Add([]byte(`{"t":-1,"ph":"I","name":"x"}` + "\n"))
+	f.Add([]byte(`[{"t":0,"ph":"I","name":"x"}]` + "\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("reader error does not wrap ErrBadTrace: %v", err)
+			}
+			return
+		}
+		// Accepted input must round-trip through the writer.
+		tr := New(nil)
+		tr.events = append(tr.events, evs...)
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatalf("re-serializing accepted events: %v", err)
+		}
+		again, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading serialized events: %v", err)
+		}
+		if len(again) != len(evs) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(evs), len(again))
+		}
+	})
+}

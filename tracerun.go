@@ -1,0 +1,61 @@
+package zapc
+
+// TraceScenarioResult is everything RunTraceScenario produced: the
+// tracer and registry to export, plus the supervisor and fault-injector
+// evidence that the scenario actually exercised the failure path.
+type TraceScenarioResult struct {
+	Tracer  *Tracer
+	Metrics *TraceRegistry
+	Stats   SupervisorStats
+	Faults  []FaultRecord
+	Result  float64
+}
+
+// RunTraceScenario runs the canonical observability scenario: a
+// supervised four-endpoint job takes periodic incremental checkpoints
+// through the parallel serializer, a scripted fault crashes one node at
+// half progress, the supervisor detects the failure and restarts the
+// job from the newest valid generation on the survivors, and the job
+// runs to completion. The whole story — quiesce, per-worker
+// serialization lanes, store streams, network drain/reinject,
+// heartbeats, failover, injected fault — lands on one virtual-clock
+// timeline. For a fixed cfg.Seed the exported trace is byte-identical
+// across runs.
+func RunTraceScenario(cfg ExperimentConfig) (*TraceScenarioResult, error) {
+	cfg = cfg.defaults()
+	const endpoints = 4
+	c := clusterFor(endpoints, cfg)
+	c.EnableTracing()
+	job, err := c.Launch(cfg.spec("cpi", endpoints, false))
+	if err != nil {
+		return nil, err
+	}
+	sup, err := c.Supervise(job, SupervisorPolicy{
+		HeartbeatInterval: 50 * Millisecond,
+		CheckpointEvery:   250 * Millisecond,
+		Incremental:       true,
+		Workers:           3,
+		Retain:            2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inj := NewFaultInjector(c)
+	inj.SetProgressProbe(job.Progress, 0)
+	if err := inj.Arm([]FaultStep{{
+		Name: "crash-node", Progress: 0.5, Action: FaultCrashNode, Node: c.Nodes[1],
+	}}); err != nil {
+		return nil, err
+	}
+	if err := c.Drive(job.Finished, runDeadline); err != nil {
+		return nil, err
+	}
+	sup.Stop()
+	return &TraceScenarioResult{
+		Tracer:  c.Tracer(),
+		Metrics: c.Metrics(),
+		Stats:   sup.Stats(),
+		Faults:  inj.Fired(),
+		Result:  job.Result(),
+	}, nil
+}

@@ -24,6 +24,8 @@
 package zapc
 
 import (
+	"io"
+
 	"zapc/internal/ckpt"
 	"zapc/internal/cluster"
 	"zapc/internal/core"
@@ -32,6 +34,7 @@ import (
 	"zapc/internal/metrics"
 	"zapc/internal/sim"
 	"zapc/internal/supervisor"
+	"zapc/internal/trace"
 )
 
 // Core types re-exported from the implementation. The aliases give
@@ -156,6 +159,65 @@ func CompareBenchPeakBuffered(prev, cur CkptBenchRecord, tolPct float64) error {
 	return metrics.ComparePeakBuffered(prev, cur, tolPct)
 }
 
+// Pipeline observability (see internal/trace). c.EnableTracing() turns
+// on span tracing and metrics for the whole checkpoint/restart path —
+// coordinated checkpoints, per-worker serialization lanes, store
+// streams, network-state restore, supervision, and injected faults all
+// appear on one virtual-clock timeline. Off by default; an untraced
+// cluster pays only nil checks.
+//
+//	tr, reg := c.EnableTracing()
+//	// ... run checkpoints, failovers, restarts ...
+//	tr.WriteJSONL(f)                     // line-per-event log
+//	tr.WriteChromeTrace(g)               // open in ui.perfetto.dev
+//	fmt.Println(zapc.TracePhaseSummary(tr.Events()))
+//	fmt.Println(reg.Summary())
+//
+// Every timestamp comes from the simulated clock, so two runs with the
+// same seed export byte-identical traces.
+type (
+	// Tracer records spans and instants against the virtual clock.
+	Tracer = trace.Tracer
+	// TraceSpan is one open span (nil-safe: methods on nil no-op).
+	TraceSpan = trace.Span
+	// TraceEvent is one emitted begin/end/instant event.
+	TraceEvent = trace.Event
+	// TraceRegistry holds counters, gauges, and histograms.
+	TraceRegistry = trace.Registry
+	// TraceMetricPoint is one metric in a registry snapshot.
+	TraceMetricPoint = trace.MetricPoint
+	// TracePhaseStat aggregates latency for one span name.
+	TracePhaseStat = trace.PhaseStat
+)
+
+// ErrBadTrace is returned (wrapped, with a line number) when a trace
+// log fails to parse; readers reject garbage instead of panicking.
+var ErrBadTrace = trace.ErrBadTrace
+
+// ReadTraceJSONL parses a JSONL trace log as written by
+// Tracer.WriteJSONL. Malformed input wraps ErrBadTrace.
+func ReadTraceJSONL(r io.Reader) ([]TraceEvent, error) { return trace.ReadJSONL(r) }
+
+// ChromeTraceBytes renders events as Chrome trace-event JSON (load in
+// ui.perfetto.dev or chrome://tracing).
+func ChromeTraceBytes(events []TraceEvent) ([]byte, error) { return trace.ChromeTrace(events) }
+
+// TracePhaseStats aggregates per-phase latency from a trace.
+func TracePhaseStats(events []TraceEvent) []TracePhaseStat { return trace.PhaseStats(events) }
+
+// TracePhaseSummary formats the per-phase latency breakdown as a table.
+func TracePhaseSummary(events []TraceEvent) string { return trace.PhaseSummary(events) }
+
+// BenchSchema is the schema version stamped into new CkptBenchRecord
+// trajectory entries.
+const BenchSchema = metrics.BenchSchema
+
+// CompareBenchSchema refuses to compare trajectory records written
+// under different schema versions (zapc-benchdiff's first check).
+func CompareBenchSchema(prev, cur CkptBenchRecord) error {
+	return metrics.CompareSchema(prev, cur)
+}
+
 // ErrCorruptImage is returned (wrapped, naming the affected pod) when a
 // checkpoint image fails CRC validation during LoadImages/RestartFromFS.
 var ErrCorruptImage = cluster.ErrCorruptImage
@@ -170,11 +232,14 @@ const (
 )
 
 // NewFaultInjector creates a fault injector wired to the cluster's
-// simulation world, shared filesystem, and manager control plane.
+// simulation world, shared filesystem, and manager control plane. If
+// the cluster has tracing enabled, fired faults appear on the timeline
+// as instants on the "faults" track.
 func NewFaultInjector(c *Cluster) *FaultInjector {
 	inj := faultinject.New(c.W, c.FS)
 	inj.ObservePhases(c.Mgr)
 	inj.InterposeCtrl(c.Mgr)
+	inj.SetTracer(c.Tracer(), c.Metrics())
 	return inj
 }
 
