@@ -2,12 +2,13 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCH_OUT ?= BENCH_ckpt.json
 
-.PHONY: ci fmt vet build test race fuzz cover bench benchdiff trace-check examples clean
+.PHONY: ci fmt vet build test race race-precopy fuzz cover bench benchdiff trace-check examples clean
 
 # Full CI gate: static checks, a clean build, the race-enabled suite,
-# short fuzzing of the image-format decoders, trace determinism, and
-# coverage totals.
-ci: fmt vet build race fuzz trace-check cover
+# the pre-copy live-checkpoint scenario under the race detector, short
+# fuzzing of the image-format decoders, trace determinism, and coverage
+# totals.
+ci: fmt vet build race race-precopy fuzz trace-check cover
 
 # gofmt gate: fails listing any file that is not gofmt-clean.
 fmt:
@@ -24,6 +25,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Explicit pre-copy scenario gate: suspend-window win, chain restore
+# equivalence, determinism and budget termination, all under -race.
+race-precopy:
+	$(GO) test -race -count=1 -run '^TestPrecopy' .
 
 # Short, deterministic-budget fuzz passes over every image-format entry
 # point (TLV decoder, round-trip property, full+delta image decoder).
@@ -49,9 +55,10 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -1
 
 # Benchmarks across every package, then the checkpoint-pipeline
-# trajectory run and its regression gate (>25% encode-throughput drop
-# or >25% peak-buffered-bytes growth vs the previous record fails),
-# then the traced pipeline run with its phase/metric summary.
+# trajectory run and its regression gate (>25% encode-throughput drop,
+# >25% peak-buffered-bytes growth, or >25% pre-copy suspend-window
+# growth vs the previous record fails), then the traced pipeline run
+# with its phase/metric summary.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/zapc-bench -fig ckpt -out $(BENCH_OUT)

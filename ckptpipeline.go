@@ -41,6 +41,19 @@ type CkptPipelineRow struct {
 	// checkpoint of the run — the invariant the version-2 chunked
 	// format exists to bound. It stays O(chunk size), never O(image).
 	PeakBufferedBytes int64
+
+	// ScSuspend and PrecopySuspend are the modeled pod-suspension
+	// windows (worst pod) of the stop-and-copy parallel arm and the
+	// pre-copy arm at the same progress point and image size;
+	// SuspendReduction is their ratio — the downtime win the pre-copy
+	// iteration buys. PrecopyRounds counts the live copy rounds (base
+	// included) and PrecopyResentBytes the extra wire bytes those
+	// re-copies cost over a single full image.
+	ScSuspend          Duration
+	PrecopySuspend     Duration
+	SuspendReduction   float64
+	PrecopyRounds      int
+	PrecopyResentBytes int64
 }
 
 // ckptAt drives the job to the given progress and takes one snapshot
@@ -103,6 +116,7 @@ func RunCkptPipeline(cfg ExperimentConfig, app string, endpoints, workers int) (
 			row.SeqCkpt = res.Stats.Total
 		} else {
 			row.ParCkpt = res.Stats.Total
+			row.ScSuspend = res.Stats.MaxSuspendWindow()
 			records = records[:0]
 			for _, a := range res.Stats.Agents {
 				rec, err := c.FS.ReadFile(fmt.Sprintf("bench/par/%s.img", a.Pod))
@@ -120,7 +134,41 @@ func RunCkptPipeline(cfg ExperimentConfig, app string, endpoints, workers int) (
 		row.SimSpeedup = float64(row.SeqCkpt) / float64(row.ParCkpt)
 	}
 
-	// --- Arm 3: incremental capture. One full base then deltas, full
+	// --- Arm 3: pre-copy. Same seed and progress point as the parallel
+	// stop-and-copy arm, so the two suspension windows are measured at
+	// equal image bytes; the difference is purely the mode — the pod
+	// stays running through the base copy and the live rounds and is
+	// quiesced only for the residual dirty set.
+	{
+		c := clusterFor(endpoints, cfg)
+		job, err := c.Launch(cfg.spec(app, endpoints, false))
+		if err != nil {
+			return row, err
+		}
+		opts := core.Options{Mode: core.Snapshot, Workers: workers, FlushTo: "bench/pre", Precopy: &core.PrecopyOptions{}}
+		res, err := ckptAt(c, job, 0.4, opts)
+		if err != nil {
+			return row, fmt.Errorf("ckpt pipeline %s/%d precopy: %w", app, endpoints, err)
+		}
+		row.PrecopySuspend = res.Stats.MaxSuspendWindow()
+		for _, a := range res.Stats.Agents {
+			if a.PrecopyRounds > row.PrecopyRounds {
+				row.PrecopyRounds = a.PrecopyRounds
+			}
+			row.PrecopyResentBytes += a.PrecopyResentBytes
+			if a.PeakBuffered > row.PeakBufferedBytes {
+				row.PeakBufferedBytes = a.PeakBuffered
+			}
+		}
+		if row.PrecopySuspend > 0 {
+			row.SuspendReduction = float64(row.ScSuspend) / float64(row.PrecopySuspend)
+		}
+		if _, err := c.RunJob(job, runDeadline); err != nil {
+			return row, err
+		}
+	}
+
+	// --- Arm 4: incremental capture. One full base then deltas, full
 	// again every FullEvery generations, as the supervisor schedules it.
 	c := clusterFor(endpoints, cfg)
 	job, err := c.Launch(cfg.spec(app, endpoints, false))
@@ -187,34 +235,41 @@ func RunCkptPipeline(cfg ExperimentConfig, app string, endpoints, workers int) (
 func (r CkptPipelineRow) Record(cfg ExperimentConfig, when string) metrics.CkptBenchRecord {
 	cfg = cfg.defaults()
 	return metrics.CkptBenchRecord{
-		Schema:            metrics.BenchSchema,
-		When:              when,
-		Seed:              cfg.Seed,
-		Pods:              r.Pods,
-		Procs:             r.Procs,
-		Workers:           r.Workers,
-		SeqSimMs:          float64(r.SeqCkpt) / 1e6,
-		ParSimMs:          float64(r.ParCkpt) / 1e6,
-		SimSpeedup:        r.SimSpeedup,
-		FullBytes:         r.FullBytes,
-		DeltaBytes:        r.DeltaBytes,
-		BytesReduction:    r.BytesReduction,
-		EncodeMBps:        r.EncodeMBps,
-		PeakBufferedBytes: r.PeakBufferedBytes,
-		WallNs:            int64(r.Wall),
+		Schema:             metrics.BenchSchema,
+		When:               when,
+		Seed:               cfg.Seed,
+		Pods:               r.Pods,
+		Procs:              r.Procs,
+		Workers:            r.Workers,
+		SeqSimMs:           float64(r.SeqCkpt) / 1e6,
+		ParSimMs:           float64(r.ParCkpt) / 1e6,
+		SimSpeedup:         r.SimSpeedup,
+		FullBytes:          r.FullBytes,
+		DeltaBytes:         r.DeltaBytes,
+		BytesReduction:     r.BytesReduction,
+		EncodeMBps:         r.EncodeMBps,
+		PeakBufferedBytes:  r.PeakBufferedBytes,
+		SuspendUs:          float64(r.PrecopySuspend) / 1e3,
+		ScSuspendUs:        float64(r.ScSuspend) / 1e3,
+		PrecopyRounds:      r.PrecopyRounds,
+		PrecopyResentBytes: r.PrecopyResentBytes,
+		WallNs:             int64(r.Wall),
 	}
 }
 
 // CkptPipelineTable formats pipeline rows for terminal output.
 func CkptPipelineTable(rows []CkptPipelineRow) string {
-	t := metrics.NewTable("app", "pods", "procs", "workers", "seq-ckpt", "par-ckpt", "speedup", "full-img", "delta-img", "reduction", "encode", "peak-buf")
+	t := metrics.NewTable("app", "pods", "procs", "workers", "seq-ckpt", "par-ckpt", "speedup", "full-img", "delta-img", "reduction", "encode", "peak-buf", "sc-susp", "pre-susp", "dt-gain", "rounds")
 	for _, r := range rows {
 		t.Row(r.App, r.Pods, r.Procs, r.Workers, r.SeqCkpt, r.ParCkpt,
 			fmt.Sprintf("%.2fx", r.SimSpeedup),
 			metrics.HumanBytes(r.FullBytes), metrics.HumanBytes(r.DeltaBytes),
 			fmt.Sprintf("%.1fx", r.BytesReduction),
 			fmt.Sprintf("%.0f MiB/s", r.EncodeMBps),
-			metrics.HumanBytes(r.PeakBufferedBytes))
+			metrics.HumanBytes(r.PeakBufferedBytes),
+			r.ScSuspend, r.PrecopySuspend,
+			fmt.Sprintf("%.1fx", r.SuspendReduction),
+			r.PrecopyRounds)
 	}
 	return t.String()
 }

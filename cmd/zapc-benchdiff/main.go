@@ -3,7 +3,8 @@
 // appended by `zapc-bench -fig ckpt`) and compares the newest record
 // against the one before it, exiting non-zero when the parallel
 // encoder's host throughput dropped — or the streaming serializer's
-// peak buffering grew — by more than the tolerance.
+// peak buffering, or the pre-copy suspension window, grew — by more
+// than the tolerance.
 //
 // Usage:
 //
@@ -51,13 +52,17 @@ func main() {
 	if err := zapc.CompareBenchSchema(prev, cur); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("zapc-benchdiff: %s: encode %.1f -> %.1f MiB/s, sim-speedup %.2fx -> %.2fx, delta reduction %.1fx -> %.1fx, peak buffered %d -> %d B\n",
+	fmt.Printf("zapc-benchdiff: %s: encode %.1f -> %.1f MiB/s, sim-speedup %.2fx -> %.2fx, delta reduction %.1fx -> %.1fx, peak buffered %d -> %d B, suspend %.0f -> %.0f us\n",
 		file, prev.EncodeMBps, cur.EncodeMBps, prev.SimSpeedup, cur.SimSpeedup,
-		prev.BytesReduction, cur.BytesReduction, prev.PeakBufferedBytes, cur.PeakBufferedBytes)
+		prev.BytesReduction, cur.BytesReduction, prev.PeakBufferedBytes, cur.PeakBufferedBytes,
+		prev.SuspendUs, cur.SuspendUs)
 	if err := zapc.CompareBenchThroughput(prev, cur, *tol); err != nil {
 		fatal(err)
 	}
 	if err := zapc.CompareBenchPeakBuffered(prev, cur, *tol); err != nil {
+		fatal(err)
+	}
+	if err := zapc.CompareBenchSuspend(prev, cur, *tol); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("zapc-benchdiff: within %.0f%% tolerance\n", *tol)

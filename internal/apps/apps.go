@@ -85,6 +85,8 @@ func BallastBytes(app string, size int, scale float64) int64 {
 		bytes = 16*float64(1<<20) + 129*float64(1<<20)/n
 	case "povray":
 		bytes = 10 * float64(1<<20)
+	case "churn":
+		bytes = 4 * float64(1<<20) // static ballast; the hot set is separate
 	default:
 		bytes = float64(1 << 20)
 	}
@@ -154,6 +156,9 @@ const (
 	KindBT     = "apps.bt"
 	KindBratu  = "apps.bratu"
 	KindPovray = "apps.povray"
+	// KindChurn is the synthetic write-heavy workload (not one of the
+	// paper's four apps; used to exercise pre-copy budget termination).
+	KindChurn = "apps.churn"
 )
 
 func init() {
@@ -161,6 +166,7 @@ func init() {
 	ckpt.Register(KindBT, func() vos.Program { return &BT{} })
 	ckpt.Register(KindBratu, func() vos.Program { return &Bratu{} })
 	ckpt.Register(KindPovray, func() vos.Program { return &Povray{} })
+	ckpt.Register(KindChurn, func() vos.Program { return &Churn{} })
 	ckpt.Register("mpi.daemon", func() vos.Program { return &mpi.Daemon{} })
 }
 
@@ -178,6 +184,8 @@ func NewByName(name string, cfg Config) vos.Program {
 		return NewBratu(cfg)
 	case "povray":
 		return NewPovray(cfg)
+	case "churn":
+		return NewChurn(cfg)
 	default:
 		return nil
 	}

@@ -459,57 +459,25 @@ func (pn *Pending) Commit() {
 	}
 }
 
-// Capture checkpoints the frozen pod and builds either a full record
-// (full=true, or no base exists) or a delta record against the last
-// committed generation, using the worker pool for serialization.
-func (t *Tracker) Capture(p *pod.Pod, workers int, full bool) (*Pending, error) {
-	img, err := CheckpointPodWith(p, workers)
-	if err != nil {
-		return nil, err
-	}
-	// Snapshot the dirty watermarks and program fingerprints at capture
-	// time (the pod is frozen, so these are the watermarks of exactly
-	// the state in img).
-	marks := make(map[vos.PID]uint64)
-	for _, proc := range p.Procs() {
-		marks[proc.VPID] = proc.MemClock()
-	}
-	lastProg := make(map[vos.PID][]byte, len(img.Procs))
-	for _, pi := range img.Procs {
-		lastProg[pi.VPID] = pi.ProgData
-	}
-	if full || t.last == nil {
-		return &Pending{
-			Image: img,
-			commit: func(sum uint32) {
-				t.seq = 0
-				t.sinceFull = 0
-				t.marks = marks
-				t.lastProg = lastProg
-				t.last = img
-				t.lastSum = sum
-			},
-		}, nil
-	}
+// buildDelta diffs a freshly captured image against the previous
+// generation's materialized image and emits the delta record: every
+// process appears (carrying its complete FD table and, when changed, its
+// program state), but only the regions whose write watermark or bytes
+// changed are included. Shared by the incremental Tracker and the
+// pre-copy rounds so both paths emit byte-identical record shapes.
+func buildDelta(img, last *Image, lastProg map[vos.PID][]byte,
+	dirtyNames map[vos.PID]map[string]bool, seq uint64, parentSum uint32) *DeltaImage {
 	d := &DeltaImage{
 		PodName:     img.PodName,
 		VIP:         img.VIP,
 		VirtualTime: img.VirtualTime,
-		Seq:         t.seq + 1,
-		ParentSum:   t.lastSum,
+		Seq:         seq,
+		ParentSum:   parentSum,
 		Net:         img.Net,
 	}
-	prev := make(map[vos.PID]*ProcImage, len(t.last.Procs))
-	for i := range t.last.Procs {
-		prev[t.last.Procs[i].VPID] = &t.last.Procs[i]
-	}
-	dirtyNames := make(map[vos.PID]map[string]bool)
-	for _, proc := range p.Procs() {
-		names := make(map[string]bool)
-		for _, r := range proc.DirtyRegions(t.marks[proc.VPID]) {
-			names[r.Name] = true
-		}
-		dirtyNames[proc.VPID] = names
+	prev := make(map[vos.PID]*ProcImage, len(last.Procs))
+	for i := range last.Procs {
+		prev[last.Procs[i].VPID] = &last.Procs[i]
 	}
 	for _, pi := range img.Procs {
 		old := prev[pi.VPID]
@@ -524,7 +492,7 @@ func (t *Tracker) Capture(p *pod.Pod, workers int, full bool) (*Pending, error) 
 			pd.ProgData = pi.ProgData
 			pd.Regions = pi.Regions
 		} else {
-			if !bytes.Equal(t.lastProg[pi.VPID], pi.ProgData) {
+			if !bytes.Equal(lastProg[pi.VPID], pi.ProgData) {
 				pd.ProgChanged = true
 				pd.ProgData = pi.ProgData
 			}
@@ -561,11 +529,55 @@ func (t *Tracker) Capture(p *pod.Pod, workers int, full bool) (*Pending, error) 
 	for _, pi := range img.Procs {
 		cur[pi.VPID] = true
 	}
-	for _, bp := range t.last.Procs {
+	for _, bp := range last.Procs {
 		if !cur[bp.VPID] {
 			d.RemovedProcs = append(d.RemovedProcs, bp.VPID)
 		}
 	}
+	return d
+}
+
+// Capture checkpoints the frozen pod and builds either a full record
+// (full=true, or no base exists) or a delta record against the last
+// committed generation, using the worker pool for serialization.
+func (t *Tracker) Capture(p *pod.Pod, workers int, full bool) (*Pending, error) {
+	img, err := CheckpointPodWith(p, workers)
+	if err != nil {
+		return nil, err
+	}
+	// Snapshot the dirty watermarks and program fingerprints at capture
+	// time (the pod is frozen, so these are the watermarks of exactly
+	// the state in img).
+	marks := make(map[vos.PID]uint64)
+	for _, proc := range p.Procs() {
+		marks[proc.VPID] = proc.MemClock()
+	}
+	lastProg := make(map[vos.PID][]byte, len(img.Procs))
+	for _, pi := range img.Procs {
+		lastProg[pi.VPID] = pi.ProgData
+	}
+	if full || t.last == nil {
+		return &Pending{
+			Image: img,
+			commit: func(sum uint32) {
+				t.seq = 0
+				t.sinceFull = 0
+				t.marks = marks
+				t.lastProg = lastProg
+				t.last = img
+				t.lastSum = sum
+			},
+		}, nil
+	}
+	dirtyNames := make(map[vos.PID]map[string]bool)
+	for _, proc := range p.Procs() {
+		names := make(map[string]bool)
+		for _, r := range proc.DirtyRegions(t.marks[proc.VPID]) {
+			names[r.Name] = true
+		}
+		dirtyNames[proc.VPID] = names
+	}
+	d := buildDelta(img, t.last, t.lastProg, dirtyNames, t.seq+1, t.lastSum)
 	return &Pending{
 		Image: img,
 		Delta: d,

@@ -151,6 +151,71 @@ type Options struct {
 	// cadence. Tracker state commits only when the whole coordinated
 	// operation succeeds, so aborted operations never advance a chain.
 	Incr *ckpt.IncrSet
+	// Precopy, when non-nil, switches the checkpoint to iterative
+	// pre-copy mode: agents snapshot and stream all memory while the pod
+	// keeps running, loop re-copying only regions dirtied since the
+	// previous round until the dirty set converges (or a budget is hit),
+	// and quiesce only for the residual dirty set plus network state —
+	// so the suspend window is O(residual + sockets), not O(image).
+	// Mutually exclusive with Incr: a pre-copy generation is already a
+	// self-contained base+delta chain.
+	Precopy *PrecopyOptions
+}
+
+// Pre-copy defaults: the round budget keeps a non-converging writer from
+// looping forever, and the convergence threshold is roughly what one
+// residual round costs against model memory bandwidth.
+const (
+	DefaultPrecopyMaxRounds     = 8
+	DefaultPrecopyConvergeBytes = 64 << 10
+)
+
+// PrecopyOptions tunes the iterative pre-copy loop.
+type PrecopyOptions struct {
+	// MaxRounds bounds the live copy rounds, the base snapshot included.
+	// When the dirty set has not converged after this many rounds the
+	// agent quiesces anyway and stop-and-copies the remainder. Zero
+	// selects DefaultPrecopyMaxRounds.
+	MaxRounds int
+	// ConvergeBytes is the convergence threshold: once the dirty set
+	// accumulated during a round is at most this many bytes, another
+	// round is not worth its overhead and the agent quiesces. Zero
+	// selects DefaultPrecopyConvergeBytes.
+	ConvergeBytes int64
+	// MaxResentBytes caps the total bytes re-copied by rounds after the
+	// base snapshot — a bandwidth budget for write-heavy applications
+	// whose dirty rate outruns convergence. Zero means unlimited.
+	MaxResentBytes int64
+}
+
+func (o *PrecopyOptions) maxRounds() int {
+	if o.MaxRounds <= 0 {
+		return DefaultPrecopyMaxRounds
+	}
+	return o.MaxRounds
+}
+
+func (o *PrecopyOptions) convergeBytes() int64 {
+	if o.ConvergeBytes <= 0 {
+		return DefaultPrecopyConvergeBytes
+	}
+	return o.ConvergeBytes
+}
+
+// precopyRoundFixed and precopyResidualFixed read the cost model with
+// fallbacks so custom Costs predating the pre-copy fields keep working.
+func precopyRoundFixed(c sim.Costs) sim.Duration {
+	if c.PrecopyRoundFixed > 0 {
+		return c.PrecopyRoundFixed
+	}
+	return c.CheckpointFixed / 25
+}
+
+func precopyResidualFixed(c sim.Costs) sim.Duration {
+	if c.PrecopyResidualFixed > 0 {
+		return c.PrecopyResidualFixed
+	}
+	return c.CheckpointFixed / 10
 }
 
 // effWorkers resolves the Options.Workers convention.
@@ -195,6 +260,17 @@ type AgentStats struct {
 	PeakBuffered int64
 	// Incremental marks a delta generation.
 	Incremental bool
+	// SuspendWindow is the application downtime this checkpoint caused:
+	// SIGSTOP to resume (Snapshot) or teardown (Migrate). For
+	// stop-and-copy it covers the whole serialization; for pre-copy only
+	// the residual capture — the paper's headline metric.
+	SuspendWindow sim.Duration
+	// PrecopyRounds counts the live copy rounds (base included) of a
+	// pre-copy generation; zero for stop-and-copy.
+	PrecopyRounds int
+	// PrecopyResentBytes totals the bytes re-copied by live rounds after
+	// the base snapshot.
+	PrecopyResentBytes int64
 }
 
 // CheckpointStats aggregates a coordinated checkpoint.
@@ -209,6 +285,18 @@ func (s *CheckpointStats) MaxNetCkpt() sim.Duration {
 	for _, a := range s.Agents {
 		if a.NetCkpt > m {
 			m = a.NetCkpt
+		}
+	}
+	return m
+}
+
+// MaxSuspendWindow returns the longest per-agent application downtime —
+// the figure pre-copy mode exists to shrink.
+func (s *CheckpointStats) MaxSuspendWindow() sim.Duration {
+	var m sim.Duration
+	for _, a := range s.Agents {
+		if a.SuspendWindow > m {
+			m = a.SuspendWindow
 		}
 	}
 	return m
@@ -351,6 +439,10 @@ func (m *Manager) Checkpoint(pods []*pod.Pod, opts Options, onDone func(*Checkpo
 		onDone(&CheckpointResult{Err: errors.New("core: no pods to checkpoint")})
 		return
 	}
+	if opts.Precopy != nil && opts.Incr != nil {
+		onDone(&CheckpointResult{Err: errors.New("core: Precopy and Incr are mutually exclusive (a pre-copy generation is already a chain)")})
+		return
+	}
 	op := &ckptOp{
 		m:      m,
 		opts:   opts,
@@ -380,7 +472,8 @@ func (m *Manager) Checkpoint(pods []*pod.Pod, opts Options, onDone func(*Checkpo
 	}
 	op.span = m.tr.Start(nil, "ckpt/coordinated", trace.Track("manager"),
 		trace.I64("pods", int64(len(pods))), trace.Str("mode", mode),
-		trace.I64("incremental", b2i(opts.Incr != nil)))
+		trace.I64("incremental", b2i(opts.Incr != nil)),
+		trace.I64("precopy", b2i(opts.Precopy != nil)))
 	m.notify(PhaseCheckpointStart)
 	// Step M1: broadcast 'checkpoint' to all agents.
 	for _, a := range op.agents {
@@ -396,6 +489,8 @@ type ckptOp struct {
 	agents   []*ckptAgent
 	metas    int
 	dones    int
+	readies  int // pre-copy agents whose live iteration has converged
+	stopSent bool
 	contSent bool
 	aborted  bool
 	watchdog sim.EventID
@@ -413,23 +508,31 @@ func b2i(b bool) int64 {
 }
 
 type ckptAgent struct {
-	op        *ckptOp
-	pod       *pod.Pod
-	began     sim.Time
-	suspend   sim.Duration
-	netTime   sim.Duration
-	saTime    sim.Duration
-	img       *ckpt.Image
-	pend      *ckpt.Pending    // incremental mode only; committed on success
-	stats     ckpt.StreamStats // size/peak/checksum of the serialized record
-	netBytes  int64
-	queueLen  int64
-	saDone    bool
-	contRecvd bool
-	finished  bool
-	span      *trace.Span // ckpt/agent, open from suspend to done-report
-	qSpan     *trace.Span // ckpt/quiesce
-	saSpan    *trace.Span // ckpt/serialize
+	op          *ckptOp
+	pod         *pod.Pod
+	began       sim.Time
+	suspendedAt sim.Time     // when the pod was SIGSTOPped (== began for stop-and-copy)
+	suspend     sim.Duration // SIGSTOP -> quiescent
+	window      sim.Duration // SIGSTOP -> resume/teardown (application downtime)
+	netTime     sim.Duration
+	saTime      sim.Duration
+	img         *ckpt.Image
+	pend        *ckpt.Pending    // incremental mode only; committed on success
+	pre         *ckpt.Precopy    // pre-copy mode only
+	preResent   int64            // bytes re-copied by live rounds after the base
+	preRounds   int              // live rounds taken (base included)
+	stats       ckpt.StreamStats // size/peak/checksum of the serialized record
+	netBytes    int64
+	queueLen    int64
+	repolls     int64        // quiescence re-polls (exponential backoff)
+	backoff     sim.Duration // current quiescence re-poll interval
+	saDone      bool
+	contRecvd   bool
+	finished    bool
+	span        *trace.Span // ckpt/agent, open from suspend to done-report
+	preSpan     *trace.Span // ckpt/precopy, open across the live rounds
+	qSpan       *trace.Span // ckpt/quiesce
+	saSpan      *trace.Span // ckpt/serialize
 }
 
 func (op *ckptOp) abort(err error) {
@@ -466,18 +569,32 @@ func (op *ckptOp) checkFailure() bool {
 	return false
 }
 
-// start is agent step 1: suspend the pod and block its network.
+// start is agent step 1. In stop-and-copy mode the pod is suspended and
+// its network blocked immediately; in pre-copy mode the agent first runs
+// the live copy rounds and quiesces only once the dirty set converged or
+// a budget was hit.
 func (a *ckptAgent) start() {
 	if a.op.aborted || a.op.checkFailure() {
 		return
 	}
 	a.began = a.op.m.w.Now()
+	a.span = a.op.m.tr.Start(a.op.span, "ckpt/agent", trace.Track(a.pod.Name()))
+	if a.op.opts.Precopy != nil {
+		a.precopyBase()
+		return
+	}
+	a.quiesce()
+}
+
+// quiesce suspends the pod and blocks its network — the start of the
+// application's downtime window in either mode.
+func (a *ckptAgent) quiesce() {
 	costs := a.op.m.w.Costs
 	procs := a.pod.Procs()
-	a.span = a.op.m.tr.Start(a.op.span, "ckpt/agent", trace.Track(a.pod.Name()))
 	a.qSpan = a.op.m.tr.Start(a.span, "ckpt/quiesce",
 		trace.I64("procs", int64(len(procs))),
 		trace.I64("sockets", int64(len(a.pod.Stack().Sockets()))))
+	a.suspendedAt = a.op.m.w.Now()
 	a.pod.Suspend()
 	a.pod.BlockNetwork()
 	cost := costs.SignalDeliver*sim.Duration(len(procs)) +
@@ -485,17 +602,189 @@ func (a *ckptAgent) start() {
 	a.op.m.w.After(cost, a.waitQuiescent)
 }
 
+// waitQuiescent re-polls until every process parked at a step boundary.
+// The re-poll interval starts at 200µs and doubles each round, capped at
+// the operation watchdog timeout, so a pod wedged by an injected fault
+// costs O(log) events rather than an unbounded 200µs spin.
 func (a *ckptAgent) waitQuiescent() {
 	if a.op.aborted || a.op.checkFailure() {
 		return
 	}
 	if !a.pod.Quiescent() {
-		a.op.m.w.After(200*sim.Microsecond, a.waitQuiescent)
+		a.repolls++
+		a.op.m.reg.Counter("ckpt_quiesce_repolls_total").Add(1)
+		d := a.backoff
+		if d <= 0 {
+			d = 200 * sim.Microsecond
+		}
+		maxWait := a.op.opts.Timeout
+		if maxWait <= 0 {
+			maxWait = DefaultCheckpointTimeout
+		}
+		if d > maxWait {
+			d = maxWait
+		}
+		a.backoff = 2 * d
+		a.op.m.w.After(d, a.waitQuiescent)
 		return
 	}
-	a.suspend = sim.Duration(a.op.m.w.Now() - a.began)
-	a.qSpan.End()
+	a.suspend = sim.Duration(a.op.m.w.Now() - a.suspendedAt)
+	a.qSpan.End(trace.I64("repolls", a.repolls))
 	a.netCheckpoint()
+}
+
+// precopyBase is pre-copy round 1: snapshot the full memory of the
+// still-running pod at a watermark and stream it out. The serialization
+// cost is charged while the application keeps executing — writes that
+// land during the copy dirty their regions past the watermark and are
+// picked up by the next round.
+func (a *ckptAgent) precopyBase() {
+	w := a.op.m.w
+	costs := w.Costs
+	popts := a.op.opts.Precopy
+	workers := effWorkers(a.op.opts.Workers)
+	a.preSpan = a.op.m.tr.Start(a.span, "ckpt/precopy",
+		trace.I64("max_rounds", int64(popts.maxRounds())),
+		trace.I64("converge_bytes", popts.convergeBytes()))
+	pre, rec, err := ckpt.BeginPrecopy(a.pod, workers)
+	if err != nil {
+		a.op.abort(err)
+		return
+	}
+	a.pre = pre
+	roundStart := w.Now()
+	bytes := costs.EffImageBytes(rec.Stats().Bytes)
+	cost := w.Jitter(costs.CheckpointFixed, 0.25) +
+		costs.MemCopyTime(bytes)/parSpeedup(workers, len(rec.Image.Procs))
+	w.After(cost, func() { a.precopyRoundDone(rec, roundStart, 0) })
+}
+
+// precopyRoundDone closes out one live round: emit its span, flush its
+// record to the store, and either run another round or quiesce,
+// depending on the dirty set against the convergence rule and budgets.
+func (a *ckptAgent) precopyRoundDone(rec *ckpt.PrecopyRecord, roundStart sim.Time, resent int64) {
+	if a.op.aborted || a.op.checkFailure() {
+		return
+	}
+	w := a.op.m.w
+	round := a.pre.Rounds()
+	a.preRounds = round
+	a.op.m.tr.SpanBetween(a.preSpan, fmt.Sprintf("ckpt/precopy/round-%d", round),
+		int64(roundStart), int64(w.Now()),
+		trace.I64("bytes", rec.Stats().Bytes),
+		trace.I64("resent_bytes", resent))
+	a.op.m.reg.Counter("ckpt_encode_bytes_total").Add(rec.Stats().Bytes)
+	a.op.m.reg.Gauge("store_peak_buffered_bytes").SetMax(rec.Stats().Peak)
+	if err := a.flushPrecopyRecord(rec, round); err != nil {
+		a.op.abort(err)
+		return
+	}
+	popts := a.op.opts.Precopy
+	dirty := a.pre.DirtyBytes()
+	reason := ""
+	switch {
+	case dirty <= popts.convergeBytes():
+		reason = "converged"
+	case round >= popts.maxRounds():
+		reason = "round-budget"
+	case popts.MaxResentBytes > 0 && a.preResent >= popts.MaxResentBytes:
+		reason = "byte-budget"
+	}
+	if reason == "" {
+		a.precopyRound()
+		return
+	}
+	// Stop iterating: record why on the timeline, close the live phase,
+	// and report 'ready' to the manager. The pod keeps RUNNING until
+	// every agent has converged and the manager broadcasts the quiesce —
+	// without this barrier the fastest pod would sit suspended waiting
+	// for the slowest agent's rounds, putting the stagger between agents
+	// back into the downtime window.
+	a.op.m.tr.Instant(a.preSpan, "ckpt/precopy/stop",
+		trace.Str("reason", reason),
+		trace.I64("dirty_bytes", dirty),
+		trace.I64("rounds", int64(round)))
+	a.preSpan.End(trace.I64("rounds", int64(round)),
+		trace.I64("resent_bytes", a.preResent))
+	a.op.m.ctrl(func() { a.op.readyArrived() })
+}
+
+// readyArrived is the pre-copy synchronization point: once every agent's
+// live iteration has converged (or hit its budget), the manager
+// broadcasts a simultaneous quiesce. State dirtied while waiting at the
+// barrier is simply part of the residual the final capture picks up.
+func (op *ckptOp) readyArrived() {
+	if op.aborted {
+		return
+	}
+	op.readies++
+	if op.readies < len(op.agents) || op.stopSent {
+		return
+	}
+	op.stopSent = true
+	op.m.tr.Instant(op.span, "ckpt/precopy/sync", trace.I64("agents", int64(len(op.agents))))
+	for _, a := range op.agents {
+		a := a
+		op.m.ctrl(func() {
+			if op.aborted || op.checkFailure() {
+				return
+			}
+			a.quiesce()
+		})
+	}
+}
+
+// precopyRound runs one more live round: re-snapshot, diff against the
+// previous round's watermark, and stream only the dirtied state.
+func (a *ckptAgent) precopyRound() {
+	w := a.op.m.w
+	costs := w.Costs
+	workers := effWorkers(a.op.opts.Workers)
+	rec, err := a.pre.Round()
+	if err != nil {
+		a.op.abort(err)
+		return
+	}
+	resent := rec.Stats().Bytes
+	a.preResent += resent
+	roundStart := w.Now()
+	bytes := costs.EffImageBytes(resent)
+	cost := w.Jitter(precopyRoundFixed(costs), 0.25) +
+		costs.MemCopyTime(bytes)/parSpeedup(workers, len(a.pod.Procs()))
+	w.After(cost, func() { a.precopyRoundDone(rec, roundStart, resent) })
+}
+
+// flushPrecopyRecord streams one live round into the manager's store as
+// it completes — the base as <pod>.img, round N as <pod>.rNN.delta — so
+// by quiesce time everything but the residual is already durable. No-op
+// when the checkpoint does not flush.
+func (a *ckptAgent) flushPrecopyRecord(rec *ckpt.PrecopyRecord, round int) error {
+	if a.op.opts.FlushTo == "" {
+		return nil
+	}
+	var path string
+	if rec.Image != nil {
+		path = fmt.Sprintf("%s/%s.img", a.op.opts.FlushTo, a.pod.Name())
+	} else {
+		path = fmt.Sprintf("%s/%s.r%02d.delta", a.op.opts.FlushTo, a.pod.Name(), round-1)
+	}
+	fSpan := a.op.m.tr.Start(a.preSpan, "store/flush",
+		trace.Track(a.pod.Name()), trace.Str("path", path))
+	wc, err := a.op.m.store.Create(path)
+	if err == nil {
+		if _, serr := rec.Stream(wc); serr != nil {
+			wc.Close()
+			err = serr
+		} else {
+			err = wc.Close()
+		}
+	}
+	if err != nil {
+		fSpan.End(trace.Str("err", err.Error()))
+		return err
+	}
+	fSpan.End(trace.I64("bytes", rec.Stats().Bytes))
+	return nil
 }
 
 // netCheckpoint is agent step 2: take the network-state checkpoint, then
@@ -538,7 +827,10 @@ func (a *ckptAgent) netCheckpoint() {
 }
 
 // standalone is agent step 3: the standalone pod checkpoint, overlapped
-// with the manager synchronization.
+// with the manager synchronization. In pre-copy mode only the residual
+// dirty set is captured here — the bulk of the image already streamed
+// out during the live rounds — so this, the dominant term of the suspend
+// window, shrinks from O(image) to O(final dirty set).
 func (a *ckptAgent) standalone() {
 	if a.op.aborted || a.op.checkFailure() {
 		return
@@ -546,6 +838,34 @@ func (a *ckptAgent) standalone() {
 	w := a.op.m.w
 	costs := w.Costs
 	workers := effWorkers(a.op.opts.Workers)
+	if a.pre != nil {
+		rec, err := a.pre.Finalize()
+		if err != nil {
+			a.op.abort(err)
+			return
+		}
+		a.img = a.pre.FinalImage()
+		a.stats = rec.Stats()
+		a.saSpan = a.op.m.tr.Start(a.span, "ckpt/serialize",
+			trace.I64("workers", int64(workers)),
+			trace.I64("precopy_residual", 1))
+		bytes := costs.EffImageBytes(a.stats.Bytes)
+		cost := w.Jitter(precopyResidualFixed(costs), 0.25) +
+			costs.MemCopyTime(bytes)/parSpeedup(workers, len(a.img.Procs))
+		w.After(cost, func() {
+			if a.op.aborted {
+				return
+			}
+			a.saTime = cost
+			a.saDone = true
+			a.saSpan.End(trace.I64("wire_bytes", a.stats.Bytes),
+				trace.I64("peak_buffered", a.stats.Peak))
+			a.op.m.reg.Counter("ckpt_encode_bytes_total").Add(a.stats.Bytes)
+			a.op.m.reg.Gauge("store_peak_buffered_bytes").SetMax(a.stats.Peak)
+			a.maybeFinish()
+		})
+		return
+	}
 	var img *ckpt.Image
 	if a.op.opts.Incr != nil {
 		pend, err := a.op.opts.Incr.Capture(a.pod, workers)
@@ -699,17 +1019,20 @@ func (a *ckptAgent) maybeFinish() {
 		// pod is still suspended at this point.
 		a.op.result.FSSnapshot = a.op.m.fs.Snapshot()
 	}
+	// The downtime window closes here: the pod resumes (or is torn
+	// down) at the current instant in either mode.
+	a.window = sim.Duration(w.Now() - a.suspendedAt)
 	var cost sim.Duration
 	switch a.op.opts.Mode {
 	case Snapshot:
 		a.pod.UnblockNetwork()
 		a.pod.Resume()
 		cost = costs.FilterRule + costs.SignalDeliver*sim.Duration(len(a.pod.Procs()))
-		a.op.m.tr.Instant(a.span, "ckpt/resume")
+		a.op.m.tr.Instant(a.span, "ckpt/resume", trace.I64("suspend_window_ns", int64(a.window)))
 	case Migrate:
 		a.pod.Destroy()
 		cost = sim.Millisecond
-		a.op.m.tr.Instant(a.span, "ckpt/teardown")
+		a.op.m.tr.Instant(a.span, "ckpt/teardown", trace.I64("suspend_window_ns", int64(a.window)))
 	}
 	// 4: report 'done'.
 	a.op.m.ctrlAfter(cost, func() { a.op.doneArrived(a) })
@@ -732,18 +1055,25 @@ func (op *ckptOp) doneArrived(a *ckptAgent) {
 		trace.I64("wire_bytes", a.stats.Bytes))
 	op.m.reg.Histogram("ckpt_agent_total_ns").Observe(int64(total))
 	op.result.Stats.Agents = append(op.result.Stats.Agents, AgentStats{
-		Pod:          a.pod.Name(),
-		Suspend:      a.suspend,
-		NetCkpt:      a.netTime,
-		Standalone:   a.saTime,
-		Total:        total,
-		ImageBytes:   a.img.Bytes(),
-		NetBytes:     a.netBytes,
-		NetQueueLen:  a.queueLen,
-		WireBytes:    a.stats.Bytes,
-		PeakBuffered: a.stats.Peak,
-		Incremental:  a.pend != nil && !a.pend.Full(),
+		Pod:                a.pod.Name(),
+		Suspend:            a.suspend,
+		NetCkpt:            a.netTime,
+		Standalone:         a.saTime,
+		Total:              total,
+		ImageBytes:         a.img.Bytes(),
+		NetBytes:           a.netBytes,
+		NetQueueLen:        a.queueLen,
+		WireBytes:          a.stats.Bytes,
+		PeakBuffered:       a.stats.Peak,
+		Incremental:        a.pend != nil && !a.pend.Full(),
+		SuspendWindow:      a.window,
+		PrecopyRounds:      a.preRounds,
+		PrecopyResentBytes: a.preResent,
 	})
+	if a.pre != nil {
+		op.m.reg.Counter("ckpt_precopy_rounds_total").Add(int64(a.preRounds))
+		op.m.reg.Counter("ckpt_precopy_resent_bytes_total").Add(a.preResent)
+	}
 	op.result.Images[a.img.VIP] = a.img
 	op.dones++
 	if op.dones < len(op.agents) {
@@ -769,11 +1099,14 @@ func (op *ckptOp) doneArrived(a *ckptAgent) {
 	if op.opts.FlushTo != "" {
 		// Flush after resume; charged to the SAN, not to checkpoint time.
 		// Full generations write <pod>.img, deltas write <pod>.delta.
-		// Records stream chunk by chunk into the manager's store — at no
-		// point does a flushed record exist as one contiguous buffer.
+		// Pre-copy agents flushed their base (<pod>.img) and round
+		// records (<pod>.rNN.delta) live; only the residual (<pod>.delta)
+		// lands here. Records stream chunk by chunk into the manager's
+		// store — at no point does a flushed record exist as one
+		// contiguous buffer.
 		for _, ag := range op.agents {
 			ext := "img"
-			if ag.pend != nil && !ag.pend.Full() {
+			if (ag.pend != nil && !ag.pend.Full()) || ag.pre != nil {
 				ext = "delta"
 			}
 			path := fmt.Sprintf("%s/%s.%s", op.opts.FlushTo, ag.img.PodName, ext)
@@ -800,9 +1133,13 @@ func (op *ckptOp) flushRecord(path string, ag *ckptAgent) error {
 	if err != nil {
 		return err
 	}
-	if ag.pend != nil {
+	switch {
+	case ag.pre != nil:
+		recs := ag.pre.Records()
+		_, err = recs[len(recs)-1].Stream(wc)
+	case ag.pend != nil:
 		_, err = ag.pend.Stream(wc)
-	} else {
+	default:
 		_, err = ag.img.EncodeStream(wc)
 	}
 	if err != nil {

@@ -53,6 +53,20 @@ type CkptBenchRecord struct {
 	// guards it against regression alongside throughput. Zero in
 	// records written before the field existed.
 	PeakBufferedBytes int64 `json:"peak_buffered_bytes,omitempty"`
+	// SuspendUs is the modeled pod-suspension window of a pre-copy
+	// checkpoint (simulated microseconds, worst pod): SIGSTOP to resume,
+	// covering only the residual dirty set plus network state.
+	// ScSuspendUs is the stop-and-copy suspension window at the same
+	// image size — the baseline the pre-copy window is measured against.
+	// Zero in records written before the fields existed.
+	SuspendUs   float64 `json:"suspend_us,omitempty"`
+	ScSuspendUs float64 `json:"sc_suspend_us,omitempty"`
+	// PrecopyRounds and PrecopyResentBytes describe the live iteration
+	// that bought the short window: how many copy rounds ran before
+	// convergence (base included) and how many extra bytes the re-copies
+	// cost over a single full image.
+	PrecopyRounds      int   `json:"precopy_rounds,omitempty"`
+	PrecopyResentBytes int64 `json:"precopy_resent_bytes,omitempty"`
 	// WallNs is the host wall-clock time of the whole benchmark run.
 	WallNs int64 `json:"wall_ns"`
 }
@@ -107,6 +121,24 @@ func CompareThroughput(prev, cur CkptBenchRecord, tolPct float64) error {
 	if drop > tolPct {
 		return fmt.Errorf("encode throughput regressed %.1f%% (%.1f -> %.1f MiB/s, tolerance %.0f%%)",
 			drop, prev.EncodeMBps, cur.EncodeMBps, tolPct)
+	}
+	return nil
+}
+
+// CompareSuspend checks cur against prev and returns an error when the
+// pre-copy suspension window grew by more than tolPct percent — the
+// regression that would mean the quiesce window is sliding back toward
+// O(image). Records from before the field existed (prev <= 0) compare
+// clean.
+func CompareSuspend(prev, cur CkptBenchRecord, tolPct float64) error {
+	if prev.SuspendUs <= 0 {
+		return nil // nothing to compare against
+	}
+	limit := prev.SuspendUs * (1 + tolPct/100)
+	if cur.SuspendUs > limit {
+		growth := 100 * (cur.SuspendUs - prev.SuspendUs) / prev.SuspendUs
+		return fmt.Errorf("pre-copy suspend window regressed %.1f%% (%.0f -> %.0f us, tolerance %.0f%%)",
+			growth, prev.SuspendUs, cur.SuspendUs, tolPct)
 	}
 	return nil
 }

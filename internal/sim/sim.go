@@ -251,6 +251,16 @@ type Costs struct {
 	// CheckpointFixed is per-agent fixed overhead of a checkpoint
 	// (quiescing the pod, walking kernel tables, writing headers).
 	CheckpointFixed Duration
+	// PrecopyRoundFixed is the fixed overhead of one live pre-copy round
+	// after the base snapshot: re-walking the dirty bitmap and emitting a
+	// delta record header, all while the pod keeps running.
+	PrecopyRoundFixed Duration
+	// PrecopyResidualFixed is the fixed overhead of the quiesced residual
+	// capture that ends a pre-copy checkpoint. It is far smaller than
+	// CheckpointFixed because the kernel-table walk happened during the
+	// live rounds; only the final dirty-set scan and header runs inside
+	// the suspend window.
+	PrecopyResidualFixed Duration
 	// RestartFixed is the per-agent fixed overhead of a restart.
 	RestartFixed Duration
 	// ImageCostScale multiplies checkpoint-image byte counts before they
@@ -286,7 +296,13 @@ func DefaultCosts() Costs {
 		ProcCreate:       900 * Microsecond,
 		PodCreate:        6 * Millisecond,
 		CheckpointFixed:  80 * Millisecond,
-		RestartFixed:     180 * Millisecond,
+		// One dirty-bitmap walk + delta header per live round; the final
+		// residual adds the quiesced scan. Both are an order of magnitude
+		// below CheckpointFixed — that gap is the downtime win pre-copy
+		// buys.
+		PrecopyRoundFixed:    3 * Millisecond,
+		PrecopyResidualFixed: 8 * Millisecond,
+		RestartFixed:         180 * Millisecond,
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"zapc/internal/ckpt"
@@ -96,6 +97,18 @@ type Policy struct {
 	// Workers is the serialization worker-pool width handed to the
 	// coordinated operations (0 = sequential).
 	Workers int
+	// StopAndCopy forces classic stop-and-copy checkpoints. By default
+	// non-incremental periodic checkpoints run in pre-copy mode — the
+	// pods keep executing through the bulk of each serialization and are
+	// only quiesced for the residual dirty set, which is what makes
+	// frequent checkpoints affordable downtime-wise.
+	StopAndCopy bool
+	// PrecopyMaxRounds bounds the live pre-copy rounds per checkpoint
+	// (0 selects core.DefaultPrecopyMaxRounds).
+	PrecopyMaxRounds int
+	// PrecopyConvergeBytes is the pre-copy convergence threshold
+	// (0 selects core.DefaultPrecopyConvergeBytes).
+	PrecopyConvergeBytes int64
 }
 
 func (p Policy) withDefaults() Policy {
@@ -542,6 +555,15 @@ func (s *Supervisor) checkpointAttempt() {
 		Workers: s.pol.Workers,
 		Incr:    s.incr,
 	}
+	if s.incr == nil && !s.pol.StopAndCopy {
+		// Periodic non-incremental checkpoints default to pre-copy: the
+		// application keeps running through the bulk of the serialization
+		// and only the residual dirty set is captured quiesced.
+		opts.Precopy = &core.PrecopyOptions{
+			MaxRounds:     s.pol.PrecopyMaxRounds,
+			ConvergeBytes: s.pol.PrecopyConvergeBytes,
+		}
+	}
 	s.t.Mgr.Checkpoint(s.t.Pods(), opts, func(res *core.CheckpointResult) {
 		s.ckptDone(dir, res)
 	})
@@ -702,11 +724,54 @@ func (s *Supervisor) gc() {
 	}
 }
 
-// podOf extracts the pod name from a generation record path.
+// podOf extracts the pod name from a generation record path. Pre-copy
+// generations name their round deltas <pod>.rNN.delta; the round suffix
+// is stripped along with the extension.
 func podOf(f string) string {
 	base := f[strings.LastIndex(f, "/")+1:]
 	base = strings.TrimSuffix(base, ".img")
-	return strings.TrimSuffix(base, ".delta")
+	base = strings.TrimSuffix(base, ".delta")
+	if i := strings.LastIndex(base, ".r"); i >= 0 {
+		if _, err := strconv.Atoi(base[i+2:]); err == nil && len(base) > i+2 {
+			base = base[:i]
+		}
+	}
+	return base
+}
+
+// chainRank orders one pod's records within a generation for chain
+// reconstruction: the full image first, then pre-copy round deltas by
+// round number, then the residual delta. Lexicographic store order is
+// NOT restore order ("p.delta" < "p.img" < "p.r01.delta"), so the
+// ordering must be explicit.
+func chainRank(f string) int {
+	base := f[strings.LastIndex(f, "/")+1:]
+	if strings.HasSuffix(base, ".img") {
+		return 0
+	}
+	trimmed := strings.TrimSuffix(base, ".delta")
+	if i := strings.LastIndex(trimmed, ".r"); i >= 0 {
+		if n, err := strconv.Atoi(trimmed[i+2:]); err == nil {
+			return n
+		}
+	}
+	return 1 << 30 // the residual (plain .delta) closes the chain
+}
+
+// podChains groups one generation directory's files into per-pod record
+// chains in restore order. A stop-and-copy generation yields one-element
+// chains; a pre-copy generation yields base + round deltas + residual.
+func podChains(files []string) map[string][]string {
+	chains := make(map[string][]string)
+	for _, f := range files {
+		name := podOf(f)
+		chains[name] = append(chains[name], f)
+	}
+	for name, fs := range chains {
+		sort.Slice(fs, func(i, j int) bool { return chainRank(fs[i]) < chainRank(fs[j]) })
+		chains[name] = fs
+	}
+	return chains
 }
 
 // chainPaths collects, for the generation at index gi, each pod's
@@ -721,10 +786,7 @@ func (s *Supervisor) chainPaths(gi int) (map[string][]string, error) {
 	if base < 0 {
 		return nil, fmt.Errorf("generation %s: no full base generation retained", s.gens[gi].Dir)
 	}
-	chains := make(map[string][]string)
-	for _, f := range s.t.Store.List(s.gens[base].Dir) {
-		chains[podOf(f)] = []string{f}
-	}
+	chains := podChains(s.t.Store.List(s.gens[base].Dir))
 	for j := base + 1; j <= gi; j++ {
 		for name := range chains {
 			f := fmt.Sprintf("%s/%s.delta", s.gens[j].Dir, name)
@@ -761,47 +823,55 @@ func (s *Supervisor) loadGenerationRecords(gi int) ([]*ckpt.Image, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("generation %s: %w", g.Dir, ErrNoValidCheckpoint)
 	}
-	var images []*ckpt.Image
+	// A Full generation is self-contained: each pod is either a single
+	// .img (stop-and-copy) or a pre-copy chain base+rounds+residual. A
+	// non-Full (incremental) generation chains back through prior
+	// generations via chainPaths.
+	var chains map[string][]string
 	if g.Full {
-		for _, f := range files {
-			rc, err := s.t.Store.Open(f)
+		chains = podChains(files)
+	} else {
+		var err error
+		chains, err = s.chainPaths(gi)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Walk the chains in pod-name order: map iteration order must not
+	// decide which pod's error surfaces first or the order trace
+	// events are emitted in.
+	names := make([]string, 0, len(chains))
+	for name := range chains {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var images []*ckpt.Image
+	for _, name := range names {
+		paths := chains[name]
+		if len(paths) == 1 && strings.HasSuffix(paths[0], ".img") {
+			rc, err := s.t.Store.Open(paths[0])
 			if err != nil {
 				return nil, err
 			}
 			img, err := ckpt.VerifyImageFrom(rc)
 			rc.Close()
 			if err != nil {
-				return nil, fmt.Errorf("pod %s (%s): %w", podOf(f), f, err)
+				return nil, fmt.Errorf("pod %s (%s): %w", name, paths[0], err)
 			}
 			images = append(images, img)
+			continue
 		}
-	} else {
-		chains, err := s.chainPaths(gi)
+		cSpan := s.tr.Start(nil, "supervisor/chain-reconstruct", trace.Track("supervisor"),
+			trace.Str("pod", name), trace.I64("links", int64(len(paths))))
+		img, err := ckpt.ReconstructChainFrom(len(paths), func(i int) (io.ReadCloser, error) {
+			return s.t.Store.Open(paths[i])
+		})
 		if err != nil {
-			return nil, err
+			cSpan.End(trace.Str("err", err.Error()))
+			return nil, fmt.Errorf("pod %s: %w", name, err)
 		}
-		// Walk the chains in pod-name order: map iteration order must not
-		// decide which pod's error surfaces first or the order trace
-		// events are emitted in.
-		names := make([]string, 0, len(chains))
-		for name := range chains {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			paths := chains[name]
-			cSpan := s.tr.Start(nil, "supervisor/chain-reconstruct", trace.Track("supervisor"),
-				trace.Str("pod", name), trace.I64("links", int64(len(paths))))
-			img, err := ckpt.ReconstructChainFrom(len(paths), func(i int) (io.ReadCloser, error) {
-				return s.t.Store.Open(paths[i])
-			})
-			if err != nil {
-				cSpan.End(trace.Str("err", err.Error()))
-				return nil, fmt.Errorf("pod %s: %w", name, err)
-			}
-			cSpan.End(trace.I64("bytes", img.Bytes()))
-			images = append(images, img)
-		}
+		cSpan.End(trace.I64("bytes", img.Bytes()))
+		images = append(images, img)
 	}
 	sort.Slice(images, func(i, j int) bool { return images[i].PodName < images[j].PodName })
 	return images, nil

@@ -4,6 +4,7 @@
 package supervisor_test
 
 import (
+	"strings"
 	"testing"
 
 	"zapc/internal/cluster"
@@ -251,7 +252,7 @@ func TestSupervisorSkipsCorruptGeneration(t *testing.T) {
 // Retain=2 the supervisor keeps at most two generations on the shared
 // FS and collects the rest oldest-first.
 func TestSupervisorRetentionGC(t *testing.T) {
-	spec := cluster.JobSpec{App: "cpi", Endpoints: 4, Work: 0.03, Scale: 0.001}
+	spec := cluster.JobSpec{App: "cpi", Endpoints: 4, Work: 0.1, Scale: 0.001}
 	_, refDur := reference(t, 8, spec)
 
 	c := cluster.New(cluster.Config{Nodes: 4, Seed: 8})
@@ -259,8 +260,10 @@ func TestSupervisorRetentionGC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Pre-copy checkpoints barely delay the job, so the period must be
+	// tight for five generations to land before completion.
 	sup, err := c.Supervise(job, supervisor.Policy{
-		CheckpointEvery: refDur / 12,
+		CheckpointEvery: refDur / 40,
 		Retain:          2,
 	})
 	if err != nil {
@@ -280,13 +283,125 @@ func TestSupervisorRetentionGC(t *testing.T) {
 	if st.GCCollected < 3 {
 		t.Fatalf("GCCollected = %d, want >= 3", st.GCCollected)
 	}
-	// Only the retained generations' files remain on the shared FS.
+	// Only the retained generations' files remain on the shared FS. A
+	// pre-copy generation holds a chain per pod (base image + residual,
+	// plus any round deltas), so count per-pod chains, not files.
 	files := c.FS.List(sup.Policy().Dir)
-	if want := len(gens) * len(job.Pods); len(files) != want {
-		t.Fatalf("%d files under %s, want %d: %v", len(files), sup.Policy().Dir, want, files)
+	if len(files) < len(gens)*len(job.Pods) {
+		t.Fatalf("%d files under %s, want >= %d: %v", len(files), sup.Policy().Dir, len(gens)*len(job.Pods), files)
+	}
+	for _, f := range files {
+		kept := false
+		for _, g := range gens {
+			if strings.HasPrefix(f, g.Dir+"/") {
+				kept = true
+				break
+			}
+		}
+		if !kept {
+			t.Fatalf("file %s survives outside the retained generations %v", f, gens)
+		}
 	}
 	if err := c.Drive(job.Finished, deadline); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSupervisorPrecopyGenerationLayout: periodic checkpoints default
+// to pre-copy, so each pod's generation record is a chain — a base
+// image flushed while the pod ran plus a quiesced residual delta — and
+// a failover must restore from that chain to the reference result.
+// StopAndCopy opts back into the classic single-image layout.
+func TestSupervisorPrecopyGenerationLayout(t *testing.T) {
+	spec := cluster.JobSpec{App: "cpi", Endpoints: 4, Work: 0.1, Scale: 0.001}
+	want, refDur := reference(t, 21, spec)
+
+	c := cluster.New(cluster.Config{Nodes: 4, Seed: 21})
+	job, err := c.Launch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := c.Supervise(job, supervisor.Policy{
+		HeartbeatInterval: 50 * sim.Millisecond,
+		CheckpointEvery:   refDur / 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drive(func() bool { return sup.Stats().Checkpoints >= 1 || job.Finished() }, deadline); err != nil {
+		t.Fatal(err)
+	}
+	gens := sup.Generations()
+	if len(gens) < 1 {
+		t.Fatalf("no generation committed; events: %v", sup.Events())
+	}
+	if !gens[0].Full {
+		t.Fatalf("pre-copy generation %s not marked full", gens[0].Dir)
+	}
+	files := c.FS.List(gens[0].Dir)
+	for _, p := range job.Pods {
+		var hasImg, hasResidual bool
+		for _, f := range files {
+			if f == gens[0].Dir+"/"+p.Name()+".img" {
+				hasImg = true
+			}
+			if f == gens[0].Dir+"/"+p.Name()+".delta" {
+				hasResidual = true
+			}
+		}
+		if !hasImg || !hasResidual {
+			t.Fatalf("pod %s: generation %s lacks a base+residual chain: %v",
+				p.Name(), gens[0].Dir, files)
+		}
+	}
+	victim := c.Nodes[2]
+	inj := faultinject.New(c.W, c.FS)
+	inj.SetProgressProbe(job.Progress, 0)
+	if err := inj.Arm([]faultinject.Step{{
+		Name: "kill-node2", Progress: 0.6,
+		Action: faultinject.ActCrashNode, Node: victim,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drive(job.Finished, deadline); err != nil {
+		t.Fatalf("drive: %v (supervisor: %v, events: %v)", err, sup.Err(), sup.Events())
+	}
+	if got := job.Result(); got != want {
+		t.Fatalf("restored-from-precopy-chain result %v != reference %v", got, want)
+	}
+	if sup.Stats().Failovers < 1 {
+		t.Fatalf("no failover exercised the chain restore; events: %v", sup.Events())
+	}
+
+	// StopAndCopy: one .img per pod and nothing else.
+	c2 := cluster.New(cluster.Config{Nodes: 4, Seed: 21})
+	job2, err := c2.Launch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup2, err := c2.Supervise(job2, supervisor.Policy{
+		CheckpointEvery: refDur / 20,
+		StopAndCopy:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Drive(func() bool { return sup2.Stats().Checkpoints >= 1 || job2.Finished() }, deadline); err != nil {
+		t.Fatal(err)
+	}
+	gens2 := sup2.Generations()
+	if len(gens2) < 1 {
+		t.Fatalf("no stop-and-copy generation committed; events: %v", sup2.Events())
+	}
+	files2 := c2.FS.List(gens2[0].Dir)
+	if len(files2) != len(job2.Pods) {
+		t.Fatalf("stop-and-copy generation %s has %d files, want %d: %v",
+			gens2[0].Dir, len(files2), len(job2.Pods), files2)
+	}
+	for _, f := range files2 {
+		if !strings.HasSuffix(f, ".img") {
+			t.Fatalf("stop-and-copy generation %s holds a non-image record %s", gens2[0].Dir, f)
+		}
 	}
 }
 

@@ -223,7 +223,7 @@ func (p *Process) MemoryBytes() int64 {
 // SetRegion creates or replaces a named memory region, marking it dirty
 // for incremental checkpointing.
 func (p *Process) SetRegion(name string, data []byte) {
-	p.TouchRegion(name)
+	p.markDirty(name)
 	for i := range p.mem {
 		if p.mem[i].Name == name {
 			p.mem[i].Data = data
@@ -233,15 +233,27 @@ func (p *Process) SetRegion(name string, data []byte) {
 	p.mem = append(p.mem, Region{Name: name, Data: data})
 }
 
-// TouchRegion marks a region dirty without replacing its backing slice
-// (programs that mutate region bytes in place call this so incremental
-// checkpoints re-serialize the region).
-func (p *Process) TouchRegion(name string) {
+// markDirty advances the write clock and stamps the region, creating the
+// version entry if needed (SetRegion calls it before the region exists).
+func (p *Process) markDirty(name string) {
 	if p.memVer == nil {
 		p.memVer = make(map[string]uint64)
 	}
 	p.memClock++
 	p.memVer[name] = p.memClock
+}
+
+// TouchRegion marks an existing region dirty without replacing its
+// backing slice (programs that mutate region bytes in place call this so
+// incremental and pre-copy checkpoints re-serialize the region). Touching
+// a region that does not exist is a programming error and is reported
+// rather than silently creating a phantom version entry.
+func (p *Process) TouchRegion(name string) error {
+	if _, ok := p.Region(name); !ok {
+		return fmt.Errorf("vos: touch of nonexistent region %q in pid %d", name, p.VPID)
+	}
+	p.markDirty(name)
+	return nil
 }
 
 // MemClock returns the process's region-write clock. A checkpoint
@@ -263,6 +275,36 @@ func (p *Process) DirtyRegions(since uint64) []Region {
 		}
 	}
 	return out
+}
+
+// DirtyBytes reports the total size of the regions written after the
+// given watermark — the quantity the pre-copy coordinator's convergence
+// check compares against its threshold.
+func (p *Process) DirtyBytes(since uint64) int64 {
+	var n int64
+	for _, r := range p.mem {
+		if p.memVer[r.Name] > since {
+			n += int64(len(r.Data))
+		}
+	}
+	return n
+}
+
+// SnapshotRegions deep-copies the regions written after the given
+// watermark and returns them together with the write clock the copies
+// are consistent at. The simulation runs event callbacks atomically, so
+// no process is mid-step while a snapshot is taken: the returned pages
+// and watermark form a read-consistent pair even while the process keeps
+// running between events — the simulated stand-in for copy-on-write /
+// soft-dirty capture. Pass since=0 for a full-image snapshot.
+func (p *Process) SnapshotRegions(since uint64) ([]Region, uint64) {
+	var out []Region
+	for _, r := range p.mem {
+		if p.memVer[r.Name] > since {
+			out = append(out, Region{Name: r.Name, Data: append([]byte(nil), r.Data...)})
+		}
+	}
+	return out, p.memClock
 }
 
 // Region returns a named memory region's data.

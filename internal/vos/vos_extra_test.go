@@ -203,7 +203,9 @@ func TestDirtyRegionTracking(t *testing.T) {
 		t.Fatal("untouched in-place write should not mark dirty")
 	}
 	// ...and visible with it.
-	p.TouchRegion("a")
+	if err := p.TouchRegion("a"); err != nil {
+		t.Fatalf("TouchRegion(a): %v", err)
+	}
 	got := p.DirtyRegions(mark)
 	if len(got) != 1 || got[0].Name != "a" {
 		t.Fatalf("dirty after touch = %+v, want region a", got)
@@ -215,5 +217,55 @@ func TestDirtyRegionTracking(t *testing.T) {
 	p.SetRegion("b", []byte{3})
 	if got := p.DirtyRegions(p.RegionVersion("a")); len(got) != 1 || got[0].Name != "b" {
 		t.Fatalf("dirty after SetRegion = %+v, want region b", got)
+	}
+}
+
+func TestTouchRegionUnknown(t *testing.T) {
+	_, n, env := testEnv(t)
+	p := n.SpawnStopped(&counter{Steps: 1}, env)
+	clock := p.MemClock()
+	if err := p.TouchRegion("ghost"); err == nil {
+		t.Fatal("TouchRegion on a nonexistent region must error")
+	}
+	if p.MemClock() != clock {
+		t.Fatal("failed touch must not advance the write clock")
+	}
+	if p.RegionVersion("ghost") != 0 {
+		t.Fatal("failed touch must not create a phantom version entry")
+	}
+}
+
+func TestDirtyBytesAndSnapshot(t *testing.T) {
+	_, n, env := testEnv(t)
+	p := n.SpawnStopped(&counter{Steps: 1}, env)
+	p.SetRegion("a", []byte{1, 2, 3})
+	p.SetRegion("b", []byte{4, 5})
+	if got := p.DirtyBytes(0); got != 5 {
+		t.Fatalf("DirtyBytes(0) = %d, want 5", got)
+	}
+	mark := p.MemClock()
+	if got := p.DirtyBytes(mark); got != 0 {
+		t.Fatalf("DirtyBytes(watermark) = %d, want 0", got)
+	}
+	p.SetRegion("b", []byte{6, 7, 8, 9})
+	if got := p.DirtyBytes(mark); got != 4 {
+		t.Fatalf("DirtyBytes after one rewrite = %d, want 4", got)
+	}
+	// SnapshotRegions returns deep copies consistent at its watermark.
+	snap, at := p.SnapshotRegions(mark)
+	if at != p.MemClock() {
+		t.Fatalf("snapshot watermark = %d, want current clock %d", at, p.MemClock())
+	}
+	if len(snap) != 1 || snap[0].Name != "b" {
+		t.Fatalf("snapshot since watermark = %+v, want region b only", snap)
+	}
+	live, _ := p.Region("b")
+	live[0] = 99
+	if snap[0].Data[0] == 99 {
+		t.Fatal("snapshot aliases live region bytes; must deep-copy")
+	}
+	full, _ := p.SnapshotRegions(0)
+	if len(full) != 2 {
+		t.Fatalf("full snapshot = %d regions, want 2", len(full))
 	}
 }

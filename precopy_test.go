@@ -1,0 +1,230 @@
+package zapc_test
+
+// Pre-copy live checkpointing properties: the suspend window shrinks
+// from O(image) to O(residual dirty set); the flushed chain — base
+// image, round deltas, residual — reconstructs byte-identically to the
+// image the restart uses; restores from pre-copy chains reproduce the
+// uninterrupted result exactly; the whole pipeline stays a pure
+// function of the seed; and a write-heavy application terminates the
+// iteration on its budget rather than looping forever.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"zapc"
+	"zapc/internal/ckpt"
+	"zapc/internal/core"
+)
+
+// churnSpec deploys the synthetic write-heavy workload whose dirty rate
+// never converges below the pre-copy threshold.
+func churnSpec() zapc.JobSpec {
+	return zapc.JobSpec{App: "churn", Endpoints: 4, Work: 1, Scale: 0.002, WithDaemons: true}
+}
+
+// refFor runs a job spec uninterrupted and returns its result.
+func refFor(t *testing.T, seed int64, spec zapc.JobSpec) float64 {
+	t.Helper()
+	c := zapc.New(zapc.Config{Nodes: 4, Seed: seed})
+	job, err := c.Launch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunJob(job, eqDeadline); err != nil {
+		t.Fatal(err)
+	}
+	return job.Result()
+}
+
+// TestPrecopySuspendWindow pins the headline claim: at equal image
+// bytes, a pre-copy checkpoint suspends the application for a small
+// fraction of a stop-and-copy checkpoint's window. The benchmark gate
+// demands >=3x; this test asserts a conservative 1.5x so modeling-cost
+// tweaks do not turn it flaky.
+func TestPrecopySuspendWindow(t *testing.T) {
+	run := func(pre bool) (zapc.Duration, int64) {
+		c := zapc.New(zapc.Config{Nodes: 4, Seed: 2005})
+		// Model paper-scale images (the job's ballast is scaled by
+		// 0.002) so the windows reflect real copy costs.
+		c.W.Costs.ImageCostScale = 1 / 0.002
+		job, err := c.Launch(eqSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveTo(t, c, job, 0.4)
+		opts := zapc.CheckpointOptions{Mode: zapc.Snapshot, Workers: 4}
+		if pre {
+			opts.Precopy = &zapc.PrecopyOptions{}
+		}
+		res, err := c.Checkpoint(job, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var imgBytes int64
+		for _, a := range res.Stats.Agents {
+			imgBytes += a.ImageBytes
+			if a.SuspendWindow <= 0 {
+				t.Fatalf("pod %s: no suspend window recorded", a.Pod)
+			}
+		}
+		if _, err := c.RunJob(job, eqDeadline); err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.MaxSuspendWindow(), imgBytes
+	}
+	scWin, scBytes := run(false)
+	preWin, preBytes := run(true)
+	// Same seed, same progress point: the images must be the same size
+	// (the app's footprint is static; only contents drift during the
+	// live rounds).
+	if diff := float64(preBytes-scBytes) / float64(scBytes); diff > 0.02 || diff < -0.02 {
+		t.Fatalf("image bytes diverged between modes: stop-and-copy %d vs pre-copy %d", scBytes, preBytes)
+	}
+	ratio := float64(scWin) / float64(preWin)
+	t.Logf("suspend window: stop-and-copy %v vs pre-copy %v (%.1fx)", scWin, preWin, ratio)
+	if ratio < 1.5 {
+		t.Fatalf("pre-copy suspend window %v is not >=1.5x better than stop-and-copy %v (%.2fx)",
+			preWin, scWin, ratio)
+	}
+}
+
+// TestPrecopyRestoreEquivalence: checkpoint a write-heavy job with
+// pre-copy (budget-terminated, so the chain carries live round deltas),
+// verify the flushed chain reconstructs byte-identically to the
+// materialized final image, restart from it, and demand the exact
+// uninterrupted result.
+func TestPrecopyRestoreEquivalence(t *testing.T) {
+	for _, seed := range []int64{5, 23} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			want := refFor(t, seed, churnSpec())
+
+			c := zapc.New(zapc.Config{Nodes: 4, Seed: seed})
+			job, err := c.Launch(churnSpec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveTo(t, c, job, 0.5)
+			res, err := c.Checkpoint(job, zapc.CheckpointOptions{
+				Mode: zapc.MigrateMode, Workers: 4, FlushTo: "eq/pre",
+				Precopy: &zapc.PrecopyOptions{MaxRounds: 3},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for vip, img := range res.Images {
+				chain := [][]byte{}
+				base, err := c.FS.ReadFile(fmt.Sprintf("eq/pre/%s.img", img.PodName))
+				if err != nil {
+					t.Fatalf("pod %v: flushed base: %v", vip, err)
+				}
+				chain = append(chain, base)
+				for r := 1; ; r++ {
+					rec, err := c.FS.ReadFile(fmt.Sprintf("eq/pre/%s.r%02d.delta", img.PodName, r))
+					if err != nil {
+						break
+					}
+					chain = append(chain, rec)
+				}
+				if len(chain) < 3 {
+					t.Fatalf("pod %v: churn chain has no live round deltas (%d records) — budget never engaged", vip, len(chain))
+				}
+				resid, err := c.FS.ReadFile(fmt.Sprintf("eq/pre/%s.delta", img.PodName))
+				if err != nil {
+					t.Fatalf("pod %v: flushed residual: %v", vip, err)
+				}
+				chain = append(chain, resid)
+				rebuilt, err := ckpt.ReconstructChain(chain)
+				if err != nil {
+					t.Fatalf("pod %v: chain: %v", vip, err)
+				}
+				if !bytes.Equal(rebuilt.Encode(), img.Encode()) {
+					t.Fatalf("pod %v: pre-copy chain reconstruction differs from the materialized image", vip)
+				}
+			}
+			if _, err := c.Restart(job, res, c.Nodes); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.RunJob(job, eqDeadline); err != nil {
+				t.Fatal(err)
+			}
+			if got := job.Result(); got != want {
+				t.Fatalf("pre-copy checkpoint+restart result %v != uninterrupted %v", got, want)
+			}
+		})
+	}
+}
+
+// TestPrecopyDeterminism: two identically-seeded pre-copy runs flush
+// byte-identical chains — base, every round delta, and residual.
+func TestPrecopyDeterminism(t *testing.T) {
+	run := func() map[string][]byte {
+		c := zapc.New(zapc.Config{Nodes: 4, Seed: 7})
+		job, err := c.Launch(churnSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveTo(t, c, job, 0.4)
+		if _, err := c.Checkpoint(job, zapc.CheckpointOptions{
+			Mode: zapc.Snapshot, Workers: 4, FlushTo: "det/pre",
+			Precopy: &zapc.PrecopyOptions{MaxRounds: 3},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RunJob(job, eqDeadline); err != nil {
+			t.Fatal(err)
+		}
+		return grabFlushed(t, c, "det/pre")
+	}
+	diffRecords(t, "pre-copy chain", run(), run())
+}
+
+// TestPrecopyBudgetTermination: churn rewrites its hot set faster than
+// any round can drain it, so the iteration must stop on the round
+// budget (or, when configured, the resent-byte budget) — never
+// converge, never loop forever — and say so on the trace timeline.
+func TestPrecopyBudgetTermination(t *testing.T) {
+	stopReasons := func(opts *zapc.PrecopyOptions) (map[string]int, []core.AgentStats) {
+		c := zapc.New(zapc.Config{Nodes: 4, Seed: 12})
+		tr, _ := c.EnableTracing()
+		job, err := c.Launch(churnSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		driveTo(t, c, job, 0.3)
+		res, err := c.Checkpoint(job, zapc.CheckpointOptions{Mode: zapc.Snapshot, Workers: 4, Precopy: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RunJob(job, eqDeadline); err != nil {
+			t.Fatal(err)
+		}
+		reasons := make(map[string]int)
+		for _, ev := range tr.Events() {
+			if ev.Name == "ckpt/precopy/stop" && ev.Ph == "I" {
+				reasons[ev.Args["reason"]]++
+			}
+		}
+		return reasons, res.Stats.Agents
+	}
+
+	reasons, agents := stopReasons(&zapc.PrecopyOptions{MaxRounds: 3})
+	if reasons["round-budget"] != len(agents) {
+		t.Fatalf("want every agent to stop on round-budget, got %v", reasons)
+	}
+	for _, a := range agents {
+		if a.PrecopyRounds != 3 {
+			t.Fatalf("pod %s ran %d rounds, want the budget of 3", a.Pod, a.PrecopyRounds)
+		}
+		if a.PrecopyResentBytes <= 0 {
+			t.Fatalf("pod %s resent no bytes despite a hot working set", a.Pod)
+		}
+	}
+
+	reasons, _ = stopReasons(&zapc.PrecopyOptions{MaxRounds: 20, MaxResentBytes: 64 << 10})
+	if reasons["byte-budget"] == 0 {
+		t.Fatalf("want byte-budget stops with a 64KB resend cap, got %v", reasons)
+	}
+}

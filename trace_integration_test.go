@@ -77,6 +77,10 @@ func TestTraceSpansPresent(t *testing.T) {
 		"ckpt/net-ckpt",
 		"ckpt/serialize",
 		"ckpt/worker",
+		"ckpt/precopy",
+		"ckpt/precopy/round-1",
+		"ckpt/precopy/stop",
+		"ckpt/precopy/sync",
 		"store/flush",
 		"store/create",
 		"restart/coordinated",
@@ -93,6 +97,7 @@ func TestTraceSpansPresent(t *testing.T) {
 	for _, metric := range []string{
 		"ckpt_encode_bytes_total",
 		"ckpt_ops_total",
+		"ckpt_precopy_rounds_total",
 		"store_write_bytes_total",
 		"supervisor_heartbeats_total",
 		"supervisor_failovers_total",

@@ -12,15 +12,16 @@ type TraceScenarioResult struct {
 }
 
 // RunTraceScenario runs the canonical observability scenario: a
-// supervised four-endpoint job takes periodic incremental checkpoints
-// through the parallel serializer, a scripted fault crashes one node at
-// half progress, the supervisor detects the failure and restarts the
-// job from the newest valid generation on the survivors, and the job
-// runs to completion. The whole story — quiesce, per-worker
-// serialization lanes, store streams, network drain/reinject,
-// heartbeats, failover, injected fault — lands on one virtual-clock
-// timeline. For a fixed cfg.Seed the exported trace is byte-identical
-// across runs.
+// four-endpoint job takes one explicit pre-copy live checkpoint early
+// on, then runs under a supervisor taking periodic incremental
+// checkpoints through the parallel serializer, a scripted fault crashes
+// one node at half progress, the supervisor detects the failure and
+// restarts the job from the newest valid generation on the survivors,
+// and the job runs to completion. The whole story — live copy rounds,
+// quiesce, per-worker serialization lanes, store streams, network
+// drain/reinject, heartbeats, failover, injected fault — lands on one
+// virtual-clock timeline. For a fixed cfg.Seed the exported trace is
+// byte-identical across runs.
 func RunTraceScenario(cfg ExperimentConfig) (*TraceScenarioResult, error) {
 	cfg = cfg.defaults()
 	const endpoints = 4
@@ -28,6 +29,18 @@ func RunTraceScenario(cfg ExperimentConfig) (*TraceScenarioResult, error) {
 	c.EnableTracing()
 	job, err := c.Launch(cfg.spec("cpi", endpoints, false))
 	if err != nil {
+		return nil, err
+	}
+	// One pre-copy checkpoint before supervision starts, so the timeline
+	// carries the live-round spans (ckpt/precopy, ckpt/precopy/round-N,
+	// the stop decision and the quiesce barrier) next to the
+	// stop-and-copy and incremental phases.
+	if err := c.Drive(func() bool { return job.Progress() >= 0.15 }, runDeadline); err != nil {
+		return nil, err
+	}
+	if _, err := c.Checkpoint(job, CheckpointOptions{
+		Mode: Snapshot, Workers: 3, FlushTo: "trace/pre", Precopy: &PrecopyOptions{},
+	}); err != nil {
 		return nil, err
 	}
 	sup, err := c.Supervise(job, SupervisorPolicy{

@@ -51,6 +51,11 @@ type (
 	Job = cluster.Job
 	// CheckpointOptions tunes a coordinated checkpoint.
 	CheckpointOptions = core.Options
+	// PrecopyOptions selects iterative pre-copy live checkpointing via
+	// CheckpointOptions.Precopy: the pod keeps running through the bulk
+	// of the serialization and is quiesced only for the residual dirty
+	// set. Zero values pick the default round/convergence budgets.
+	PrecopyOptions = core.PrecopyOptions
 	// CheckpointResult carries images and the timing breakdown.
 	CheckpointResult = core.CheckpointResult
 	// RestartResult reports a coordinated restart.
@@ -146,6 +151,9 @@ func DecodeBenchTrajectory(data []byte) ([]CkptBenchRecord, error) {
 	return metrics.DecodeTrajectory(data)
 }
 
+// HumanBytes formats a byte count the way the paper's tables do.
+func HumanBytes(n int64) string { return metrics.HumanBytes(n) }
+
 // CompareBenchThroughput fails when cur's encode throughput regressed
 // more than tolPct percent below prev's (zapc-benchdiff's check).
 func CompareBenchThroughput(prev, cur CkptBenchRecord, tolPct float64) error {
@@ -157,6 +165,13 @@ func CompareBenchThroughput(prev, cur CkptBenchRecord, tolPct float64) error {
 // path went back to materializing whole images).
 func CompareBenchPeakBuffered(prev, cur CkptBenchRecord, tolPct float64) error {
 	return metrics.ComparePeakBuffered(prev, cur, tolPct)
+}
+
+// CompareBenchSuspend fails when cur's pre-copy suspension window grew
+// more than tolPct percent above prev's (zapc-benchdiff's guard that
+// the quiesce window stays O(residual dirty set), not O(image)).
+func CompareBenchSuspend(prev, cur CkptBenchRecord, tolPct float64) error {
+	return metrics.CompareSuspend(prev, cur, tolPct)
 }
 
 // Pipeline observability (see internal/trace). c.EnableTracing() turns
