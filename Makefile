@@ -2,13 +2,13 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCH_OUT ?= BENCH_ckpt.json
 
-.PHONY: ci fmt vet build test race race-precopy fuzz cover bench benchdiff trace-check examples clean
+.PHONY: ci fmt vet build test race race-precopy fuzz chaos cover bench benchdiff trace-check examples clean
 
 # Full CI gate: static checks, a clean build, the race-enabled suite,
 # the pre-copy live-checkpoint scenario under the race detector, short
-# fuzzing of the image-format decoders, trace determinism, and coverage
-# totals.
-ci: fmt vet build race race-precopy fuzz trace-check cover
+# fuzzing of the image-format decoders, trace determinism, the chaos
+# fuzzer sweep + corpus replay gate, and coverage totals.
+ci: fmt vet build race race-precopy fuzz trace-check chaos cover
 
 # gofmt gate: fails listing any file that is not gofmt-clean.
 fmt:
@@ -48,6 +48,17 @@ trace-check:
 	$(GO) run ./cmd/zapc-bench -fig trace -events $$dir/b.jsonl -trace $$dir/b.json >/dev/null && \
 	cmp $$dir/a.jsonl $$dir/b.jsonl && echo "trace-check: deterministic ($$(wc -l < $$dir/a.jsonl) events)"; \
 	st=$$?; rm -rf $$dir; exit $$st
+
+# Chaos gate: the seeded fault-schedule fuzzer under -race (schedule
+# determinism, composition coverage, and the recovery invariant over a
+# fixed seed range), a bounded driver sweep over the canonical corpus
+# seed range, and the regression replay — any fixture under
+# testdata/chaos that stops reproducing its recorded named error fails
+# the build.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos
+	$(GO) test -race -count=1 -run '^TestChaosCorpusReplays$$' .
+	$(GO) run ./cmd/zapc-chaos -from 1 -to 24
 
 # Coverage profile plus per-package totals.
 cover:

@@ -1,0 +1,40 @@
+package zapc_test
+
+import (
+	"testing"
+
+	"zapc"
+)
+
+// TestChaosCorpusReplays is the regression gate over the chaos corpus:
+// every minimized fixture under testdata/chaos must replay to exactly
+// its recorded verdict — same outcome, same named error, same result,
+// same number of fired faults. A fixture that stops reproducing means
+// the recovery surface changed behavior for a scenario the fuzzer
+// already pinned; either the change is a bug, or the fixture must be
+// consciously regenerated (zapc-chaos -out testdata/chaos) with the
+// new verdict reviewed.
+func TestChaosCorpusReplays(t *testing.T) {
+	fixtures, names, err := zapc.LoadChaosCorpus("testdata/chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatal("testdata/chaos holds no fixtures; the regression corpus is gone")
+	}
+	for i, f := range fixtures {
+		f := f
+		t.Run(names[i], func(t *testing.T) {
+			got, err := f.Replay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Same(f.Verdict) {
+				t.Fatalf("replayed %s, recorded %s (detail: %s)", got, f.Verdict, got.Detail)
+			}
+			if got.Bug() {
+				t.Fatalf("corpus pins an unresolved invariant violation: %s", got)
+			}
+		})
+	}
+}

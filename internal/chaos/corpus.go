@@ -1,0 +1,63 @@
+// Corpus sweeps: the bounded fuzzing mode behind `make chaos` and the
+// zapc-chaos driver. A sweep expands every seed in a range into its
+// schedule, runs it, and turns every non-recovered run into a minimized
+// regression fixture — named errors pin the classification gate, bugs
+// pin their reproducers.
+package chaos
+
+import (
+	"fmt"
+
+	"zapc/internal/faultinject"
+)
+
+// SweepResult is one seed's run within a sweep.
+type SweepResult struct {
+	Seed     int64
+	Config   Config
+	Schedule faultinject.Schedule
+	Verdict  Verdict
+}
+
+// Sweep runs every seed in [lo, hi] through Generate under
+// ConfigForSeed(base, seed) and returns the verdicts in seed order.
+func Sweep(base Config, lo, hi int64) ([]SweepResult, error) {
+	var out []SweepResult
+	for seed := lo; seed <= hi; seed++ {
+		cfg := ConfigForSeed(base, seed)
+		sched := Generate(seed, cfg)
+		v, err := NewRunner(cfg).Run(seed, sched)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: seed %d: %w", seed, err)
+		}
+		out = append(out, SweepResult{Seed: seed, Config: cfg, Schedule: sched, Verdict: v})
+	}
+	return out, nil
+}
+
+// BuildCorpus minimizes every non-recovered sweep result into a
+// fixture. The fixtures are deterministic: the same seed range over the
+// same base config always yields byte-identical corpus files.
+func BuildCorpus(results []SweepResult) ([]Fixture, error) {
+	var out []Fixture
+	for _, res := range results {
+		if res.Verdict.Outcome == OutRecovered {
+			continue
+		}
+		r := NewRunner(res.Config)
+		min, v, runs, err := r.Minimize(res.Seed, res.Schedule, res.Verdict)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: minimizing seed %d: %w", res.Seed, err)
+		}
+		out = append(out, Fixture{
+			Schema: FixtureSchema,
+			Seed:   res.Seed,
+			Note: fmt.Sprintf("minimized %d->%d steps in %d runs",
+				len(res.Schedule.Steps), len(min.Steps), runs),
+			Config:   res.Config,
+			Schedule: min,
+			Verdict:  v,
+		})
+	}
+	return out, nil
+}

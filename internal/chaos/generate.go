@@ -1,0 +1,189 @@
+// Seeded schedule generation. Each seed deterministically expands into
+// one fault schedule drawn from a small set of composition templates,
+// so a contiguous seed range is guaranteed to exercise the fault
+// compositions the recovery surface must survive — crash landing on
+// corrupted images, control-plane drop+delay during the checkpoint
+// barrier, stream truncation during failover — plus a free-form
+// template that composes arbitrary faults (including manager outages
+// and multi-node wipeouts that must end in a *named* error).
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zapc/internal/faultinject"
+	"zapc/internal/sim"
+)
+
+// ConfigForSeed derives the per-seed scenario: odd seeds run the
+// incremental delta-chain pipeline, even seeds the pre-copy pipeline,
+// so a contiguous range sweeps both recovery surfaces through every
+// template.
+func ConfigForSeed(base Config, seed int64) Config {
+	c := base.withDefaults()
+	c.Incremental = seed%2 == 1
+	return c
+}
+
+// Generate expands a seed into its fault schedule under cfg. The same
+// (seed, cfg) always yields the identical schedule — the generator owns
+// its own rand.Source, decoupled from the simulation's.
+func Generate(seed int64, cfg Config) faultinject.Schedule {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	var steps []faultinject.SpecStep
+	switch (seed / 2) % 4 {
+	case 0:
+		steps = genCrashCorrupt(rng, cfg)
+	case 1:
+		steps = genBarrierDropDelay(rng, cfg)
+	case 2:
+		steps = genTruncateFailover(rng, cfg)
+	default:
+		steps = genFreeform(rng, cfg)
+	}
+	// Names are assigned by generation position; Arm's canonical
+	// ordering makes firing order independent of this order anyway.
+	for i := range steps {
+		steps[i].Name = fmt.Sprintf("s%d-%s", i, steps[i].Action)
+	}
+	return faultinject.Schedule{Steps: steps}
+}
+
+// msIn draws a whole-millisecond duration in [lo, hi] ms. Quantizing to
+// 1ms keeps fixtures readable and diffs small.
+func msIn(rng *rand.Rand, lo, hi int) int64 {
+	return int64(lo+rng.Intn(hi-lo+1)) * int64(sim.Millisecond)
+}
+
+// progIn draws a progress threshold in [lo, hi], quantized to 0.05.
+func progIn(rng *rand.Rand, lo, hi float64) float64 {
+	steps := int((hi-lo)/0.05 + 0.5)
+	return lo + 0.05*float64(rng.Intn(steps+1))
+}
+
+// genCrashCorrupt: corrupt the newest generation, then crash a node a
+// little later — failover must detect the corruption, skip the
+// generation, and restart from the previous valid one.
+func genCrashCorrupt(rng *rand.Rand, cfg Config) []faultinject.SpecStep {
+	p := progIn(rng, 0.25, 0.6)
+	steps := []faultinject.SpecStep{
+		{Progress: p, Action: "corrupt-image", Path: cfg.Dir},
+		{Progress: p + 0.1, Action: "crash-node", Node: rng.Intn(cfg.Nodes)},
+	}
+	if rng.Intn(3) == 0 { // sometimes the fallback generation is bad too
+		steps = append(steps, faultinject.SpecStep{
+			Progress: p + 0.05, Action: "corrupt-image", Path: cfg.Dir})
+	}
+	return steps
+}
+
+// genBarrierDropDelay: drop and delay control messages right as a
+// checkpoint barrier opens (the pre-copy readiness barrier on the
+// non-incremental pipeline), composing both faults on the same phase
+// occurrence.
+func genBarrierDropDelay(rng *rand.Rand, cfg Config) []faultinject.SpecStep {
+	skip := rng.Intn(3)
+	steps := []faultinject.SpecStep{
+		{Phase: "checkpoint-start", PhaseSkip: skip, Action: "drop-control", Count: 1 + rng.Intn(4)},
+		{Phase: "checkpoint-start", PhaseSkip: skip, Action: "delay-control",
+			DelayNS: msIn(rng, 1, 40), WindowNS: msIn(rng, 200, 1200)},
+	}
+	if rng.Intn(2) == 0 { // and sometimes a crash while the plane is lossy
+		steps = append(steps, faultinject.SpecStep{
+			Phase: "checkpoint-start", PhaseSkip: skip + 1, Action: "crash-node", Node: rng.Intn(cfg.Nodes)})
+	}
+	return steps
+}
+
+// genTruncateFailover: arm image-stream truncation, then crash a node —
+// the cuts land on the streams the failover writes or restores, which
+// must surface the named truncation error and recover on retry.
+func genTruncateFailover(rng *rand.Rand, cfg Config) []faultinject.SpecStep {
+	p := progIn(rng, 0.2, 0.7)
+	act := "truncate-reads"
+	if rng.Intn(2) == 0 {
+		act = "truncate-stream"
+	}
+	return []faultinject.SpecStep{
+		{Progress: p, Action: act, Count: 1 + rng.Intn(2)},
+		{Progress: p, Action: "crash-node", Node: rng.Intn(cfg.Nodes)},
+	}
+}
+
+// genFreeform composes 1..MaxSteps arbitrary faults. Manager crashes
+// come paired with a recovery most of the time; runs that wipe out
+// every node or exhaust the retry budget must still terminate with a
+// named error.
+func genFreeform(rng *rand.Rand, cfg Config) []faultinject.SpecStep {
+	switch rng.Intn(8) {
+	case 0:
+		// Total wipeout: every node crashes at staggered times. The only
+		// legal endings are ErrNoSurvivors (or ErrGivenUp when the last
+		// crash lands mid-restart) — and never a hang.
+		at := msIn(rng, 300, 1200)
+		steps := make([]faultinject.SpecStep, cfg.Nodes)
+		for i := range steps {
+			steps[i] = faultinject.SpecStep{AfterNS: at, Action: "crash-node", Node: i}
+			at += msIn(rng, 10, 250)
+		}
+		return steps
+	case 1:
+		// Manager outage straddling a node failure: failover cannot talk
+		// to anyone, so the retry budget must run out as ErrGivenUp
+		// (unless the crash precedes the first generation).
+		at := msIn(rng, 300, 1500)
+		return []faultinject.SpecStep{
+			{AfterNS: at, Action: "crash-manager"},
+			{AfterNS: at + msIn(rng, 10, 100), Action: "crash-node", Node: rng.Intn(cfg.Nodes)},
+		}
+	}
+	n := 1 + rng.Intn(cfg.MaxSteps)
+	var steps []faultinject.SpecStep
+	for len(steps) < n {
+		st := faultinject.SpecStep{}
+		switch rng.Intn(3) {
+		case 0:
+			st.AfterNS = msIn(rng, 100, 1800)
+		case 1:
+			st.Progress = progIn(rng, 0.1, 0.9)
+		default:
+			st.Phase = []string{"checkpoint-start", "meta-sync", "checkpoint-done"}[rng.Intn(3)]
+			st.PhaseSkip = rng.Intn(3)
+		}
+		switch rng.Intn(7) {
+		case 0:
+			st.Action = "crash-node"
+			st.Node = rng.Intn(cfg.Nodes)
+		case 1:
+			st.Action = "drop-control"
+			st.Count = 1 + rng.Intn(5)
+		case 2:
+			st.Action = "delay-control"
+			st.DelayNS = msIn(rng, 1, 50)
+			st.WindowNS = msIn(rng, 100, 1000)
+		case 3:
+			st.Action = "corrupt-image"
+			st.Path = cfg.Dir
+		case 4:
+			st.Action = "truncate-stream"
+			st.Count = 1 + rng.Intn(2)
+		case 5:
+			st.Action = "truncate-reads"
+			st.Count = 1 + rng.Intn(2)
+		default:
+			at := msIn(rng, 100, 1500)
+			st.AfterNS, st.Progress, st.Phase, st.PhaseSkip = at, 0, "", 0
+			st.Action = "crash-manager"
+			steps = append(steps, st)
+			if rng.Intn(4) != 0 { // usually heal the manager later
+				steps = append(steps, faultinject.SpecStep{
+					AfterNS: at + msIn(rng, 100, 600), Action: "recover-manager"})
+			}
+			continue
+		}
+		steps = append(steps, st)
+	}
+	return steps
+}

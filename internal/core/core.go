@@ -90,6 +90,17 @@ func (p Phase) String() string {
 	}
 }
 
+// ParsePhase is the inverse of Phase.String, used by declarative fault
+// schedules that name phases symbolically. Unknown names return zero.
+func ParsePhase(s string) Phase {
+	for p := PhaseCheckpointStart; p <= PhaseRestartDone; p++ {
+		if p.String() == s {
+			return p
+		}
+	}
+	return 0
+}
+
 // PhaseHook observes operation phases as the manager reaches them.
 type PhaseHook func(Phase)
 
@@ -1328,9 +1339,16 @@ func (op *restartOp) runAgent(pl Placement, plan *netckpt.EndpointPlan) {
 	})
 }
 
-// checkFailure aborts the restart when a target node has crashed
-// mid-operation (the agent on it can no longer make progress).
+// checkFailure aborts the restart when the manager client has crashed
+// (found by the chaos fuzzer: restarts used to ignore manager failure,
+// so a dead coordinator could still orchestrate a full failover) or
+// when a target node has crashed mid-operation (the agent on it can no
+// longer make progress).
 func (op *restartOp) checkFailure(n *vos.Node) bool {
+	if op.m.failed {
+		op.fail(ErrManagerFailure)
+		return true
+	}
 	if n.Failed() {
 		op.fail(fmt.Errorf("%w: node %s", ErrAgentFailure, n.Name()))
 		return true

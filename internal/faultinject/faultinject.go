@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"zapc/internal/core"
+	"zapc/internal/imagestore"
 	"zapc/internal/memfs"
 	"zapc/internal/sim"
 	"zapc/internal/trace"
@@ -30,6 +31,7 @@ import (
 var (
 	ErrBadStep  = errors.New("faultinject: invalid schedule step")
 	ErrNoTarget = errors.New("faultinject: step has no fault target")
+	ErrDupStep  = errors.New("faultinject: duplicate step name in schedule")
 )
 
 // Record logs one fired fault: when it fired (simulated time) and the
@@ -300,6 +302,9 @@ const (
 	ActCorruptImage // corrupt newest file under Step.Path
 	ActDropControl
 	ActDelayControl
+	ActTruncateStream // truncate the next Count image write streams (Step.Trunc)
+	ActTruncateReads  // truncate the next Count image read streams (Step.Trunc)
+	ActRecoverManager // a replacement coordination manager takes over
 )
 
 func (a Action) String() string {
@@ -314,9 +319,26 @@ func (a Action) String() string {
 		return "drop-control"
 	case ActDelayControl:
 		return "delay-control"
+	case ActTruncateStream:
+		return "truncate-stream"
+	case ActTruncateReads:
+		return "truncate-reads"
+	case ActRecoverManager:
+		return "recover-manager"
 	default:
 		return fmt.Sprintf("action(%d)", int(a))
 	}
+}
+
+// ParseAction is the inverse of Action.String, used by the declarative
+// JSON schedule grammar. Unknown names return zero.
+func ParseAction(s string) Action {
+	for a := ActCrashNode; a <= ActRecoverManager; a++ {
+		if a.String() == s {
+			return a
+		}
+	}
+	return 0
 }
 
 // Step is one entry of a declarative fault schedule. Exactly one
@@ -334,30 +356,97 @@ type Step struct {
 	PhaseSkip int
 
 	Action  Action
-	Node    *vos.Node     // ActCrashNode
-	Manager *core.Manager // ActCrashManager
-	Path    string        // ActCorruptImage: FS prefix of the generation store
-	Count   int           // ActDropControl: messages to drop (default 1)
-	Delay   sim.Duration  // ActDelayControl: per-message delay
-	Window  sim.Duration  // ActDelayControl: window length
+	Node    *vos.Node              // ActCrashNode
+	Manager *core.Manager          // ActCrashManager, ActRecoverManager
+	Path    string                 // ActCorruptImage: FS prefix of the generation store
+	Count   int                    // ActDropControl/ActTruncate*: units (default 1)
+	Delay   sim.Duration           // ActDelayControl: per-message delay
+	Window  sim.Duration           // ActDelayControl: window length
+	Trunc   *imagestore.TruncStore // ActTruncateStream/ActTruncateReads
+}
+
+// triggerKind classifies a step's trigger for canonical ordering:
+// time triggers first, then progress, then phase. Steps with no valid
+// trigger sort last (compile rejects them anyway).
+func triggerKind(s Step) int {
+	switch {
+	case s.After > 0:
+		return 0
+	case s.Progress > 0:
+		return 1
+	case s.Phase != 0:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// stepLess is the canonical schedule order: by trigger kind, trigger
+// value, action, then name. Arming a schedule in canonical order makes
+// a (seed, schedule) replay independent of declaration order — ties at
+// one simulated instant fire in canonical order, not source order.
+func stepLess(a, b Step) bool {
+	ka, kb := triggerKind(a), triggerKind(b)
+	if ka != kb {
+		return ka < kb
+	}
+	switch ka {
+	case 0:
+		if a.After != b.After {
+			return a.After < b.After
+		}
+	case 1:
+		if a.Progress != b.Progress {
+			return a.Progress < b.Progress
+		}
+	case 2:
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		if a.PhaseSkip != b.PhaseSkip {
+			return a.PhaseSkip < b.PhaseSkip
+		}
+	}
+	if a.Action != b.Action {
+		return a.Action < b.Action
+	}
+	return a.Name < b.Name
+}
+
+// stepName is the step's armed name: explicit, or synthesized from the
+// canonical position so unnamed schedules replay stably too.
+func stepName(i int, s Step) string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return fmt.Sprintf("step%d:%s", i, s.Action)
 }
 
 // Arm validates and registers a declarative schedule. Steps fire
-// independently; a schedule error arms nothing.
+// independently. The schedule is armed in canonical order (trigger
+// kind, trigger value, action, name), not declaration order, and
+// duplicate step names are rejected — together these make a
+// (seed, schedule) pair replay identically no matter how the schedule
+// was assembled. A schedule error arms nothing.
 func (inj *Injector) Arm(steps []Step) error {
-	actions := make([]func(), len(steps))
-	for i, s := range steps {
+	ordered := append([]Step(nil), steps...)
+	sort.SliceStable(ordered, func(i, j int) bool { return stepLess(ordered[i], ordered[j]) })
+	actions := make([]func(), len(ordered))
+	names := make(map[string]int, len(ordered))
+	for i, s := range ordered {
 		act, err := inj.compile(i, s)
 		if err != nil {
 			return err
 		}
 		actions[i] = act
-	}
-	for i, s := range steps {
-		name := s.Name
-		if name == "" {
-			name = fmt.Sprintf("step%d:%s", i, s.Action)
+		name := stepName(i, s)
+		if j, dup := names[name]; dup {
+			return fmt.Errorf("%w: steps %d and %d are both named %q", ErrDupStep, j, i, name)
 		}
+		names[name] = i
+	}
+	for i, s := range ordered {
+		name := stepName(i, s)
 		switch {
 		case s.After > 0:
 			inj.At(s.After, name, actions[i])
@@ -419,6 +508,28 @@ func (inj *Injector) compile(i int, s Step) (func(), error) {
 			return nil, fmt.Errorf("%w: step %d (%s) delay-control needs Delay and Window", ErrBadStep, i, s.Name)
 		}
 		return inj.DelayControl(s.Delay, s.Window), nil
+	case ActTruncateStream, ActTruncateReads:
+		if s.Trunc == nil {
+			return nil, fmt.Errorf("%w: step %d (%s) %s without a truncating store", ErrNoTarget, i, s.Name, s.Action)
+		}
+		n := s.Count
+		if n <= 0 {
+			n = 1
+		}
+		ts, reads := s.Trunc, s.Action == ActTruncateReads
+		return func() {
+			if reads {
+				ts.ArmReads(n)
+			} else {
+				ts.ArmWrites(n)
+			}
+		}, nil
+	case ActRecoverManager:
+		if s.Manager == nil {
+			return nil, fmt.Errorf("%w: step %d (%s) recover-manager without Manager", ErrNoTarget, i, s.Name)
+		}
+		m := s.Manager
+		return func() { m.Recover() }, nil
 	default:
 		return nil, fmt.Errorf("%w: step %d (%s) unknown action %d", ErrBadStep, i, s.Name, int(s.Action))
 	}

@@ -1,0 +1,202 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"zapc/internal/imagestore"
+	"zapc/internal/memfs"
+	"zapc/internal/sim"
+	"zapc/internal/vos"
+)
+
+func sampleSchedule() Schedule {
+	return Schedule{Steps: []SpecStep{
+		{Name: "kill", Progress: 0.5, Action: "crash-node", Node: 1},
+		{Name: "corrupt", AfterNS: int64(2 * sim.Second), Action: "corrupt-image", Path: "chaos"},
+		{Name: "drop", Phase: "checkpoint-start", Action: "drop-control", Count: 4},
+		{Name: "slow", AfterNS: int64(sim.Second), Action: "delay-control",
+			DelayNS: int64(5 * sim.Millisecond), WindowNS: int64(sim.Second)},
+		{Name: "cut", Phase: "restart-start", Action: "truncate-reads", Count: 1},
+	}}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := sampleSchedule()
+	data, err := EncodeSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSchedule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", s, back)
+	}
+	// Encoding is byte-deterministic — fixtures diff cleanly.
+	again, err := EncodeSchedule(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-encoding produced different bytes")
+	}
+}
+
+func TestScheduleValidationNamesBadStep(t *testing.T) {
+	cases := []struct {
+		label string
+		s     Schedule
+		want  string // substring the error must carry
+	}{
+		{"no trigger", Schedule{Steps: []SpecStep{{Name: "x", Action: "crash-node"}}}, "step 0 (x)"},
+		{"two triggers", Schedule{Steps: []SpecStep{
+			{Name: "y", AfterNS: 1, Progress: 0.5, Action: "crash-node"}}}, "step 0 (y)"},
+		{"unknown action", Schedule{Steps: []SpecStep{
+			{AfterNS: 1, Action: "set-on-fire"}}}, `unknown action "set-on-fire"`},
+		{"unknown phase", Schedule{Steps: []SpecStep{
+			{Phase: "warp", Action: "drop-control"}}}, `unknown phase "warp"`},
+		{"corrupt without path", Schedule{Steps: []SpecStep{
+			{AfterNS: 1, Action: "corrupt-image"}}}, "without path"},
+		{"delay without window", Schedule{Steps: []SpecStep{
+			{AfterNS: 1, Action: "delay-control"}}}, "delay_ns and window_ns"},
+		{"progress out of range", Schedule{Steps: []SpecStep{
+			{Progress: 1.5, Action: "crash-node"}}}, "outside (0,1]"},
+		{"duplicate names", Schedule{Steps: []SpecStep{
+			{Name: "dup", AfterNS: 1, Action: "drop-control"},
+			{Name: "dup", AfterNS: 2, Action: "drop-control"}}}, `both named "dup"`},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.label)
+			continue
+		}
+		if !errors.Is(err, ErrBadStep) && !errors.Is(err, ErrNoTarget) && !errors.Is(err, ErrDupStep) {
+			t.Errorf("%s: unnamed error %v", tc.label, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.label, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeScheduleRejectsUnknownFields(t *testing.T) {
+	_, err := DecodeSchedule([]byte(`{"steps":[{"action":"drop-control","after_ns":1,"blast_radius":3}]}`))
+	if !errors.Is(err, ErrBadStep) {
+		t.Fatalf("err = %v, want ErrBadStep", err)
+	}
+}
+
+func TestScheduleBindResolvesTargets(t *testing.T) {
+	w := sim.NewWorld(1)
+	nodes := []*vos.Node{vos.NewNode(w, "n0", 1), vos.NewNode(w, "n1", 1)}
+	env := Env{Nodes: nodes, Trunc: imagestore.Truncating(imagestore.NewFS(memfs.New()))}
+	steps, err := sampleSchedule().Bind(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps[0].Node != nodes[1] {
+		t.Fatalf("crash-node bound to %v", steps[0].Node)
+	}
+	if steps[4].Trunc != env.Trunc {
+		t.Fatal("truncate-reads not bound to the env store")
+	}
+
+	// Out-of-range node index names the step.
+	bad := Schedule{Steps: []SpecStep{{Name: "kill", AfterNS: 1, Action: "crash-node", Node: 7}}}
+	if _, err := bad.Bind(env); err == nil || !strings.Contains(err.Error(), "step 0 (kill)") {
+		t.Fatalf("bind err = %v", err)
+	}
+	// Truncation without a store in the env.
+	cut := Schedule{Steps: []SpecStep{{AfterNS: 1, Action: "truncate-stream"}}}
+	if _, err := cut.Bind(Env{Nodes: nodes}); !errors.Is(err, ErrNoTarget) {
+		t.Fatalf("bind err = %v", err)
+	}
+	// Manager actions without a manager.
+	rec := Schedule{Steps: []SpecStep{{AfterNS: 1, Action: "recover-manager"}}}
+	if _, err := rec.Bind(env); !errors.Is(err, ErrNoTarget) {
+		t.Fatalf("bind err = %v", err)
+	}
+}
+
+// TestArmRejectsDuplicateNames pins the schedule-level rule on the
+// concrete Arm path too (Validate covers the serializable form).
+func TestArmRejectsDuplicateNames(t *testing.T) {
+	w := sim.NewWorld(1)
+	inj := New(w, memfs.New())
+	err := inj.Arm([]Step{
+		{Name: "same", After: sim.Second, Action: ActDropControl},
+		{Name: "same", After: 2 * sim.Second, Action: ActDropControl},
+	})
+	if !errors.Is(err, ErrDupStep) {
+		t.Fatalf("err = %v, want ErrDupStep", err)
+	}
+	if len(inj.Fired()) != 0 {
+		t.Fatal("schedule error must arm nothing")
+	}
+}
+
+// TestArmOrderIndependent arms the same schedule in two declaration
+// orders and asserts the fired records are identical — canonical
+// ordering makes (seed, schedule) replay stable.
+func TestArmOrderIndependent(t *testing.T) {
+	run := func(perm func(s []Step) []Step) []Record {
+		w := sim.NewWorld(9)
+		inj := New(w, memfs.New())
+		steps := []Step{
+			// Three faults at the same instant: only canonical ordering
+			// keeps their firing (and hence record) order stable.
+			{Name: "b-drop", After: 100 * sim.Millisecond, Action: ActDropControl, Count: 1},
+			{Name: "a-delay", After: 100 * sim.Millisecond, Action: ActDelayControl,
+				Delay: sim.Millisecond, Window: sim.Second},
+			{Name: "c-drop", After: 100 * sim.Millisecond, Action: ActDropControl, Count: 2},
+			{Name: "later", After: 300 * sim.Millisecond, Action: ActDropControl},
+		}
+		if err := inj.Arm(perm(steps)); err != nil {
+			t.Fatal(err)
+		}
+		w.RunUntil(sim.Time(sim.Second))
+		return inj.Fired()
+	}
+	fwd := run(func(s []Step) []Step { return s })
+	rev := run(func(s []Step) []Step {
+		out := make([]Step, len(s))
+		for i, st := range s {
+			out[len(s)-1-i] = st
+		}
+		return out
+	})
+	if !reflect.DeepEqual(fwd, rev) {
+		t.Fatalf("declaration order changed the replay:\n%v\n%v", fwd, rev)
+	}
+	if len(fwd) != 4 {
+		t.Fatalf("fired %d faults, want 4", len(fwd))
+	}
+}
+
+// TestSpecInverseOfBind pins Step -> SpecStep -> Bind round-tripping.
+func TestSpecInverseOfBind(t *testing.T) {
+	w := sim.NewWorld(1)
+	nodes := []*vos.Node{vos.NewNode(w, "n0", 1), vos.NewNode(w, "n1", 1)}
+	env := Env{Nodes: nodes}
+	step := Step{Name: "kill", Progress: 0.25, Action: ActCrashNode, Node: nodes[1]}
+	spec, err := Spec(step, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Node != 1 || spec.Action != "crash-node" {
+		t.Fatalf("spec = %+v", spec)
+	}
+	back, err := Schedule{Steps: []SpecStep{spec}}.Bind(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back[0], step) {
+		t.Fatalf("bind(spec) = %+v, want %+v", back[0], step)
+	}
+}

@@ -67,7 +67,7 @@ func (r *Remote) Create(path string) (io.WriteCloser, error) {
 	if err := sock.Connect(r.server); err != nil {
 		return nil, err
 	}
-	w := &remoteWriter{sock: sock}
+	w := &remoteWriter{sock: sock, path: path}
 	hdr := putUvarint(nil, uint64(len(path)))
 	hdr = append(hdr, path...)
 	w.queue = [][]byte{hdr}
@@ -94,8 +94,10 @@ func (r *Remote) Stat(string) (Info, error) { return Info{}, ErrUnsupported }
 // independent chunk buffers — never one concatenated image.
 type remoteWriter struct {
 	sock   *netstack.Socket
+	path   string
 	queue  [][]byte
 	qoff   int // bytes of queue[0] already accepted by the socket
+	sent   int64
 	closed bool
 	done   bool
 	err    error
@@ -138,6 +140,7 @@ func (w *remoteWriter) pump() {
 	for len(w.queue) > 0 {
 		n, err := w.sock.Send(w.queue[0][w.qoff:], false)
 		w.qoff += n
+		w.sent += int64(n)
 		if w.qoff == len(w.queue[0]) {
 			w.queue = w.queue[1:]
 			w.qoff = 0
@@ -147,7 +150,11 @@ func (w *remoteWriter) pump() {
 			if errors.Is(err, netstack.ErrWouldBlock) {
 				return
 			}
-			w.err = err
+			// A transport failure mid-image is a truncated stream: name
+			// the pod whose record was cut, don't surface a raw socket
+			// error.
+			w.err = fmt.Errorf("pod %s (%s): %w after %d bytes: %v",
+				PodOf(w.path), w.path, ErrTruncatedStream, w.sent, err)
 			return
 		}
 		if n == 0 {
@@ -265,7 +272,7 @@ func (c *serverConn) drain() {
 			// EOF after a committed image is the clean shutdown; anything
 			// else aborts the transfer with nothing committed.
 			if !errors.Is(err, netstack.ErrEOF) || c.state != stDone {
-				c.fail(fmt.Errorf("imagestore: transfer aborted in state %d: %w", c.state, err))
+				c.fail(c.abortErr(err))
 			}
 			c.sock.Close()
 			return
@@ -278,6 +285,19 @@ func (c *serverConn) drain() {
 			return
 		}
 	}
+}
+
+// abortErr classifies a dead transfer. Once the image path is known the
+// failure is a truncated stream and is named after the affected pod —
+// a mid-stream kill must not surface as a generic transport or decode
+// error. Before the path has arrived there is no pod to blame.
+func (c *serverConn) abortErr(cause error) error {
+	if len(c.path) > 0 && c.state != stDone {
+		p := string(c.path)
+		return fmt.Errorf("pod %s (%s): %w in state %d: %v",
+			PodOf(p), p, ErrTruncatedStream, c.state, cause)
+	}
+	return fmt.Errorf("imagestore: transfer aborted in state %d: %w", c.state, cause)
 }
 
 func (c *serverConn) fail(err error) {

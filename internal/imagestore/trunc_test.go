@@ -1,0 +1,179 @@
+package imagestore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"zapc/internal/memfs"
+	"zapc/internal/netstack"
+	"zapc/internal/sim"
+)
+
+func TestPodOf(t *testing.T) {
+	cases := map[string]string{
+		"gen0001/cpi-1-0.img":       "cpi-1-0",
+		"gen0001/cpi-1-0.delta":     "cpi-1-0",
+		"gen0001/cpi-1-0.r03.delta": "cpi-1-0",
+		"cpi-1-0.img":               "cpi-1-0",
+		"dir/pod.rxx.delta":         "pod.rxx", // non-numeric round suffix stays
+		"dir/odd":                   "odd",
+	}
+	for path, want := range cases {
+		if got := PodOf(path); got != want {
+			t.Errorf("PodOf(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestTruncStorePassThrough(t *testing.T) {
+	st := Truncating(NewFS(memfs.New()))
+	wc, err := st.Create("g/pod.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wc.Write(bytes.Repeat([]byte{1}, 9000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := st.Open("g/pod.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := io.ReadAll(rc)
+	if err != nil || len(all) != 9000 {
+		t.Fatalf("read back: %d bytes, %v", len(all), err)
+	}
+	if got := len(st.Cuts()); got != 0 {
+		t.Fatalf("unarmed store cut %d streams", got)
+	}
+}
+
+func TestTruncStoreWriteFault(t *testing.T) {
+	st := Truncating(NewFS(memfs.New()))
+	st.ArmWrites(1)
+	wc, err := st.Create("g/cpi-1-2.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first writes fit the budget; the one crossing it dies named.
+	if _, err := wc.Write(bytes.Repeat([]byte{1}, DefaultTruncLimit/2)); err != nil {
+		t.Fatal(err)
+	}
+	_, werr := wc.Write(bytes.Repeat([]byte{2}, DefaultTruncLimit))
+	if !errors.Is(werr, ErrTruncatedStream) {
+		t.Fatalf("write error = %v, want ErrTruncatedStream", werr)
+	}
+	if !strings.Contains(werr.Error(), "pod cpi-1-2") {
+		t.Fatalf("error does not name the pod: %v", werr)
+	}
+	if cerr := wc.Close(); !errors.Is(cerr, ErrTruncatedStream) {
+		t.Fatalf("close error = %v, want ErrTruncatedStream", cerr)
+	}
+	// Nothing committed, and the next stream is clean again.
+	if got := st.List("g"); len(got) != 0 {
+		t.Fatalf("truncated image visible: %v", got)
+	}
+	wc2, err := st.Create("g/cpi-1-2.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wc2.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Cuts(); len(got) != 1 || got[0] != "g/cpi-1-2.img" {
+		t.Fatalf("cuts = %v", got)
+	}
+}
+
+// TestTruncStoreWriteFaultUnderBudget pins that an armed truncation
+// kills a short stream at Close rather than letting it slip through.
+func TestTruncStoreWriteFaultUnderBudget(t *testing.T) {
+	st := Truncating(NewFS(memfs.New()))
+	st.ArmWrites(1)
+	wc, err := st.Create("g/tiny.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wc.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if cerr := wc.Close(); !errors.Is(cerr, ErrTruncatedStream) {
+		t.Fatalf("close error = %v, want ErrTruncatedStream", cerr)
+	}
+	if st.inner.(*FSStore).FS().Exists("g/tiny.img") {
+		t.Fatal("truncated image was committed")
+	}
+}
+
+func TestTruncStoreReadFault(t *testing.T) {
+	st := Truncating(NewFS(memfs.New()))
+	wc, _ := st.Create("g/cpi-1-0.delta")
+	if _, err := wc.Write(bytes.Repeat([]byte{3}, 2*DefaultTruncLimit)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st.ArmReads(1)
+	rc, err := st.Open("g/cpi-1-0.delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := io.ReadAll(rc)
+	if !errors.Is(rerr, ErrTruncatedStream) {
+		t.Fatalf("read error = %v, want ErrTruncatedStream", rerr)
+	}
+	if !strings.Contains(rerr.Error(), "pod cpi-1-0") {
+		t.Fatalf("error does not name the pod: %v", rerr)
+	}
+	rc.Close()
+	// Disarmed again: the record reads back whole.
+	rc2, _ := st.Open("g/cpi-1-0.delta")
+	all, err := io.ReadAll(rc2)
+	if err != nil || len(all) != 2*DefaultTruncLimit {
+		t.Fatalf("read after disarm: %d bytes, %v", len(all), err)
+	}
+}
+
+// TestRemoteStoreAbortNamesPod pins the named error for a remote stream
+// cut mid-image: the server's recorded failure wraps ErrTruncatedStream
+// and names the pod whose record was lost, not a generic transport or
+// decode error.
+func TestRemoteStoreAbortNamesPod(t *testing.T) {
+	w := sim.NewWorld(7)
+	nw := netstack.NewNetwork(w)
+	srv, err := NewServer(nw, 0x0a00ff02, 9000, NewFS(memfs.New()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rem, err := NewRemote(nw, 0x0a00ff01, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := rem.Create("mig/bt-2-5.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wc.Write(bytes.Repeat([]byte{7}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	rw := wc.(*remoteWriter)
+	drive(t, w, func() bool { return len(rw.queue) == 0 })
+	rw.sock.Close() // the checkpointing node dies: no terminator
+	drive(t, w, func() bool { return len(srv.Errs()) == 1 })
+	got := srv.Errs()[0]
+	if !errors.Is(got, ErrTruncatedStream) {
+		t.Fatalf("server error = %v, want ErrTruncatedStream", got)
+	}
+	if !strings.Contains(got.Error(), "pod bt-2-5") {
+		t.Fatalf("server error does not name the pod: %v", got)
+	}
+}

@@ -26,6 +26,7 @@ package zapc
 import (
 	"io"
 
+	"zapc/internal/chaos"
 	"zapc/internal/ckpt"
 	"zapc/internal/cluster"
 	"zapc/internal/core"
@@ -237,13 +238,21 @@ func CompareBenchSchema(prev, cur CkptBenchRecord) error {
 // checkpoint image fails CRC validation during LoadImages/RestartFromFS.
 var ErrCorruptImage = cluster.ErrCorruptImage
 
+// ErrTruncatedStream is returned (wrapped, naming the affected pod and
+// the byte offset) when a checkpoint image stream dies before commit —
+// a remote transfer aborted mid-flight or an armed truncation fault.
+var ErrTruncatedStream = imagestore.ErrTruncatedStream
+
 // Declarative fault kinds.
 const (
-	FaultCrashNode    = faultinject.ActCrashNode
-	FaultCrashManager = faultinject.ActCrashManager
-	FaultCorruptImage = faultinject.ActCorruptImage
-	FaultDropControl  = faultinject.ActDropControl
-	FaultDelayControl = faultinject.ActDelayControl
+	FaultCrashNode      = faultinject.ActCrashNode
+	FaultCrashManager   = faultinject.ActCrashManager
+	FaultRecoverManager = faultinject.ActRecoverManager
+	FaultCorruptImage   = faultinject.ActCorruptImage
+	FaultDropControl    = faultinject.ActDropControl
+	FaultDelayControl   = faultinject.ActDelayControl
+	FaultTruncateStream = faultinject.ActTruncateStream
+	FaultTruncateReads  = faultinject.ActTruncateReads
 )
 
 // NewFaultInjector creates a fault injector wired to the cluster's
@@ -256,6 +265,96 @@ func NewFaultInjector(c *Cluster) *FaultInjector {
 	inj.InterposeCtrl(c.Mgr)
 	inj.SetTracer(c.Tracer(), c.Metrics())
 	return inj
+}
+
+// Seeded chaos fuzzing over the recovery surface (see internal/chaos).
+// A seed expands into a fault schedule; the runner executes it against
+// a supervised reference workload and classifies the outcome against
+// the global invariant (recovered-equivalent | named-error; never a
+// hang, never corrupt state). Non-recovered runs minimize into JSON
+// fixtures that form the regression corpus under testdata/chaos:
+//
+//	cfg := zapc.ChaosConfigForSeed(zapc.DefaultChaosConfig(), seed)
+//	v, _ := zapc.NewChaosRunner(cfg).Run(seed, zapc.GenerateChaosSchedule(seed, cfg))
+//	if v.Bug() { /* minimize, serialize, file a fixture */ }
+type (
+	// ChaosConfig pins one chaos scenario (workload, supervision
+	// policy, watchdog deadline).
+	ChaosConfig = chaos.Config
+	// ChaosRunner executes (seed, schedule) pairs under one config.
+	ChaosRunner = chaos.Runner
+	// ChaosVerdict classifies one run against the invariant.
+	ChaosVerdict = chaos.Verdict
+	// ChaosOutcome is the verdict class.
+	ChaosOutcome = chaos.Outcome
+	// ChaosFixture is one replayable regression-corpus entry.
+	ChaosFixture = chaos.Fixture
+	// ChaosSweepResult is one seed's run within a corpus sweep.
+	ChaosSweepResult = chaos.SweepResult
+	// FaultSchedule is the serializable (JSON) form of a fault
+	// schedule: symbolic targets, validated grammar.
+	FaultSchedule = faultinject.Schedule
+	// FaultSpecStep is one serializable schedule entry.
+	FaultSpecStep = faultinject.SpecStep
+	// FaultEnv resolves a FaultSchedule's symbolic targets against a
+	// live cluster when binding.
+	FaultEnv = faultinject.Env
+)
+
+// Chaos verdict outcomes.
+const (
+	ChaosRecovered    = chaos.OutRecovered
+	ChaosNamedError   = chaos.OutNamedError
+	ChaosHang         = chaos.OutHang
+	ChaosCorruptState = chaos.OutCorrupt
+	ChaosUnnamedError = chaos.OutUnnamedError
+)
+
+// DefaultChaosConfig is the canonical chaos scenario (see chaos.DefaultConfig).
+func DefaultChaosConfig() ChaosConfig { return chaos.DefaultConfig() }
+
+// ChaosConfigForSeed derives the per-seed scenario from a base config.
+func ChaosConfigForSeed(base ChaosConfig, seed int64) ChaosConfig {
+	return chaos.ConfigForSeed(base, seed)
+}
+
+// NewChaosRunner builds a runner for one chaos config.
+func NewChaosRunner(cfg ChaosConfig) *ChaosRunner { return chaos.NewRunner(cfg) }
+
+// GenerateChaosSchedule expands a seed into its fault schedule.
+func GenerateChaosSchedule(seed int64, cfg ChaosConfig) FaultSchedule {
+	return chaos.Generate(seed, cfg)
+}
+
+// ChaosSweep runs every seed in [lo, hi] and returns verdicts in order.
+func ChaosSweep(base ChaosConfig, lo, hi int64) ([]ChaosSweepResult, error) {
+	return chaos.Sweep(base, lo, hi)
+}
+
+// BuildChaosCorpus minimizes every non-recovered sweep result into a
+// regression fixture.
+func BuildChaosCorpus(results []ChaosSweepResult) ([]ChaosFixture, error) {
+	return chaos.BuildCorpus(results)
+}
+
+// WriteChaosFixture writes a fixture under dir with its canonical name.
+func WriteChaosFixture(dir string, f ChaosFixture) (string, error) {
+	return chaos.WriteFixture(dir, f)
+}
+
+// LoadChaosCorpus reads every fixture under dir, sorted by file name.
+func LoadChaosCorpus(dir string) ([]ChaosFixture, []string, error) {
+	return chaos.LoadCorpus(dir)
+}
+
+// EncodeFaultSchedule serializes a validated schedule as deterministic
+// indented JSON; DecodeFaultSchedule parses one strictly, with errors
+// naming the offending step.
+func EncodeFaultSchedule(s FaultSchedule) ([]byte, error) { return faultinject.EncodeSchedule(s) }
+
+// DecodeFaultSchedule parses and validates a JSON fault schedule.
+func DecodeFaultSchedule(data []byte) (FaultSchedule, error) {
+	return faultinject.DecodeSchedule(data)
 }
 
 // Checkpoint modes.
