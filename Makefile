@@ -2,13 +2,14 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCH_OUT ?= BENCH_ckpt.json
 
-.PHONY: ci fmt vet build test race race-precopy fuzz chaos cover bench benchdiff trace-check examples clean
+.PHONY: ci fmt vet build test race race-precopy fuzz chaos dedup-check cover bench benchdiff trace-check examples clean
 
 # Full CI gate: static checks, a clean build, the race-enabled suite,
 # the pre-copy live-checkpoint scenario under the race detector, short
 # fuzzing of the image-format decoders, trace determinism, the chaos
-# fuzzer sweep + corpus replay gate, and coverage totals.
-ci: fmt vet build race race-precopy fuzz trace-check chaos cover
+# fuzzer sweep + corpus replay gate, the dedup-store layout gate, and
+# coverage totals.
+ci: fmt vet build race race-precopy fuzz trace-check chaos dedup-check cover
 
 # gofmt gate: fails listing any file that is not gofmt-clean.
 fmt:
@@ -37,6 +38,8 @@ race-precopy:
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/imgfmt
 	$(GO) test -run '^$$' -fuzz '^FuzzRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/imgfmt
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeV3$$' -fuzztime $(FUZZTIME) ./internal/imgfmt
+	$(GO) test -run '^$$' -fuzz '^FuzzRoundTripV3$$' -fuzztime $(FUZZTIME) ./internal/imgfmt
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeImage$$' -fuzztime $(FUZZTIME) ./internal/ckpt
 	$(GO) test -run '^$$' -fuzz '^FuzzReadJSONL$$' -fuzztime $(FUZZTIME) ./internal/trace
 
@@ -59,6 +62,17 @@ chaos:
 	$(GO) test -race -count=1 ./internal/chaos
 	$(GO) test -race -count=1 -run '^TestChaosCorpusReplays$$' .
 	$(GO) run ./cmd/zapc-chaos -from 1 -to 24
+
+# Dedup-store layout gate: two generations with overlapping content,
+# written twice into fresh stores, must produce byte-identical physical
+# layouts (content-addressed blocks + deterministic manifests), and the
+# refcount/pin lifecycle must never strand or lose a block. Runs the
+# deterministic-layout, shared-blocks, GC, and sweep properties under
+# -race, plus the supervisor's mid-commit crash scenario.
+dedup-check:
+	$(GO) test -race -count=1 -run '^TestDedup' ./internal/imagestore
+	$(GO) test -race -count=1 -run '^TestDedupGCNeverStrandsReferencedBlocks$$' ./internal/supervisor
+	$(GO) test -race -count=1 -run '^TestV3ChurnStoredBytesReduction$$' .
 
 # Coverage profile plus per-package totals.
 cover:

@@ -1,11 +1,14 @@
 package zapc
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"time"
 
 	"zapc/internal/ckpt"
 	"zapc/internal/core"
+	"zapc/internal/imgfmt"
 	"zapc/internal/metrics"
 )
 
@@ -54,6 +57,21 @@ type CkptPipelineRow struct {
 	SuspendReduction   float64
 	PrecopyRounds      int
 	PrecopyResentBytes int64
+
+	// EncodeRawMBps / DecodeMBps / DecodeRawMBps price the version-3
+	// frame compression arm: host wall-clock stream encode with RAW
+	// frames, and decode of compressed vs RAW records.
+	EncodeRawMBps float64
+	DecodeMBps    float64
+	DecodeRawMBps float64
+
+	// StoredBytesPerGen is the average physical growth of the
+	// content-deduplicated image store per generation of the incremental
+	// arm (unique blocks + manifests, after compression and dedup);
+	// LogicalBytesPerGen is the matching uncompressed, undeduplicated
+	// image volume. Their ratio is the end-to-end storage reduction.
+	StoredBytesPerGen  int64
+	LogicalBytesPerGen int64
 }
 
 // ckptAt drives the job to the given progress and takes one snapshot
@@ -170,16 +188,24 @@ func RunCkptPipeline(cfg ExperimentConfig, app string, endpoints, workers int) (
 
 	// --- Arm 4: incremental capture. One full base then deltas, full
 	// again every FullEvery generations, as the supervisor schedules it.
+	// The generations flush through a content-deduplicated store so the
+	// arm also reports the physical bytes each generation actually adds
+	// at rest (unique blocks + manifests) next to its wire bytes.
 	c := clusterFor(endpoints, cfg)
+	ded := c.EnableDedupStore()
 	job, err := c.Launch(cfg.spec(app, endpoints, false))
 	if err != nil {
 		return row, err
 	}
 	incr := ckpt.NewIncrSet(cfg.Checkpoints + 1) // one base, then deltas
-	var fullB, deltaB metrics.Sample
+	var fullB, deltaB, storedB metrics.Sample
+	var prevStored int64
 	for i := 0; i < cfg.Checkpoints; i++ {
 		target := float64(i+1) / float64(cfg.Checkpoints+1) * 0.9
-		res, err := ckptAt(c, job, target, core.Options{Mode: core.Snapshot, Workers: workers, Incr: incr})
+		res, err := ckptAt(c, job, target, core.Options{
+			Mode: core.Snapshot, Workers: workers, Incr: incr,
+			FlushTo: fmt.Sprintf("bench/incr/g%02d", i),
+		})
 		if err != nil {
 			return row, fmt.Errorf("ckpt pipeline %s/%d incr %d: %w", app, endpoints, i, err)
 		}
@@ -193,6 +219,9 @@ func RunCkptPipeline(cfg ExperimentConfig, app string, endpoints, workers int) (
 				row.PeakBufferedBytes = a.PeakBuffered
 			}
 		}
+		u := ded.Usage()
+		storedB.Add(float64(u.StoredBytes() - prevStored))
+		prevStored = u.StoredBytes()
 	}
 	if _, err := c.RunJob(job, runDeadline); err != nil {
 		return row, err
@@ -201,6 +230,10 @@ func RunCkptPipeline(cfg ExperimentConfig, app string, endpoints, workers int) (
 	row.DeltaBytes = int64(deltaB.Mean())
 	if row.DeltaBytes > 0 {
 		row.BytesReduction = float64(row.FullBytes) / float64(row.DeltaBytes)
+	}
+	row.StoredBytesPerGen = int64(storedB.Mean())
+	if n := cfg.Checkpoints; n > 0 {
+		row.LogicalBytesPerGen = ded.Usage().LogicalBytes / int64(n)
 	}
 
 	// --- Host wall-clock encoder throughput over the parallel arm's
@@ -225,6 +258,52 @@ func RunCkptPipeline(cfg ExperimentConfig, app string, endpoints, workers int) (
 	}
 	if el := time.Since(encStart).Seconds(); el > 0 {
 		row.EncodeMBps = float64(totalBytes*reps) / (1 << 20) / el
+	}
+
+	// --- Compressed-vs-RAW frame pricing: stream-encode the same images
+	// with compression disabled, then decode both record sets back.
+	// Throughputs are over the respective wire bytes, so the four
+	// figures are directly comparable to EncodeMBps.
+	var rawRecords [][]byte
+	var rawBytes int64
+	for _, img := range images {
+		var buf bytes.Buffer
+		if _, err := img.EncodeStreamWith(&buf, imgfmt.StreamOpts{NoCompress: true}); err != nil {
+			return row, err
+		}
+		rawRecords = append(rawRecords, buf.Bytes())
+		rawBytes += int64(buf.Len())
+	}
+	encStart = time.Now()
+	for r := 0; r < reps; r++ {
+		for _, img := range images {
+			if _, err := img.EncodeStreamWith(io.Discard, imgfmt.StreamOpts{NoCompress: true}); err != nil {
+				return row, err
+			}
+		}
+	}
+	if el := time.Since(encStart).Seconds(); el > 0 {
+		row.EncodeRawMBps = float64(rawBytes*reps) / (1 << 20) / el
+	}
+	decode := func(recs [][]byte, n int64) (float64, error) {
+		t0 := time.Now()
+		for r := 0; r < reps; r++ {
+			for _, rec := range recs {
+				if _, err := ckpt.DecodeImageWith(rec, workers); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if el := time.Since(t0).Seconds(); el > 0 {
+			return float64(n*reps) / (1 << 20) / el, nil
+		}
+		return 0, nil
+	}
+	if row.DecodeMBps, err = decode(records, totalBytes); err != nil {
+		return row, err
+	}
+	if row.DecodeRawMBps, err = decode(rawRecords, rawBytes); err != nil {
+		return row, err
 	}
 	row.Wall = time.Since(start)
 	return row, nil
@@ -253,23 +332,30 @@ func (r CkptPipelineRow) Record(cfg ExperimentConfig, when string) metrics.CkptB
 		ScSuspendUs:        float64(r.ScSuspend) / 1e3,
 		PrecopyRounds:      r.PrecopyRounds,
 		PrecopyResentBytes: r.PrecopyResentBytes,
+		EncodeRawMBps:      r.EncodeRawMBps,
+		DecodeMBps:         r.DecodeMBps,
+		DecodeRawMBps:      r.DecodeRawMBps,
+		StoredBytesPerGen:  r.StoredBytesPerGen,
+		LogicalBytesPerGen: r.LogicalBytesPerGen,
 		WallNs:             int64(r.Wall),
 	}
 }
 
 // CkptPipelineTable formats pipeline rows for terminal output.
 func CkptPipelineTable(rows []CkptPipelineRow) string {
-	t := metrics.NewTable("app", "pods", "procs", "workers", "seq-ckpt", "par-ckpt", "speedup", "full-img", "delta-img", "reduction", "encode", "peak-buf", "sc-susp", "pre-susp", "dt-gain", "rounds")
+	t := metrics.NewTable("app", "pods", "procs", "workers", "seq-ckpt", "par-ckpt", "speedup", "full-img", "delta-img", "reduction", "encode", "decode", "peak-buf", "sc-susp", "pre-susp", "dt-gain", "rounds", "stored/gen")
 	for _, r := range rows {
 		t.Row(r.App, r.Pods, r.Procs, r.Workers, r.SeqCkpt, r.ParCkpt,
 			fmt.Sprintf("%.2fx", r.SimSpeedup),
 			metrics.HumanBytes(r.FullBytes), metrics.HumanBytes(r.DeltaBytes),
 			fmt.Sprintf("%.1fx", r.BytesReduction),
 			fmt.Sprintf("%.0f MiB/s", r.EncodeMBps),
+			fmt.Sprintf("%.0f MiB/s", r.DecodeMBps),
 			metrics.HumanBytes(r.PeakBufferedBytes),
 			r.ScSuspend, r.PrecopySuspend,
 			fmt.Sprintf("%.1fx", r.SuspendReduction),
-			r.PrecopyRounds)
+			r.PrecopyRounds,
+			metrics.HumanBytes(r.StoredBytesPerGen))
 	}
 	return t.String()
 }

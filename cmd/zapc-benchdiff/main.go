@@ -52,10 +52,11 @@ func main() {
 	if err := zapc.CompareBenchSchema(prev, cur); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("zapc-benchdiff: %s: encode %.1f -> %.1f MiB/s, sim-speedup %.2fx -> %.2fx, delta reduction %.1fx -> %.1fx, peak buffered %d -> %d B, suspend %.0f -> %.0f us\n",
-		file, prev.EncodeMBps, cur.EncodeMBps, prev.SimSpeedup, cur.SimSpeedup,
+	fmt.Printf("zapc-benchdiff: %s: encode %.1f -> %.1f MiB/s, decode %.1f -> %.1f MiB/s, sim-speedup %.2fx -> %.2fx, delta reduction %.1fx -> %.1fx, peak buffered %d -> %d B, suspend %.0f -> %.0f us, stored/gen %d -> %d B\n",
+		file, prev.EncodeMBps, cur.EncodeMBps, prev.DecodeMBps, cur.DecodeMBps,
+		prev.SimSpeedup, cur.SimSpeedup,
 		prev.BytesReduction, cur.BytesReduction, prev.PeakBufferedBytes, cur.PeakBufferedBytes,
-		prev.SuspendUs, cur.SuspendUs)
+		prev.SuspendUs, cur.SuspendUs, prev.StoredBytesPerGen, cur.StoredBytesPerGen)
 	if err := zapc.CompareBenchThroughput(prev, cur, *tol); err != nil {
 		fatal(err)
 	}
@@ -63,6 +64,9 @@ func main() {
 		fatal(err)
 	}
 	if err := zapc.CompareBenchSuspend(prev, cur, *tol); err != nil {
+		fatal(err)
+	}
+	if err := zapc.CompareBenchStoredBytes(prev, cur, *tol); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("zapc-benchdiff: within %.0f%% tolerance\n", *tol)

@@ -142,7 +142,7 @@ func TestHangClassification(t *testing.T) {
 // verifies both reproduction and local minimality: no single remaining
 // step can be dropped without losing the verdict.
 func TestMinimizeLocalMinimum(t *testing.T) {
-	const seed = 28 // ErrNoValidCheckpoint in the default range
+	const seed = 40 // ErrNoValidCheckpoint in the default range
 	cfg := ConfigForSeed(DefaultConfig(), seed)
 	r := NewRunner(cfg)
 	sched := Generate(seed, cfg)
@@ -178,7 +178,7 @@ func TestMinimizeLocalMinimum(t *testing.T) {
 // back through the corpus loader, and replays it to the recorded
 // verdict. Also pins the strict decoding rules.
 func TestFixtureRoundTripAndReplay(t *testing.T) {
-	results, err := Sweep(DefaultConfig(), 28, 28)
+	results, err := Sweep(DefaultConfig(), 40, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestFixtureRoundTripAndReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(corpus) != 1 {
-		t.Fatalf("expected one fixture from seed 28, got %d", len(corpus))
+		t.Fatalf("expected one fixture from seed 40, got %d", len(corpus))
 	}
 	dir := t.TempDir()
 	path, err := WriteFixture(dir, corpus[0])

@@ -189,15 +189,17 @@ func (img *Image) Remap(remap map[netstack.IP]netstack.IP) {
 	netckpt.RemapImage(img.Net, remap)
 }
 
-// Bytes reports the serialized size of the image (the paper's checkpoint
-// image size, Figure 6c) in the version-2 streamed format, computed by
-// encoding to a counting sink — the image is never materialized. The
-// value is memoized: images are treated as immutable once the
-// checkpoint completes.
+// Bytes reports the logical serialized size of the image (the paper's
+// checkpoint image size, Figure 6c): the uncompressed field stream,
+// computed by encoding to a counting sink — the image is never
+// materialized. Per-frame compression shrinks the bytes on the wire
+// (StreamStats.Bytes), not this figure, so size-based invariants stay
+// comparable across frame versions. The value is memoized: images are
+// treated as immutable once the checkpoint completes.
 func (img *Image) Bytes() int64 {
 	if img.sizeCache == 0 {
 		st, _ := img.EncodeStream(io.Discard) // io.Discard never errors
-		img.sizeCache = st.Bytes
+		img.sizeCache = st.Raw
 	}
 	return img.sizeCache
 }

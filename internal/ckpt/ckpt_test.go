@@ -335,9 +335,14 @@ func TestSerializeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if img.Bytes() != int64(v2.Len()) || img.Bytes() != st.Bytes {
-		t.Fatalf("Bytes() = %d, streamed record is %d bytes (stats %d)",
-			img.Bytes(), v2.Len(), st.Bytes)
+	if int64(v2.Len()) != st.Bytes {
+		t.Fatalf("streamed record is %d bytes, stats say %d", v2.Len(), st.Bytes)
+	}
+	if img.Bytes() != st.Raw {
+		t.Fatalf("Bytes() = %d, logical stream size is %d", img.Bytes(), st.Raw)
+	}
+	if st.Raw < st.Bytes-64 {
+		t.Fatalf("logical size %d below wire size %d", st.Raw, st.Bytes)
 	}
 	if img.MemoryBytes() < 5 {
 		t.Fatal("MemoryBytes too small")

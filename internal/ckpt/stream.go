@@ -89,8 +89,13 @@ const (
 
 // StreamStats reports what a streaming encode produced.
 type StreamStats struct {
-	// Bytes is the total record size on the wire.
+	// Bytes is the total record size on the wire — after per-frame
+	// compression, for version-3 streams.
 	Bytes int64
+	// Raw is the logical (uncompressed) payload size the frames carry:
+	// the size of the version-1 field stream. Bytes/Raw is the
+	// compression ratio of the record.
+	Raw int64
 	// Peak is the maximum bytes the encoder ever buffered at once —
 	// the pipeline's peak-memory figure, bounded by the chunk size plus
 	// the largest metadata section, not by the image size.
@@ -129,13 +134,21 @@ func (c *crcReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// EncodeStream writes the image to w in the version-2 chunked format.
-// Bulk payloads (program state, memory regions) are framed directly out
-// of the image's buffers; at no point does the encoder hold the record
-// — or any process's full state — contiguously.
+// EncodeStream writes the image to w in the default chunked format
+// (version 3: per-frame RAW or compressed). Bulk payloads (program
+// state, memory regions) are framed directly out of the image's
+// buffers; at no point does the encoder hold the record — or any
+// process's full state — contiguously.
 func (img *Image) EncodeStream(w io.Writer) (StreamStats, error) {
+	return img.EncodeStreamWith(w, imgfmt.StreamOpts{})
+}
+
+// EncodeStreamWith is EncodeStream with explicit frame-layer options
+// (legacy version-2 framing, or version 3 with compression disabled) —
+// for baselines, compatibility tooling, and cross-configuration tests.
+func (img *Image) EncodeStreamWith(w io.Writer, o imgfmt.StreamOpts) (StreamStats, error) {
 	cw := &countCRCWriter{w: w}
-	s := imgfmt.NewStreamEncoder(cw)
+	s := imgfmt.NewStreamEncoderOpts(cw, o)
 	s.String(s2PodName, img.PodName)
 	s.Uint(s2VIP, uint64(img.VIP))
 	s.Int(s2VTime, int64(img.VirtualTime))
@@ -163,14 +176,19 @@ func (img *Image) EncodeStream(w io.Writer) (StreamStats, error) {
 	if err := s.Close(); err != nil {
 		return StreamStats{}, err
 	}
-	return StreamStats{Bytes: cw.n, Peak: s.Peak(), Sum: cw.sum}, nil
+	return StreamStats{Bytes: cw.n, Raw: s.Logical(), Peak: s.Peak(), Sum: cw.sum}, nil
 }
 
-// EncodeStream writes the delta record to w in the version-2 chunked
+// EncodeStream writes the delta record to w in the default chunked
 // format, with the same bounded-buffering property as the image form.
 func (d *DeltaImage) EncodeStream(w io.Writer) (StreamStats, error) {
+	return d.EncodeStreamWith(w, imgfmt.StreamOpts{})
+}
+
+// EncodeStreamWith is EncodeStream with explicit frame-layer options.
+func (d *DeltaImage) EncodeStreamWith(w io.Writer, o imgfmt.StreamOpts) (StreamStats, error) {
 	cw := &countCRCWriter{w: w}
-	s := imgfmt.NewStreamDeltaEncoder(cw)
+	s := imgfmt.NewStreamDeltaEncoderOpts(cw, o)
 	s.String(d2PodName, d.PodName)
 	s.Uint(d2VIP, uint64(d.VIP))
 	s.Int(d2VTime, int64(d.VirtualTime))
@@ -210,7 +228,7 @@ func (d *DeltaImage) EncodeStream(w io.Writer) (StreamStats, error) {
 	if err := s.Close(); err != nil {
 		return StreamStats{}, err
 	}
-	return StreamStats{Bytes: cw.n, Peak: s.Peak(), Sum: cw.sum}, nil
+	return StreamStats{Bytes: cw.n, Raw: s.Logical(), Peak: s.Peak(), Sum: cw.sum}, nil
 }
 
 // decodeProcHeader parses one s2Proc metadata section.

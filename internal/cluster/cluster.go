@@ -50,6 +50,7 @@ type Cluster struct {
 	jobSeq  int
 	tr      *trace.Tracer
 	reg     *trace.Registry
+	dedup   *imagestore.DedupStore
 }
 
 // EnableTracing turns on pipeline observability for the whole cluster:
@@ -69,6 +70,25 @@ func (c *Cluster) EnableTracing() (*trace.Tracer, *trace.Registry) {
 	c.Mgr.SetStore(imagestore.Traced(c.Mgr.Store(), c.tr, c.reg))
 	return c.tr, c.reg
 }
+
+// EnableDedupStore wraps the coordination manager's image store with
+// content-hash block dedup (imagestore.NewDedup): unchanged regions
+// across checkpoint generations are stored once and referenced by hash,
+// and supervisors GC blocks by reference count. Layering composes with
+// EnableTracing in either order — dedup over a traced store emits block
+// reads/writes as store spans; tracing over a dedup store emits logical
+// image streams. Calling it again returns the existing store.
+func (c *Cluster) EnableDedupStore() *imagestore.DedupStore {
+	if c.dedup == nil {
+		c.dedup = imagestore.NewDedup(c.Mgr.Store())
+		c.Mgr.SetStore(c.dedup)
+	}
+	return c.dedup
+}
+
+// DedupStore returns the cluster's dedup store (nil until
+// EnableDedupStore).
+func (c *Cluster) DedupStore() *imagestore.DedupStore { return c.dedup }
 
 // Tracer returns the cluster's tracer (nil until EnableTracing).
 func (c *Cluster) Tracer() *trace.Tracer { return c.tr }

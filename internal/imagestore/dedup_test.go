@@ -1,0 +1,377 @@
+package imagestore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"zapc/internal/memfs"
+)
+
+// newDedupT returns a small-block dedup store over a fresh memfs so
+// tests exercise multi-block images without megabyte payloads.
+func newDedupT() (*DedupStore, *FSStore) {
+	inner := NewFS(memfs.New())
+	return NewDedupBlockSize(inner, 1<<10), inner
+}
+
+func writeImage(t *testing.T, st Store, path string, data []byte) {
+	t.Helper()
+	wc, err := st.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write in uneven slices so block cutting never aligns with Write
+	// boundaries.
+	for len(data) > 0 {
+		n := 300
+		if n > len(data) {
+			n = len(data)
+		}
+		if _, err := wc.Write(data[:n]); err != nil {
+			t.Fatal(err)
+		}
+		data = data[n:]
+	}
+	if err := wc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readImage(t *testing.T, st Store, path string) []byte {
+	t.Helper()
+	rc, err := st.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func randBytes(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestDedupRoundTrip(t *testing.T) {
+	st, _ := newDedupT()
+	for _, n := range []int{0, 1, 1023, 1024, 1025, 10_000} {
+		path := fmt.Sprintf("gen0/pod%d.img", n)
+		data := randBytes(int64(n), n)
+		writeImage(t, st, path, data)
+		if got := readImage(t, st, path); !bytes.Equal(got, data) {
+			t.Fatalf("size %d: round trip mismatch (%d bytes back)", n, len(got))
+		}
+		info, err := st.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantChunks := (n + 1023) / 1024
+		if info.Size != int64(n) || info.Chunks != wantChunks {
+			t.Fatalf("size %d: stat %+v, want Size=%d Chunks=%d", n, info, n, wantChunks)
+		}
+	}
+}
+
+// TestDedupSharedRegionsStoredOnce is the headline property: identical
+// regions across generations are stored once. Two generations whose
+// images share all but one block must grow the store by only the
+// changed block plus a manifest.
+func TestDedupSharedRegionsStoredOnce(t *testing.T) {
+	st, _ := newDedupT()
+	base := randBytes(1, 8<<10)
+	writeImage(t, st, "gen0/pod.img", base)
+	u0 := st.Usage()
+	if u0.Blocks != 8 || u0.BlockBytes != 8<<10 {
+		t.Fatalf("gen0 usage: %+v", u0)
+	}
+
+	// Generation 1: same image with one interior block rewritten.
+	next := append([]byte(nil), base...)
+	copy(next[3<<10:], randBytes(2, 1<<10))
+	writeImage(t, st, "gen1/pod.img", next)
+	u1 := st.Usage()
+	if u1.Blocks != 9 {
+		t.Fatalf("gen1 should add exactly one unique block: %+v", u1)
+	}
+	if u1.LogicalBytes != 16<<10 || u1.BlockBytes != 9<<10 {
+		t.Fatalf("gen1 accounting: %+v", u1)
+	}
+	if ratio := float64(u1.StoredBytes()) / float64(u1.LogicalBytes); ratio > 0.62 {
+		t.Fatalf("dedup saved nothing: stored/logical = %.2f", ratio)
+	}
+
+	// Generation 2 repeats generation 1 exactly: zero new blocks.
+	writeImage(t, st, "gen2/pod.img", next)
+	if u2 := st.Usage(); u2.Blocks != 9 {
+		t.Fatalf("identical generation added blocks: %+v", u2)
+	}
+
+	// All three still read back correctly.
+	if !bytes.Equal(readImage(t, st, "gen0/pod.img"), base) {
+		t.Fatal("gen0 corrupted by later writes")
+	}
+	if !bytes.Equal(readImage(t, st, "gen2/pod.img"), next) {
+		t.Fatal("gen2 mismatch")
+	}
+}
+
+// TestDedupDeterministicLayout: writing the same content twice — in a
+// fresh store, or rewriting generations in a long-lived one — produces
+// a byte-identical physical layout. This is the CI dedup-check gate's
+// property, pinned at unit level.
+func TestDedupDeterministicLayout(t *testing.T) {
+	layout := func() map[string][]byte {
+		st, inner := newDedupT()
+		base := randBytes(9, 4<<10)
+		next := append(append([]byte(nil), base[:2<<10]...), randBytes(10, 2<<10)...)
+		writeImage(t, st, "gen0/pod.img", base)
+		writeImage(t, st, "gen1/pod.img", next)
+		out := map[string][]byte{}
+		for _, p := range inner.List("") {
+			out[p] = readImage(t, inner, p)
+		}
+		return out
+	}
+	a, b := layout(), layout()
+	if len(a) != len(b) {
+		t.Fatalf("layouts differ in file count: %d vs %d", len(a), len(b))
+	}
+	for p, data := range a {
+		if !bytes.Equal(data, b[p]) {
+			t.Fatalf("store file %s differs between identical runs", p)
+		}
+	}
+}
+
+// TestDedupRemoveRefcounts: removing one generation keeps every block a
+// surviving generation references and deletes the rest.
+func TestDedupRemoveRefcounts(t *testing.T) {
+	st, inner := newDedupT()
+	base := randBytes(3, 4<<10)
+	next := append(append([]byte(nil), base[:2<<10]...), randBytes(4, 2<<10)...)
+	writeImage(t, st, "gen0/pod.img", base)
+	writeImage(t, st, "gen1/pod.img", next)
+	if u := st.Usage(); u.Blocks != 6 {
+		t.Fatalf("setup: %+v", u)
+	}
+
+	if err := st.Remove("gen0/pod.img"); err != nil {
+		t.Fatal(err)
+	}
+	// gen0's two unshared blocks die; the two blocks gen1 shares survive.
+	if u := st.Usage(); u.Blocks != 4 || u.Images != 1 {
+		t.Fatalf("after remove: %+v", u)
+	}
+	if !bytes.Equal(readImage(t, st, "gen1/pod.img"), next) {
+		t.Fatal("surviving generation lost a shared block")
+	}
+
+	if err := st.Remove("gen1/pod.img"); err != nil {
+		t.Fatal(err)
+	}
+	if files := inner.List(""); len(files) != 0 {
+		t.Fatalf("store not empty after removing every image: %v", files)
+	}
+}
+
+// TestDedupAbortLeavesNoTrace: a writer that dies before Close leaves
+// nothing pinned; one that fails mid-write releases its blocks unless
+// a committed image shares them.
+func TestDedupAbortLeavesNoTrace(t *testing.T) {
+	st, inner := newDedupT()
+	data := randBytes(5, 4<<10)
+	writeImage(t, st, "gen0/pod.img", data)
+
+	// An in-flight writer sharing gen0's blocks plus one new block.
+	wc, err := st.Create("gen1/pod.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wc.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wc.Write(randBytes(6, 1<<10)); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon without Close by releasing through a failing second Close
+	// path: simulate the abort by removing gen0 first — its blocks are
+	// still pinned by the in-flight writer, so they must survive.
+	if err := st.Remove("gen0/pod.img"); err != nil {
+		t.Fatal(err)
+	}
+	if u := st.Usage(); u.Blocks != 5 {
+		t.Fatalf("pinned blocks were collected with gen0: %+v", u)
+	}
+	// Commit: pins become refs, gen1 reads back whole.
+	if err := wc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte(nil), data...), randBytes(6, 1<<10)...)
+	if !bytes.Equal(readImage(t, st, "gen1/pod.img"), want) {
+		t.Fatal("gen1 mismatch after pinned commit")
+	}
+	if u := st.Usage(); u.Blocks != 5 || u.Images != 1 {
+		t.Fatalf("after commit: %+v", u)
+	}
+	_ = inner
+}
+
+// TestDedupSweepCollectsOrphans: blocks with no manifest and no pin —
+// the residue of a crash between block commit and manifest commit — are
+// collected by Sweep; referenced and pinned blocks never are.
+func TestDedupSweepCollectsOrphans(t *testing.T) {
+	st, inner := newDedupT()
+	writeImage(t, st, "gen0/pod.img", randBytes(7, 2<<10))
+
+	// Fabricate two orphans directly in the inner store, as a crashed
+	// writer (whose in-memory pins died with it) would leave behind.
+	for i := 0; i < 2; i++ {
+		wc, err := inner.Create(fmt.Sprintf("!dedup/%064x", 0xdead+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wc.Write([]byte("orphan"))
+		if err := wc.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A pinned block from an in-flight writer must survive the sweep.
+	wc, err := st.Create("gen1/pod.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := randBytes(8, 1<<10)
+	if _, err := wc.Write(pinned); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := st.Sweep(); n != 2 {
+		t.Fatalf("swept %d blocks, want 2 orphans", n)
+	}
+	if err := wc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(readImage(t, st, "gen1/pod.img"), pinned) {
+		t.Fatal("sweep collected a pinned block")
+	}
+	if n := st.Sweep(); n != 0 {
+		t.Fatalf("second sweep collected %d live blocks", n)
+	}
+}
+
+// TestDedupRecoverRefs: a new DedupStore over an existing store (a
+// supervisor restart) rebuilds reference counts from the committed
+// manifests, so Remove and Sweep keep behaving correctly.
+func TestDedupRecoverRefs(t *testing.T) {
+	inner := NewFS(memfs.New())
+	st := NewDedupBlockSize(inner, 1<<10)
+	base := randBytes(11, 3<<10)
+	next := append(append([]byte(nil), base[:1<<10]...), randBytes(12, 1<<10)...)
+	writeImage(t, st, "gen0/pod.img", base)
+	writeImage(t, st, "gen1/pod.img", next)
+
+	// Fresh wrapper over the same inner store.
+	st2 := NewDedupBlockSize(inner, 1<<10)
+	if n := st2.Sweep(); n != 0 {
+		t.Fatalf("recovery lost %d references to live blocks", n)
+	}
+	if err := st2.Remove("gen0/pod.img"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(readImage(t, st2, "gen1/pod.img"), next) {
+		t.Fatal("shared block lost after recovered-refcount remove")
+	}
+	if u := st2.Usage(); u.Blocks != 2 || u.Images != 1 {
+		t.Fatalf("after recovered remove: %+v", u)
+	}
+}
+
+// TestDedupPassThrough: files written beneath the wrapper (or before it
+// existed) read, stat, list, and remove through unchanged.
+func TestDedupPassThrough(t *testing.T) {
+	inner := NewFS(memfs.New())
+	wc, _ := inner.Create("legacy/pod.img")
+	wc.Write([]byte("plain image bytes"))
+	wc.Close()
+
+	st := NewDedup(inner)
+	if got := readImage(t, st, "legacy/pod.img"); string(got) != "plain image bytes" {
+		t.Fatalf("pass-through read: %q", got)
+	}
+	info, err := st.Stat("legacy/pod.img")
+	if err != nil || info.Size != 17 {
+		t.Fatalf("pass-through stat: %+v, %v", info, err)
+	}
+	if err := st.Remove("legacy/pod.img"); err != nil {
+		t.Fatal(err)
+	}
+	if files := st.List(""); len(files) != 0 {
+		t.Fatalf("pass-through remove left %v", files)
+	}
+}
+
+// TestDedupListHidesBlocks: List never exposes the block namespace,
+// and the listing stays sorted like the inner store's.
+func TestDedupListHidesBlocks(t *testing.T) {
+	st, _ := newDedupT()
+	writeImage(t, st, "gen0/b.img", randBytes(13, 2<<10))
+	writeImage(t, st, "gen0/a.img", randBytes(14, 2<<10))
+	got := st.List("gen0")
+	want := []string{"gen0/a.img", "gen0/b.img"}
+	if !sort.StringsAreSorted(got) || len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+	if inside := st.List(dedupBlockPrefix); len(inside) != 0 {
+		t.Fatalf("block namespace leaked through List: %v", inside)
+	}
+	if _, err := st.Create(dedupBlockPrefix + "x"); err == nil {
+		t.Fatal("Create inside the block namespace must fail")
+	}
+}
+
+// TestDedupCorruptManifest: a truncated or inconsistent manifest (and a
+// manifest whose block vanished) surfaces ErrDedupCorrupt, never a
+// panic or silent short read.
+func TestDedupCorruptManifest(t *testing.T) {
+	st, inner := newDedupT()
+	writeImage(t, st, "gen0/pod.img", randBytes(15, 2<<10))
+
+	// Delete a referenced block behind the store's back.
+	blocks := inner.List(dedupBlockPrefix)
+	if len(blocks) != 2 {
+		t.Fatalf("setup: %v", blocks)
+	}
+	if err := inner.Remove(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := st.Open("gen0/pod.img")
+	if err == nil {
+		_, err = io.ReadAll(rc)
+		rc.Close()
+	}
+	if err == nil {
+		t.Fatal("read through a missing block succeeded")
+	}
+
+	// Truncated manifest bytes.
+	manifest := readImage(t, inner, "gen0/pod.img")
+	for _, cut := range []int{len(dedupMagic) + 1, len(manifest) - 7} {
+		wc, _ := inner.Create("bad/pod.img")
+		wc.Write(manifest[:cut])
+		if err := wc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Open("bad/pod.img"); err == nil {
+			t.Fatalf("truncated manifest (cut %d) opened cleanly", cut)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// LZ4-style block codec for version-3 frames.
+//
+// Each version-3 frame is independently either RAW or block-compressed,
+// so the codec here is a self-contained single-block format with no
+// cross-frame state: compression of a frame is a pure function of that
+// frame's payload bytes, which is what makes v3 output bit-identical
+// regardless of worker count or IO mode.
+//
+// The block format is the classic LZ4 sequence stream: each sequence is
+// a token byte (high nibble literal length, low nibble match length
+// minus 4, 15 meaning "extended by 255-run bytes"), the literals, a
+// 2-byte little-endian match offset, and any match-length extension
+// bytes. The final sequence carries literals only (no offset); the
+// block ends exactly there. Matches may overlap their own output
+// (offset < length), which encodes runs.
+//
+// Everything is hand-rolled on the standard library only — the image
+// format takes no dependencies — and the decompressor is fully
+// bounds-checked: hostile input yields an error, never a panic or an
+// allocation beyond the declared raw size.
+package imgfmt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame styles for version-3 frames.
+const (
+	// FrameRaw tags a frame stored uncompressed.
+	FrameRaw = 0x00
+	// FrameLZ4 tags a frame stored LZ4-style block-compressed.
+	FrameLZ4 = 0x01
+)
+
+const (
+	// minMatch is the shortest back-reference worth encoding (the
+	// token's match nibble is biased by it).
+	minMatch = 4
+	// minCompressSrc is the compressibility heuristic's floor: frames
+	// smaller than this are stored RAW without attempting compression —
+	// the per-sequence overhead cannot win on them.
+	minCompressSrc = 64
+	// hashLog sizes the match-finder table (1<<hashLog entries).
+	hashLog = 13
+	// maxOffset is the farthest back a 2-byte offset can reach.
+	maxOffset = 65535
+)
+
+func hash4(u uint32) uint32 { return (u * 2654435761) >> (32 - hashLog) }
+
+func load32(b []byte, i int) uint32 { return binary.LittleEndian.Uint32(b[i:]) }
+
+// blockCompress compresses one frame payload, returning nil when the
+// frame is not worth compressing: too small to ever win, or the encoded
+// form would not be strictly smaller than the RAW form once the
+// compressed-length prefix is accounted for. Returning nil (not a
+// bigger block) IS the per-frame RAW/compressed decision: the encoder
+// stores exactly what this function hands back, so the choice is a pure
+// function of the payload bytes.
+func blockCompress(src []byte) []byte {
+	n := len(src)
+	if n < minCompressSrc || n > MaxFrame {
+		return nil
+	}
+	// The RAW frame body costs n bytes; the compressed body costs
+	// len(dst) plus its uvarint length prefix (≤3 bytes for any frame
+	// under MaxFrame). Bail as soon as the win becomes impossible.
+	bound := n - 4
+	dst := make([]byte, 0, n)
+	var table [1 << hashLog]int32 // position+1 of a recent 4-byte sequence
+	anchor := 0                   // start of the pending literal run
+	misses := 0                   // consecutive failed probes, drives skip acceleration
+	for i := 0; i+minMatch <= n; {
+		h := hash4(load32(src, i))
+		cand := int(table[h]) - 1
+		table[h] = int32(i) + 1
+		if cand < 0 || i-cand > maxOffset || load32(src, cand) != load32(src, i) {
+			misses++
+			i += 1 + misses>>6 // skip faster through incompressible regions
+			continue
+		}
+		misses = 0
+		m, c := i+minMatch, cand+minMatch
+		for m < n && src[m] == src[c] {
+			m++
+			c++
+		}
+		dst = appendSeq(dst, src[anchor:i], i-cand, m-i)
+		if len(dst) > bound {
+			return nil
+		}
+		i, anchor = m, m
+	}
+	dst = appendSeq(dst, src[anchor:], 0, 0) // final literal-only sequence
+	if len(dst) > bound {
+		return nil
+	}
+	return dst
+}
+
+// appendSeq appends one sequence: token, extended literal length,
+// literals, and — unless this is the final literal-only sequence
+// (matchLen 0) — the match offset and extended match length.
+func appendSeq(dst, lits []byte, offset, matchLen int) []byte {
+	lit := len(lits)
+	var token byte
+	if lit >= 15 {
+		token = 0xF0
+	} else {
+		token = byte(lit) << 4
+	}
+	ml := 0
+	if matchLen > 0 {
+		ml = matchLen - minMatch
+		if ml >= 15 {
+			token |= 0x0F
+		} else {
+			token |= byte(ml)
+		}
+	}
+	dst = append(dst, token)
+	if lit >= 15 {
+		dst = appendLenExt(dst, lit-15)
+	}
+	dst = append(dst, lits...)
+	if matchLen == 0 {
+		return dst
+	}
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if ml >= 15 {
+		dst = appendLenExt(dst, ml-15)
+	}
+	return dst
+}
+
+// appendLenExt appends a 255-run extension for lengths past the nibble.
+func appendLenExt(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// readLenExt reads a 255-run length extension starting at src[i],
+// returning the value and the next read position. The running value is
+// capped at MaxFrame so a hostile run of 255s cannot manufacture a
+// huge length.
+func readLenExt(src []byte, i int) (int, int, error) {
+	v := 0
+	for {
+		if i >= len(src) {
+			return 0, 0, errors.New("lz4: truncated length extension")
+		}
+		b := src[i]
+		i++
+		v += int(b)
+		if v > MaxFrame {
+			return 0, 0, errors.New("lz4: length extension overflow")
+		}
+		if b < 255 {
+			return v, i, nil
+		}
+	}
+}
+
+// blockDecompress expands one compressed frame body to exactly rawLen
+// bytes. Every length and offset is validated against the bytes that
+// actually arrived; malformed input returns an error and never panics
+// or allocates more than rawLen.
+func blockDecompress(src []byte, rawLen int) ([]byte, error) {
+	if rawLen < 0 || rawLen > MaxFrame {
+		return nil, fmt.Errorf("lz4: bad raw length %d", rawLen)
+	}
+	// Size the initial allocation by what the input could plausibly
+	// expand to (a length-extension byte yields at most 255 output
+	// bytes), so a tiny hostile block declaring a huge raw size cannot
+	// force a large allocation up front. append regrows if a legitimate
+	// block really does expand further.
+	cap0 := rawLen
+	if max := len(src) * 255; cap0 > max {
+		cap0 = max
+	}
+	dst := make([]byte, 0, cap0)
+	i := 0
+	for {
+		if i >= len(src) {
+			return nil, errors.New("lz4: truncated block")
+		}
+		token := src[i]
+		i++
+		lit := int(token >> 4)
+		if lit == 15 {
+			ext, ni, err := readLenExt(src, i)
+			if err != nil {
+				return nil, err
+			}
+			lit, i = lit+ext, ni
+		}
+		if lit > len(src)-i {
+			return nil, errors.New("lz4: literal run past end of block")
+		}
+		if len(dst)+lit > rawLen {
+			return nil, errors.New("lz4: output overruns declared raw size")
+		}
+		dst = append(dst, src[i:i+lit]...)
+		i += lit
+		if i == len(src) { // final literal-only sequence ends the block
+			if len(dst) != rawLen {
+				return nil, fmt.Errorf("lz4: decoded %d bytes, declared %d", len(dst), rawLen)
+			}
+			return dst, nil
+		}
+		if i+2 > len(src) {
+			return nil, errors.New("lz4: truncated match offset")
+		}
+		offset := int(src[i]) | int(src[i+1])<<8
+		i += 2
+		if offset == 0 || offset > len(dst) {
+			return nil, fmt.Errorf("lz4: match offset %d outside %d decoded bytes", offset, len(dst))
+		}
+		ml := int(token & 0x0F)
+		if ml == 15 {
+			ext, ni, err := readLenExt(src, i)
+			if err != nil {
+				return nil, err
+			}
+			ml, i = ml+ext, ni
+		}
+		ml += minMatch
+		if len(dst)+ml > rawLen {
+			return nil, errors.New("lz4: match overruns declared raw size")
+		}
+		pos := len(dst) - offset
+		for k := 0; k < ml; k++ { // byte-wise: overlapping matches encode runs
+			dst = append(dst, dst[pos+k])
+		}
+	}
+}

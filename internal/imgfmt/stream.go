@@ -10,13 +10,32 @@
 //	frame*   :=  uvarint payloadLen (>0) | payload | crc32(payload) LE
 //	terminator = uvarint 0 | crc32(header + all payloads) LE
 //
-// Each frame carries its own CRC, so a consumer (the supervisor's
-// generation validator, a migration receiver) can verify data
-// incrementally and fail fast on truncation without ever materializing
-// the image; the terminator CRC seals the whole logical stream. The
-// frame layer is pure transport: concatenating every payload yields
-// exactly the version-1 field stream, so the TLV walker above it is
-// shared between versions.
+// Version 3 keeps the same chunking but makes every frame independently
+// RAW or LZ4-style block-compressed, chosen per frame by a
+// compressibility heuristic (compression is kept only when strictly
+// smaller; see blockCompress):
+//
+//	magic ("ZAPCIMG" | "ZAPCDLT")
+//	uvarint version (3)
+//	frame*    :=  uvarint rawLen (>0) | style (1 byte) | body
+//	body(RAW) :=  payload[rawLen] | crc32(payload) LE
+//	body(LZ4) :=  uvarint storedLen (0 < storedLen < rawLen) |
+//	              stored[storedLen] | crc32(stored) LE
+//	terminator = uvarint 0 | crc32(header + all raw payloads) LE
+//
+// Each frame carries its own CRC over the bytes as stored (so
+// corruption is caught before any decompression is attempted), while
+// the terminator CRC covers the logical payload stream, so it is
+// identical whether frames were compressed or not. A consumer (the
+// supervisor's generation validator, a migration receiver) can verify
+// data incrementally and fail fast on truncation without ever
+// materializing the image. The frame layer is pure transport:
+// concatenating every (decompressed) payload yields exactly the
+// version-1 field stream, so the TLV walker above it is shared between
+// all versions. Because the per-frame RAW/compressed decision is a pure
+// function of the frame's payload bytes, version-3 output is
+// bit-identical regardless of worker count or of streaming vs. buffered
+// IO.
 package imgfmt
 
 import (
@@ -28,9 +47,15 @@ import (
 	"math"
 )
 
-// StreamVersion is the chunked framing version written by streaming
-// encoders.
+// StreamVersion is the uncompressed chunked framing version. Streams of
+// this version are decoded forever; encoders only write it on request
+// (StreamOpts.Version), for compatibility tooling and baselines.
 const StreamVersion = 2
+
+// StreamVersion3 is the compressed chunked framing version written by
+// streaming encoders by default: every frame is independently RAW or
+// LZ4-style block-compressed.
+const StreamVersion3 = 3
 
 // DefaultChunk is the frame payload size streaming encoders flush at.
 // Peak encoder buffering is O(DefaultChunk + open section bodies).
@@ -55,37 +80,75 @@ var ErrFrame = fmt.Errorf("%w: malformed chunk frame", ErrBadChecksum)
 // and hoist bulk payloads to top-level Bytes fields to preserve the
 // O(chunk) buffering bound.
 type StreamEncoder struct {
-	w       io.Writer
-	version int      // 0 bare section, 1 buffered legacy, 2 framed streaming
-	stack   [][]byte // stack[0] is the root buffer; deeper entries are open sections
-	chunk   int
-	crc     uint32 // running CRC over header + logical payload (version 2)
-	written int64
-	peak    int64
-	err     error
-	closed  bool
+	w        io.Writer
+	version  int      // 0 bare section, 1 buffered legacy, 2/3 framed streaming
+	compress bool     // version 3 with the per-frame compression heuristic on
+	stack    [][]byte // stack[0] is the root buffer; deeper entries are open sections
+	chunk    int
+	crc      uint32 // running CRC over header + logical payload (versions 2/3)
+	written  int64
+	logical  int64 // uncompressed payload bytes framed so far
+	peak     int64
+	err      error
+	closed   bool
+}
+
+// StreamOpts tunes a streaming encoder. The zero value is the default:
+// version-3 frames with the per-frame compression heuristic enabled.
+type StreamOpts struct {
+	// Version selects the frame layout written: 0 means the default
+	// (StreamVersion3); StreamVersion (2) writes the uncompressed
+	// legacy framing for baselines and compatibility tooling.
+	Version int
+	// NoCompress stores every version-3 frame RAW, skipping the
+	// compression attempt. Decoders do not care: RAW frames are always
+	// legal, and the whole-stream CRC is over logical payloads.
+	NoCompress bool
 }
 
 // NewStreamEncoder returns a streaming encoder that has already written
-// the version-2 full-image header to w.
-func NewStreamEncoder(w io.Writer) *StreamEncoder { return newStream(w, Magic) }
+// the default (version-3) full-image header to w.
+func NewStreamEncoder(w io.Writer) *StreamEncoder { return newStream(w, Magic, StreamOpts{}) }
 
 // NewStreamDeltaEncoder returns a streaming encoder that has already
-// written the version-2 delta-record header to w.
-func NewStreamDeltaEncoder(w io.Writer) *StreamEncoder { return newStream(w, DeltaMagic) }
+// written the default (version-3) delta-record header to w.
+func NewStreamDeltaEncoder(w io.Writer) *StreamEncoder { return newStream(w, DeltaMagic, StreamOpts{}) }
 
-func newStream(w io.Writer, magic string) *StreamEncoder {
-	s := &StreamEncoder{
-		w:       w,
-		version: StreamVersion,
-		chunk:   DefaultChunk,
-		stack:   [][]byte{make([]byte, 0, 512)},
+// NewStreamEncoderOpts is NewStreamEncoder with explicit options.
+func NewStreamEncoderOpts(w io.Writer, o StreamOpts) *StreamEncoder {
+	return newStream(w, Magic, o)
+}
+
+// NewStreamDeltaEncoderOpts is NewStreamDeltaEncoder with explicit
+// options.
+func NewStreamDeltaEncoderOpts(w io.Writer, o StreamOpts) *StreamEncoder {
+	return newStream(w, DeltaMagic, o)
+}
+
+func newStream(w io.Writer, magic string, o StreamOpts) *StreamEncoder {
+	ver := o.Version
+	if ver == 0 {
+		ver = StreamVersion3
 	}
-	hdr := appendUvarint(append([]byte(nil), magic...), StreamVersion)
+	if ver != StreamVersion && ver != StreamVersion3 {
+		panic(fmt.Sprintf("imgfmt: unsupported stream version %d", ver))
+	}
+	s := &StreamEncoder{
+		w:        w,
+		version:  ver,
+		compress: ver == StreamVersion3 && !o.NoCompress,
+		chunk:    DefaultChunk,
+		stack:    [][]byte{make([]byte, 0, 512)},
+	}
+	hdr := appendUvarint(append([]byte(nil), magic...), uint64(ver))
 	s.crc = crc32.Update(0, crc32.IEEETable, hdr)
 	s.writeRaw(hdr)
 	return s
 }
+
+// streaming reports whether this encoder writes a framed (chunked)
+// stream, as opposed to the buffered version-1 or bare-section forms.
+func (s *StreamEncoder) streaming() bool { return s.version >= StreamVersion }
 
 // newBuffered returns the version-1 in-memory form: the legacy header
 // followed by an unframed field stream, finished with Finish.
@@ -108,6 +171,11 @@ func (s *StreamEncoder) Err() error { return s.err }
 // Written reports the bytes emitted to the writer so far.
 func (s *StreamEncoder) Written() int64 { return s.written }
 
+// Logical reports the uncompressed payload bytes framed so far — the
+// size of the version-1 field stream the frames carry, independent of
+// per-frame compression.
+func (s *StreamEncoder) Logical() int64 { return s.logical }
+
 // Peak reports the maximum bytes this encoder ever buffered at once
 // (staging chunk plus any open section bodies). For buffered versions
 // this approaches the full image size; for version 2 it stays bounded
@@ -127,18 +195,43 @@ func (s *StreamEncoder) writeRaw(b []byte) {
 	}
 }
 
-// emitFrame writes one framed chunk and folds its payload into the
-// whole-stream CRC.
+// emitFrame writes one framed chunk and folds its logical payload into
+// the whole-stream CRC. On a version-3 encoder the frame is stored
+// compressed when blockCompress judges the payload worth it; the
+// per-frame CRC always covers the bytes as stored.
 func (s *StreamEncoder) emitFrame(payload []byte) {
 	if len(payload) == 0 || s.err != nil {
 		return
 	}
-	var hdr [binary.MaxVarintLen64]byte
+	s.logical += int64(len(payload))
+	if s.version == StreamVersion {
+		var hdr [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+		s.writeRaw(hdr[:n])
+		s.writeRaw(payload)
+		var tr [4]byte
+		binary.LittleEndian.PutUint32(tr[:], crc32.ChecksumIEEE(payload))
+		s.writeRaw(tr[:])
+		s.crc = crc32.Update(s.crc, crc32.IEEETable, payload)
+		return
+	}
+	stored, style := payload, byte(FrameRaw)
+	if s.compress {
+		if c := blockCompress(payload); c != nil {
+			stored, style = c, FrameLZ4
+		}
+	}
+	var hdr [2*binary.MaxVarintLen64 + 1]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	hdr[n] = style
+	n++
+	if style == FrameLZ4 {
+		n += binary.PutUvarint(hdr[n:], uint64(len(stored)))
+	}
 	s.writeRaw(hdr[:n])
-	s.writeRaw(payload)
+	s.writeRaw(stored)
 	var tr [4]byte
-	binary.LittleEndian.PutUint32(tr[:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(tr[:], crc32.ChecksumIEEE(stored))
 	s.writeRaw(tr[:])
 	s.crc = crc32.Update(s.crc, crc32.IEEETable, payload)
 }
@@ -146,7 +239,7 @@ func (s *StreamEncoder) emitFrame(payload []byte) {
 // settle updates buffering accounting and, on a streaming encoder with
 // no open sections, flushes full chunks out of the staging buffer.
 func (s *StreamEncoder) settle() {
-	if s.version == StreamVersion && len(s.stack) == 1 && s.err == nil {
+	if s.streaming() && len(s.stack) == 1 && s.err == nil {
 		b := s.stack[0]
 		for len(b) >= s.chunk {
 			s.emitFrame(b[:s.chunk])
@@ -195,7 +288,7 @@ func (s *StreamEncoder) Bytes(tag uint64, v []byte) {
 	s.field(tag, TypeBytes)
 	b := s.top()
 	*b = appendUvarint(*b, uint64(len(v)))
-	if s.version == StreamVersion && len(s.stack) == 1 && len(v) >= s.chunk {
+	if s.streaming() && len(s.stack) == 1 && len(v) >= s.chunk {
 		s.settle() // account for the staged header before flushing it
 		s.emitFrame(s.stack[0])
 		s.stack[0] = s.stack[0][:0]
@@ -288,7 +381,7 @@ func (s *StreamEncoder) Finish() []byte {
 	if len(s.stack) != 1 {
 		panic("imgfmt: Finish with open sections")
 	}
-	if s.version == StreamVersion {
+	if s.streaming() {
 		panic("imgfmt: Finish on a streaming encoder; use Close")
 	}
 	b := s.stack[0]
@@ -317,7 +410,7 @@ func (s *StreamEncoder) Close() error {
 	if len(s.stack) != 1 {
 		panic("imgfmt: Close with open sections")
 	}
-	if s.version != StreamVersion {
+	if !s.streaming() {
 		panic("imgfmt: Close on a buffered encoder; use Finish")
 	}
 	s.closed = true
@@ -348,7 +441,7 @@ func SniffVersion(data []byte) (version int, delta bool, err error) {
 		return 0, false, ErrTruncated
 	}
 	switch v {
-	case Version, StreamVersion:
+	case Version, StreamVersion, StreamVersion3:
 		return int(v), delta, nil
 	default:
 		return 0, false, fmt.Errorf("%w: %d", ErrBadVersion, v)
@@ -356,11 +449,13 @@ func SniffVersion(data []byte) (version int, delta bool, err error) {
 }
 
 // StreamDecoder reads an encoded record from an io.Reader, verifying
-// chunk CRCs as frames arrive. It handles both format versions: a
+// chunk CRCs as frames arrive. It handles every format version: a
 // version-1 stream is read fully and validated like DecodeAny (its raw
 // bytes stay available through Raw for callers that re-parse them); a
-// version-2 stream is pulled frame by frame, holding only the bytes of
-// the field currently being decoded.
+// version-2 or version-3 stream is pulled frame by frame, holding only
+// the bytes of the field currently being decoded. Version-3 frames are
+// decompressed after their stored-byte CRC has been verified, so
+// corrupt input never reaches the decompressor unnoticed.
 //
 // All reads are bounded: a truncated or corrupt stream always yields an
 // error (never a hang), and declared lengths are only trusted up to the
@@ -371,12 +466,13 @@ type StreamDecoder struct {
 	delta   bool
 	version int
 
-	r   io.Reader
-	win []byte // verified-but-unconsumed payload window
-	off int
-	crc uint32 // running CRC over header + consumed payloads
-	fin bool   // terminator seen and whole-stream CRC verified
-	err error
+	r     io.Reader
+	win   []byte // verified-but-unconsumed payload window
+	off   int
+	crc   uint32 // running CRC over header + consumed payloads
+	fin   bool   // terminator seen and whole-stream CRC verified
+	frame int    // 1-based index of the frame being pulled, for errors
+	err   error
 
 	peeked bool
 	ptag   uint64
@@ -418,8 +514,8 @@ func NewStreamDecoder(r io.Reader) (*StreamDecoder, error) {
 			return nil, ErrBadMagic
 		}
 		d.mem, d.raw, d.version = dec, raw, Version
-	case StreamVersion:
-		d.version = StreamVersion
+	case StreamVersion, StreamVersion3:
+		d.version = int(ver)
 		d.crc = crc32.Update(0, crc32.IEEETable, hdr)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
@@ -448,7 +544,7 @@ func readUvarintFrom(r io.Reader) (uint64, []byte, error) {
 	return 0, nil, ErrTruncated
 }
 
-// Version reports the format version of the stream (1 or 2).
+// Version reports the format version of the stream (1, 2, or 3).
 func (d *StreamDecoder) Version() int { return d.version }
 
 // IsDelta reports whether the stream is a delta record.
@@ -485,22 +581,34 @@ func (d *StreamDecoder) pull() bool {
 		return false
 	}
 	if n > MaxFrame {
-		d.err = fmt.Errorf("%w: declared payload of %d bytes", ErrFrame, n)
+		if d.version == StreamVersion3 {
+			d.err = fmt.Errorf("%w: frame %d declares %d raw bytes", ErrFrame, d.frame+1, n)
+		} else {
+			d.err = fmt.Errorf("%w: declared payload of %d bytes", ErrFrame, n)
+		}
 		return false
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(d.r, payload); err != nil {
-		d.err = ErrTruncated
-		return false
-	}
-	var tr [4]byte
-	if _, err := io.ReadFull(d.r, tr[:]); err != nil {
-		d.err = ErrTruncated
-		return false
-	}
-	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(tr[:]) {
-		d.err = fmt.Errorf("%w: chunk CRC", ErrBadChecksum)
-		return false
+	d.frame++
+	var payload []byte
+	if d.version == StreamVersion3 {
+		if payload = d.pullV3(int(n)); payload == nil {
+			return false
+		}
+	} else {
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(d.r, payload); err != nil {
+			d.err = ErrTruncated
+			return false
+		}
+		var tr [4]byte
+		if _, err := io.ReadFull(d.r, tr[:]); err != nil {
+			d.err = ErrTruncated
+			return false
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(tr[:]) {
+			d.err = fmt.Errorf("%w: chunk CRC", ErrBadChecksum)
+			return false
+		}
 	}
 	d.crc = crc32.Update(d.crc, crc32.IEEETable, payload)
 	if d.off > 0 {
@@ -509,6 +617,60 @@ func (d *StreamDecoder) pull() bool {
 	}
 	d.win = append(d.win, payload...)
 	return true
+}
+
+// pullV3 reads the body of one version-3 frame whose raw length has
+// already been consumed, returning the logical payload or nil with
+// d.err set. Errors name the failing frame (1-based). The stored-byte
+// CRC is verified before any decompression runs.
+func (d *StreamDecoder) pullV3(rawLen int) []byte {
+	var one [1]byte
+	if _, err := io.ReadFull(d.r, one[:]); err != nil {
+		d.err = ErrTruncated
+		return nil
+	}
+	style := one[0]
+	storedLen := rawLen
+	switch style {
+	case FrameRaw:
+	case FrameLZ4:
+		m, _, err := readUvarintFrom(d.r)
+		if err != nil {
+			d.err = ErrTruncated
+			return nil
+		}
+		if m == 0 || m >= uint64(rawLen) {
+			d.err = fmt.Errorf("%w: frame %d stores %d bytes for %d raw", ErrFrame, d.frame, m, rawLen)
+			return nil
+		}
+		storedLen = int(m)
+	default:
+		d.err = fmt.Errorf("%w: frame %d has unknown style %d", ErrFrame, d.frame, style)
+		return nil
+	}
+	stored := make([]byte, storedLen)
+	if _, err := io.ReadFull(d.r, stored); err != nil {
+		d.err = ErrTruncated
+		return nil
+	}
+	var tr [4]byte
+	if _, err := io.ReadFull(d.r, tr[:]); err != nil {
+		d.err = ErrTruncated
+		return nil
+	}
+	if crc32.ChecksumIEEE(stored) != binary.LittleEndian.Uint32(tr[:]) {
+		d.err = fmt.Errorf("%w: frame %d stored CRC", ErrFrame, d.frame)
+		return nil
+	}
+	if style == FrameRaw {
+		return stored
+	}
+	payload, err := blockDecompress(stored, rawLen)
+	if err != nil {
+		d.err = fmt.Errorf("%w: frame %d: %v", ErrFrame, d.frame, err)
+		return nil
+	}
+	return payload
 }
 
 // need blocks until at least n verified payload bytes are available in

@@ -15,7 +15,7 @@ import (
 func buildV2(t *testing.T, big []byte) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	e := NewStreamEncoder(&buf)
+	e := NewStreamEncoderOpts(&buf, StreamOpts{Version: StreamVersion})
 	e.String(1, "pod-0")
 	e.Uint(2, 0x0a000001)
 	e.Int(3, -12345)
@@ -258,7 +258,16 @@ func TestSniffVersion(t *testing.T) {
 	if err := se.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if ver, delta, err := SniffVersion(buf.Bytes()); ver != StreamVersion || !delta || err != nil {
+	if ver, delta, err := SniffVersion(buf.Bytes()); ver != StreamVersion3 || !delta || err != nil {
+		t.Fatalf("v3 delta: %d %v %v", ver, delta, err)
+	}
+	var buf2 bytes.Buffer
+	se2 := NewStreamDeltaEncoderOpts(&buf2, StreamOpts{Version: StreamVersion})
+	se2.Uint(1, 1)
+	if err := se2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ver, delta, err := SniffVersion(buf2.Bytes()); ver != StreamVersion || !delta || err != nil {
 		t.Fatalf("v2 delta: %d %v %v", ver, delta, err)
 	}
 	if _, _, err := SniffVersion([]byte("NOTMAGIC")); !errors.Is(err, ErrBadMagic) {

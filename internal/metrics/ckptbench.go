@@ -61,6 +61,23 @@ type CkptBenchRecord struct {
 	// Zero in records written before the fields existed.
 	SuspendUs   float64 `json:"suspend_us,omitempty"`
 	ScSuspendUs float64 `json:"sc_suspend_us,omitempty"`
+	// EncodeRawMBps is EncodeMBps with per-frame compression disabled
+	// (version-3 RAW frames), and DecodeMBps / DecodeRawMBps are the
+	// matching deserialization throughputs; together they price the
+	// compression arm of the frame format. Zero in records written
+	// before the fields existed.
+	EncodeRawMBps float64 `json:"encode_raw_mbps,omitempty"`
+	DecodeMBps    float64 `json:"decode_mbps,omitempty"`
+	DecodeRawMBps float64 `json:"decode_raw_mbps,omitempty"`
+	// StoredBytesPerGen is the average physical growth of the
+	// content-deduplicated image store per incremental generation —
+	// unique new blocks plus manifests, after compression and dedup.
+	// LogicalBytesPerGen is the matching uncompressed, undeduplicated
+	// figure, so their ratio is the end-to-end storage reduction.
+	// zapc-benchdiff guards StoredBytesPerGen against growth. Zero in
+	// records written before the fields existed.
+	StoredBytesPerGen  int64 `json:"stored_bytes_per_gen,omitempty"`
+	LogicalBytesPerGen int64 `json:"logical_bytes_per_gen,omitempty"`
 	// PrecopyRounds and PrecopyResentBytes describe the live iteration
 	// that bought the short window: how many copy rounds ran before
 	// convergence (base included) and how many extra bytes the re-copies
@@ -139,6 +156,24 @@ func CompareSuspend(prev, cur CkptBenchRecord, tolPct float64) error {
 		growth := 100 * (cur.SuspendUs - prev.SuspendUs) / prev.SuspendUs
 		return fmt.Errorf("pre-copy suspend window regressed %.1f%% (%.0f -> %.0f us, tolerance %.0f%%)",
 			growth, prev.SuspendUs, cur.SuspendUs, tolPct)
+	}
+	return nil
+}
+
+// CompareStoredBytes checks cur against prev and returns an error when
+// the deduplicated store's per-generation physical growth rose by more
+// than tolPct percent — the regression that would mean compression or
+// cross-generation dedup quietly stopped working. Records from before
+// the field existed (prev <= 0) compare clean.
+func CompareStoredBytes(prev, cur CkptBenchRecord, tolPct float64) error {
+	if prev.StoredBytesPerGen <= 0 {
+		return nil // nothing to compare against
+	}
+	limit := float64(prev.StoredBytesPerGen) * (1 + tolPct/100)
+	if float64(cur.StoredBytesPerGen) > limit {
+		growth := 100 * float64(cur.StoredBytesPerGen-prev.StoredBytesPerGen) / float64(prev.StoredBytesPerGen)
+		return fmt.Errorf("stored bytes per generation regressed %.1f%% (%d -> %d bytes, tolerance %.0f%%)",
+			growth, prev.StoredBytesPerGen, cur.StoredBytesPerGen, tolPct)
 	}
 	return nil
 }

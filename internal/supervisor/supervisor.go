@@ -671,6 +671,18 @@ func (s *Supervisor) scrapGeneration(dir string) {
 	for _, f := range s.t.Store.List(dir) {
 		_ = s.t.Store.Remove(f)
 	}
+	s.sweepStore()
+}
+
+// sweepStore collects storage orphaned below the image paths — dedup
+// blocks left by a writer that died mid-commit. Stores without
+// block-level GC (plain FSStore, remote) have nothing to sweep.
+func (s *Supervisor) sweepStore() {
+	if sw, ok := s.t.Store.(imagestore.Sweeper); ok {
+		if n := sw.Sweep(); n > 0 {
+			s.log(EvGC, "swept %d orphaned store blocks", n)
+		}
+	}
 }
 
 // validateGeneration streams back every record just flushed and
@@ -722,6 +734,7 @@ func (s *Supervisor) gc() {
 		}
 		s.gens = s.gens[chainLen:]
 	}
+	s.sweepStore()
 }
 
 // podOf extracts the pod name from a generation record path. Pre-copy

@@ -130,11 +130,22 @@ type (
 	ImageStore = imagestore.Store
 	// ImageStoreInfo describes one stored record.
 	ImageStoreInfo = imagestore.Info
+	// DedupImageStore stores image content once per unique block and
+	// garbage-collects blocks by reference count; enable it on a cluster
+	// with c.EnableDedupStore().
+	DedupImageStore = imagestore.DedupStore
+	// DedupUsage is a dedup store's physical-footprint accounting.
+	DedupUsage = imagestore.DedupUsage
 )
 
 // NewFSImageStore wraps a cluster's shared filesystem as an ImageStore
 // (the manager's default).
 func NewFSImageStore(c *Cluster) ImageStore { return imagestore.NewFS(c.FS) }
+
+// NewDedupImageStore wraps any ImageStore with content-hash block
+// dedup: unchanged regions across checkpoint generations are stored
+// once and referenced by hash.
+func NewDedupImageStore(inner ImageStore) *DedupImageStore { return imagestore.NewDedup(inner) }
 
 // NewIncrSet creates an incremental-checkpoint tracker set that takes a
 // full base image every fullEvery generations (<=1 means every
@@ -166,6 +177,13 @@ func CompareBenchThroughput(prev, cur CkptBenchRecord, tolPct float64) error {
 // path went back to materializing whole images).
 func CompareBenchPeakBuffered(prev, cur CkptBenchRecord, tolPct float64) error {
 	return metrics.ComparePeakBuffered(prev, cur, tolPct)
+}
+
+// CompareBenchStoredBytes fails when cur's per-generation dedup-store
+// growth rose more than tolPct percent above prev's (zapc-benchdiff's
+// guard that frame compression and cross-generation dedup keep paying).
+func CompareBenchStoredBytes(prev, cur CkptBenchRecord, tolPct float64) error {
+	return metrics.CompareStoredBytes(prev, cur, tolPct)
 }
 
 // CompareBenchSuspend fails when cur's pre-copy suspension window grew
