@@ -1,15 +1,19 @@
 GO ?= go
 FUZZTIME ?= 5s
 BENCH_OUT ?= BENCH_ckpt.json
+# Shared flags for every race-enabled scenario gate, so new gates pick
+# up the same detector and caching policy by default.
+GOTESTFLAGS ?= -race -count=1
+GOTEST = $(GO) test $(GOTESTFLAGS)
 
-.PHONY: ci fmt vet build test race race-precopy fuzz chaos dedup-check cover bench benchdiff trace-check examples clean
+.PHONY: ci fmt vet build test race race-precopy fuzz chaos dedup-check scale-check cover bench benchdiff trace-check examples clean
 
 # Full CI gate: static checks, a clean build, the race-enabled suite,
 # the pre-copy live-checkpoint scenario under the race detector, short
 # fuzzing of the image-format decoders, trace determinism, the chaos
-# fuzzer sweep + corpus replay gate, the dedup-store layout gate, and
-# coverage totals.
-ci: fmt vet build race race-precopy fuzz trace-check chaos dedup-check cover
+# fuzzer sweep + corpus replay gate, the dedup-store layout gate, the
+# coordination-tree scaling gate, and coverage totals.
+ci: fmt vet build race race-precopy fuzz trace-check chaos dedup-check scale-check cover
 
 # gofmt gate: fails listing any file that is not gofmt-clean.
 fmt:
@@ -30,7 +34,7 @@ race:
 # Explicit pre-copy scenario gate: suspend-window win, chain restore
 # equivalence, determinism and budget termination, all under -race.
 race-precopy:
-	$(GO) test -race -count=1 -run '^TestPrecopy' .
+	$(GOTEST) -run '^TestPrecopy' .
 
 # Short, deterministic-budget fuzz passes over every image-format entry
 # point (TLV decoder, round-trip property, full+delta image decoder).
@@ -59,9 +63,10 @@ trace-check:
 # testdata/chaos that stops reproducing its recorded named error fails
 # the build.
 chaos:
-	$(GO) test -race -count=1 ./internal/chaos
-	$(GO) test -race -count=1 -run '^TestChaosCorpusReplays$$' .
+	$(GOTEST) ./internal/chaos
+	$(GOTEST) -run '^TestChaosCorpusReplays$$' .
 	$(GO) run ./cmd/zapc-chaos -from 1 -to 24
+	$(GO) run ./cmd/zapc-chaos -from 10000 -to 10008
 
 # Dedup-store layout gate: two generations with overlapping content,
 # written twice into fresh stores, must produce byte-identical physical
@@ -70,9 +75,20 @@ chaos:
 # deterministic-layout, shared-blocks, GC, and sweep properties under
 # -race, plus the supervisor's mid-commit crash scenario.
 dedup-check:
-	$(GO) test -race -count=1 -run '^TestDedup' ./internal/imagestore
-	$(GO) test -race -count=1 -run '^TestDedupGCNeverStrandsReferencedBlocks$$' ./internal/supervisor
-	$(GO) test -race -count=1 -run '^TestV3ChurnStoredBytesReduction$$' .
+	$(GOTEST) -run '^TestDedup' ./internal/imagestore
+	$(GOTEST) -run '^TestDedupGCNeverStrandsReferencedBlocks$$' ./internal/supervisor
+	$(GOTEST) -run '^TestV3ChurnStoredBytesReduction$$' .
+
+# Coordination-tree scaling gate: the topology unit suite, the
+# cross-topology bit-identity property, and the full 1024-pod scaling
+# point (flat star vs fan-out-16 tree), all under -race, then the
+# benchdiff coordination-barrier comparison against the recorded
+# trajectory.
+scale-check:
+	$(GOTEST) ./internal/coord
+	$(GOTEST) -run '^TestCoordCrossTopologyBitIdentity$$|^TestCoordScalingSublinear$$' .
+	ZAPC_SCALE=1 $(GOTEST) -timeout 30m -run '^TestCoordScaling1024$$' .
+	$(GO) run ./cmd/zapc-benchdiff $(BENCH_OUT)
 
 # Coverage profile plus per-package totals.
 cover:

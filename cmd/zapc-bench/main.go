@@ -13,6 +13,7 @@
 //	zapc-bench -fig redirect   # ablation A2: send-queue redirect
 //	zapc-bench -fig reconnect  # ablation A3: reconnection scaling
 //	zapc-bench -fig ckpt       # parallel/incremental checkpoint pipeline
+//	zapc-bench -fig coord      # coordination-tree scaling, flat vs fan-out 16
 //	zapc-bench -fig trace      # traced checkpoint–failover–restart run
 //	zapc-bench -fig all        # everything
 //
@@ -43,8 +44,15 @@ import (
 	"zapc"
 )
 
+// coordBenchCfg shrinks the workload for the coordination-scaling
+// points: the control plane is what is being measured, so the
+// footprints are tiny and points up to 1024 pods stay cheap.
+func coordBenchCfg(cfg zapc.ExperimentConfig) zapc.ExperimentConfig {
+	return zapc.ExperimentConfig{Scale: 0.002, Work: 0.02, Seed: cfg.Seed}
+}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, net, timeline, sync, redirect, reconnect, ckpt, trace, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, net, timeline, sync, redirect, reconnect, ckpt, coord, trace, all")
 	scale := flag.Float64("scale", 1.0/16, "memory footprint scale (1.0 = paper scale)")
 	work := flag.Float64("work", 0.25, "application runtime scale")
 	ckpts := flag.Int("ckpts", 10, "checkpoints per measured run")
@@ -238,8 +246,15 @@ func main() {
 		}
 		fmt.Println(zapc.CkptPipelineTable(rows))
 		// Append the 8-pod row to the trajectory so successive runs are
-		// comparable with zapc-benchdiff.
+		// comparable with zapc-benchdiff. One coordination scaling point
+		// (256 pods, fan-out 16) rides along so the benchdiff gate also
+		// covers the tree barrier.
 		rec := rows[len(rows)-1].Record(cfg, time.Now().UTC().Format(time.RFC3339))
+		coordRow, err := zapc.RunCoordScaling(coordBenchCfg(cfg), 256, 16)
+		if err != nil {
+			return err
+		}
+		coordRow.Stamp(&rec)
 		prev, err := os.ReadFile(*out)
 		if err != nil && !os.IsNotExist(err) {
 			return err
@@ -249,9 +264,22 @@ func main() {
 		}
 		fmt.Printf("appended run to %s (sim-speedup %.2fx, delta reduction %.1fx, encode %.0f MiB/s, peak buffered %d B)\n",
 			*out, rec.SimSpeedup, rec.BytesReduction, rec.EncodeMBps, rec.PeakBufferedBytes)
-		fmt.Printf("pre-copy downtime: suspend %.0f us vs stop-and-copy %.0f us (%.1fx) in %d rounds, %s resent\n\n",
+		fmt.Printf("pre-copy downtime: suspend %.0f us vs stop-and-copy %.0f us (%.1fx) in %d rounds, %s resent\n",
 			rec.SuspendUs, rec.ScSuspendUs, rec.ScSuspendUs/rec.SuspendUs,
 			rec.PrecopyRounds, zapc.HumanBytes(rec.PrecopyResentBytes))
+		fmt.Printf("coordination: %d pods fan-out %d barrier %.0f us (flat %.0f us), root msgs %d (flat %d)\n\n",
+			rec.CoordPods, rec.CoordFanout, rec.CoordBarrierUs, rec.CoordFlatBarrierUs,
+			rec.CoordRootMsgs, rec.CoordFlatRootMsgs)
+		return nil
+	})
+
+	run("coord", func() error {
+		fmt.Println("== Coordination-tree scaling: flat star vs fan-out 16 tree ==")
+		rows, err := zapc.RunCoordScalingAll(coordBenchCfg(cfg), 16)
+		if err != nil {
+			return err
+		}
+		fmt.Println(zapc.CoordScalingTable(rows))
 		return nil
 	})
 

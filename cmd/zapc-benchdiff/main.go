@@ -3,8 +3,8 @@
 // appended by `zapc-bench -fig ckpt`) and compares the newest record
 // against the one before it, exiting non-zero when the parallel
 // encoder's host throughput dropped — or the streaming serializer's
-// peak buffering, or the pre-copy suspension window, grew — by more
-// than the tolerance.
+// peak buffering, the pre-copy suspension window, or the tree-
+// coordinated barrier time, grew — by more than the tolerance.
 //
 // Usage:
 //
@@ -57,6 +57,11 @@ func main() {
 		prev.SimSpeedup, cur.SimSpeedup,
 		prev.BytesReduction, cur.BytesReduction, prev.PeakBufferedBytes, cur.PeakBufferedBytes,
 		prev.SuspendUs, cur.SuspendUs, prev.StoredBytesPerGen, cur.StoredBytesPerGen)
+	if prev.CoordBarrierUs > 0 || cur.CoordBarrierUs > 0 {
+		fmt.Printf("zapc-benchdiff: coord barrier %.0f -> %.0f us (flat %.0f -> %.0f us), root msgs %d -> %d\n",
+			prev.CoordBarrierUs, cur.CoordBarrierUs, prev.CoordFlatBarrierUs, cur.CoordFlatBarrierUs,
+			prev.CoordRootMsgs, cur.CoordRootMsgs)
+	}
 	if err := zapc.CompareBenchThroughput(prev, cur, *tol); err != nil {
 		fatal(err)
 	}
@@ -67,6 +72,9 @@ func main() {
 		fatal(err)
 	}
 	if err := zapc.CompareBenchStoredBytes(prev, cur, *tol); err != nil {
+		fatal(err)
+	}
+	if err := zapc.CompareBenchCoordBarrier(prev, cur, *tol); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("zapc-benchdiff: within %.0f%% tolerance\n", *tol)

@@ -398,6 +398,118 @@ func RunReconnectScaling(cfg ExperimentConfig, endpoints int) (ReconnectScalingR
 	return row, nil
 }
 
+// CoordScalingRow is one point of the coordination-scaling experiment:
+// the same stop-and-copy checkpoint coordinated once over the flat
+// manager star and once over a fanout-ary tree, with a non-zero
+// per-message sender occupancy so the flat root's O(N) serialization
+// shows up on the simulated clock.
+type CoordScalingRow struct {
+	Pods   int
+	Fanout int
+	Depth  int
+	// Barrier / FlatBarrier are the fan-out barrier spans (manager
+	// invocation to the last agent's start receipt).
+	Barrier     Duration
+	FlatBarrier Duration
+	// Suspend / FlatSuspend are the worst-pod suspend windows.
+	Suspend     Duration
+	FlatSuspend Duration
+	// RootMsgs / FlatRootMsgs count control messages the root sent or
+	// received over the whole operation.
+	RootMsgs     int64
+	FlatRootMsgs int64
+}
+
+// coordScalingPerMsg is the sender occupancy the scaling experiment
+// charges per queued control message (~40k msgs/s coordinator capacity,
+// 2005-era). The default cost model leaves it zero so every other
+// experiment keeps the latency-only legacy control plane.
+const coordScalingPerMsg = 25 * sim.Microsecond
+
+// RunCoordScaling measures one coordination-scaling point: pods
+// endpoints checkpointed stop-and-copy, flat vs tree-of-fanout, same
+// seed. The workload is shrunk hard (tiny footprints, no daemons) so
+// the control plane dominates and points up to 1024 pods stay cheap to
+// simulate.
+func RunCoordScaling(cfg ExperimentConfig, pods, fanout int) (CoordScalingRow, error) {
+	cfg = cfg.defaults()
+	row := CoordScalingRow{Pods: pods, Fanout: fanout}
+	for _, tree := range []bool{false, true} {
+		costs := sim.DefaultCosts()
+		costs.CtrlPerMsg = coordScalingPerMsg
+		costs.ImageCostScale = 1 / cfg.Scale
+		ccfg := cluster.Config{Nodes: pods, Seed: cfg.Seed, Costs: &costs}
+		if tree {
+			ccfg.Fanout = fanout
+		}
+		c := cluster.New(ccfg)
+		job, err := c.Launch(cluster.JobSpec{
+			App: "cpi", Endpoints: pods, Work: cfg.Work, Scale: cfg.Scale,
+		})
+		if err != nil {
+			return row, err
+		}
+		// A short settle puts every endpoint past its setup phase.
+		c.W.RunUntil(c.W.Now() + sim.Time(50*sim.Millisecond))
+		res, err := c.Checkpoint(job, core.Options{Mode: core.Snapshot})
+		if err != nil {
+			return row, fmt.Errorf("coord scaling %d/f=%d tree=%v: %w", pods, fanout, tree, err)
+		}
+		if tree {
+			row.Barrier = res.Stats.CoordBarrier
+			row.Suspend = res.Stats.MaxSuspendWindow()
+			row.RootMsgs = res.Stats.Coord.RootMsgs
+			row.Depth = res.Stats.Coord.Depth
+		} else {
+			row.FlatBarrier = res.Stats.CoordBarrier
+			row.FlatSuspend = res.Stats.MaxSuspendWindow()
+			row.FlatRootMsgs = res.Stats.Coord.RootMsgs
+		}
+	}
+	return row, nil
+}
+
+// Stamp writes the scaling point into a bench trajectory record so
+// zapc-benchdiff can gate the coordination barrier across runs.
+func (r CoordScalingRow) Stamp(rec *metrics.CkptBenchRecord) {
+	rec.CoordPods = r.Pods
+	rec.CoordFanout = r.Fanout
+	rec.CoordDepth = r.Depth
+	rec.CoordRootMsgs = r.RootMsgs
+	rec.CoordFlatRootMsgs = r.FlatRootMsgs
+	rec.CoordBarrierUs = float64(r.Barrier) / 1e3
+	rec.CoordFlatBarrierUs = float64(r.FlatBarrier) / 1e3
+}
+
+// CoordScalingCounts is the pod-count sweep of the scaling experiment.
+func CoordScalingCounts() []int { return []int{4, 64, 256, 1024} }
+
+// RunCoordScalingAll measures the full sweep at one fan-out.
+func RunCoordScalingAll(cfg ExperimentConfig, fanout int) ([]CoordScalingRow, error) {
+	var rows []CoordScalingRow
+	for _, n := range CoordScalingCounts() {
+		row, err := RunCoordScaling(cfg, n, fanout)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CoordScalingTable renders the scaling sweep.
+func CoordScalingTable(rows []CoordScalingRow) string {
+	t := metrics.NewTable("pods", "fanout", "depth",
+		"barrier(tree)", "barrier(flat)", "suspend(tree)", "suspend(flat)",
+		"root-msgs(tree)", "root-msgs(flat)")
+	for _, r := range rows {
+		t.Row(r.Pods, r.Fanout, r.Depth,
+			r.Barrier, r.FlatBarrier, r.Suspend, r.FlatSuspend,
+			r.RootMsgs, r.FlatRootMsgs)
+	}
+	return t.String()
+}
+
 // Fig5Table renders Figure 5 rows like the paper reports them.
 func Fig5Table(rows []Fig5Row) string {
 	t := metrics.NewTable("app", "endpoints", "base", "zapc", "overhead")

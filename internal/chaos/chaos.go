@@ -62,6 +62,12 @@ type Config struct {
 	// MaxSteps bounds generated schedule length (the ByzzFuzz-style
 	// smallness prior: short schedules localize causes).
 	MaxSteps int `json:"max_steps,omitempty"`
+
+	// Fanout routes the run's coordinated operations through a
+	// coordination tree of this arity (0 = flat control plane). The
+	// tree-band seeds set it so chaos exercises sub-coordinator
+	// crashes and lossy tree edges mid-barrier.
+	Fanout int `json:"fanout,omitempty"`
 }
 
 // DefaultConfig is the canonical chaos scenario: the four-endpoint cpi
@@ -275,7 +281,7 @@ func (r *Runner) run(seed int64, sched faultinject.Schedule, traced bool) (Verdi
 		return Verdict{}, nil, nil, err
 	}
 
-	c := cluster.New(cluster.Config{Nodes: r.cfg.Nodes, Seed: seed})
+	c := cluster.New(cluster.Config{Nodes: r.cfg.Nodes, Seed: seed, Fanout: r.cfg.Fanout})
 	if traced {
 		c.EnableTracing()
 	}
@@ -296,6 +302,7 @@ func (r *Runner) run(seed int64, sched faultinject.Schedule, traced bool) (Verdi
 		Workers:           r.cfg.Workers,
 		Retain:            r.cfg.Retain,
 		Dir:               r.cfg.Dir,
+		Fanout:            r.cfg.Fanout,
 	})
 	if err != nil {
 		return Verdict{}, nil, nil, err

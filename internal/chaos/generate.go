@@ -16,13 +16,24 @@ import (
 	"zapc/internal/sim"
 )
 
+// TreeSeedBase starts the tree-topology seed band: seeds at or above
+// it run with a fanout-2 coordination tree and draw schedules from the
+// tree-barrier template, so sub-coordinator crashes and lossy tree
+// edges get their own deterministic corner of the seed space without
+// perturbing the flat-band seed pins below.
+const TreeSeedBase = 10000
+
 // ConfigForSeed derives the per-seed scenario: odd seeds run the
 // incremental delta-chain pipeline, even seeds the pre-copy pipeline,
 // so a contiguous range sweeps both recovery surfaces through every
-// template.
+// template. Seeds in the tree band additionally route coordination
+// through a fanout-2 tree (the deepest tree four endpoints allow).
 func ConfigForSeed(base Config, seed int64) Config {
 	c := base.withDefaults()
 	c.Incremental = seed%2 == 1
+	if seed >= TreeSeedBase {
+		c.Fanout = 2
+	}
 	return c
 }
 
@@ -32,6 +43,22 @@ func ConfigForSeed(base Config, seed int64) Config {
 func Generate(seed int64, cfg Config) faultinject.Schedule {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(seed))
+	var steps []faultinject.SpecStep
+	switch {
+	case seed >= TreeSeedBase:
+		steps = genTreeBarrier(rng, cfg)
+	default:
+		steps = genFlat(rng, cfg, seed)
+	}
+	// Names are assigned by generation position; Arm's canonical
+	// ordering makes firing order independent of this order anyway.
+	for i := range steps {
+		steps[i].Name = fmt.Sprintf("s%d-%s", i, steps[i].Action)
+	}
+	return faultinject.Schedule{Steps: steps}
+}
+
+func genFlat(rng *rand.Rand, cfg Config, seed int64) []faultinject.SpecStep {
 	var steps []faultinject.SpecStep
 	switch (seed / 2) % 4 {
 	case 0:
@@ -43,12 +70,28 @@ func Generate(seed int64, cfg Config) faultinject.Schedule {
 	default:
 		steps = genFreeform(rng, cfg)
 	}
-	// Names are assigned by generation position; Arm's canonical
-	// ordering makes firing order independent of this order anyway.
-	for i := range steps {
-		steps[i].Name = fmt.Sprintf("s%d-%s", i, steps[i].Action)
+	return steps
+}
+
+// genTreeBarrier is the tree-band template: kill the sub-coordinator
+// (member 0 — node 0 under round-robin placement — relays for half the
+// members at fanout 2) right as a checkpoint barrier opens, while the
+// tree edges are lossy. A dropped tree edge loses the whole subtree
+// behind it, so the watchdog must abort the attempt and the supervisor
+// must retry or fail over — never hang, never serve a half-barriered
+// image.
+func genTreeBarrier(rng *rand.Rand, cfg Config) []faultinject.SpecStep {
+	skip := rng.Intn(3)
+	steps := []faultinject.SpecStep{
+		{Phase: "checkpoint-start", PhaseSkip: skip, Action: "drop-control", Count: 1 + rng.Intn(4)},
+		{Phase: "checkpoint-start", PhaseSkip: skip, Action: "crash-node", Node: 0},
 	}
-	return faultinject.Schedule{Steps: steps}
+	if rng.Intn(2) == 0 { // and sometimes a slow tree edge on top
+		steps = append(steps, faultinject.SpecStep{
+			Phase: "checkpoint-start", PhaseSkip: skip, Action: "delay-control",
+			DelayNS: msIn(rng, 1, 40), WindowNS: msIn(rng, 200, 1200)})
+	}
+	return steps
 }
 
 // msIn draws a whole-millisecond duration in [lo, hi] ms. Quantizing to

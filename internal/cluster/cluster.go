@@ -17,6 +17,7 @@ import (
 
 	"zapc/internal/apps"
 	"zapc/internal/ckpt"
+	"zapc/internal/coord"
 	"zapc/internal/core"
 	"zapc/internal/imagestore"
 	"zapc/internal/memfs"
@@ -36,6 +37,11 @@ type Config struct {
 	LossRate    float64
 	// Costs optionally overrides the calibrated hardware model.
 	Costs *sim.Costs
+	// Fanout, when positive, routes coordinated operations through a
+	// hierarchical coordination tree of that arity instead of the flat
+	// manager star (0: flat; values >= the pod count degenerate to
+	// flat). See internal/coord.
+	Fanout int
 }
 
 // Cluster is a running virtual testbed.
@@ -120,6 +126,9 @@ func New(cfg Config) *Cluster {
 		c.Nodes = append(c.Nodes, vos.NewNode(w, fmt.Sprintf("node%02d", i), cfg.CPUsPerNode))
 	}
 	c.Mgr = core.NewManager(w, c.Net, c.FS)
+	if cfg.Fanout > 0 {
+		c.Mgr.SetCoord(&coord.Config{Fanout: cfg.Fanout})
+	}
 	return c
 }
 

@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"zapc/internal/ckpt"
+	"zapc/internal/coord"
 	"zapc/internal/imagestore"
 	"zapc/internal/memfs"
 	"zapc/internal/netckpt"
@@ -171,6 +172,11 @@ type Options struct {
 	// Mutually exclusive with Incr: a pre-copy generation is already a
 	// self-contained base+delta chain.
 	Precopy *PrecopyOptions
+	// Coord overrides the manager's coordination topology for this
+	// operation (see Manager.SetCoord). Nil inherits the manager
+	// default; with neither set, control traffic uses the legacy flat
+	// star — the degenerate fanout=N tree.
+	Coord *coord.Config
 }
 
 // Pre-copy defaults: the round budget keeps a non-converging writer from
@@ -288,6 +294,16 @@ type AgentStats struct {
 type CheckpointStats struct {
 	Total  sim.Duration // manager invocation -> all agents done
 	Agents []AgentStats
+	// Coord is the control-plane accounting of the operation: wire
+	// messages and bytes per tree link, and the root's share — the
+	// coordinator's serialization bottleneck the coordination tree
+	// exists to shrink.
+	Coord coord.Stats
+	// CoordBarrier is the fan-out barrier span: manager invocation to
+	// the last agent's receipt of the start command. O(N) on a flat
+	// star with per-message sender occupancy, O(fanout x depth) on the
+	// tree.
+	CoordBarrier sim.Duration
 }
 
 // MaxNetCkpt returns the slowest per-agent network checkpoint.
@@ -353,6 +369,7 @@ type Manager struct {
 	workers   int // restart-side serialization pool width (0 = sequential)
 	phaseHook PhaseHook
 	ctrlHook  CtrlHook
+	coordCfg  *coord.Config
 	tr        *trace.Tracer
 	reg       *trace.Registry
 }
@@ -410,6 +427,33 @@ func (m *Manager) SetPhaseHook(h PhaseHook) { m.phaseHook = h }
 // removes). Every manager<->agent control message consults it.
 func (m *Manager) SetCtrlHook(h CtrlHook) { m.ctrlHook = h }
 
+// SetCoord installs the manager's default coordination topology for
+// subsequent coordinated operations; Options.Coord overrides it per
+// operation. Nil (the default) keeps the flat star, which schedules
+// exactly the legacy per-member control messages.
+func (m *Manager) SetCoord(cfg *coord.Config) { m.coordCfg = cfg }
+
+// Coord returns the manager's default coordination topology (nil when
+// the flat star is in effect).
+func (m *Manager) Coord() *coord.Config { return m.coordCfg }
+
+// newPlane builds the control plane for one coordinated operation over
+// n members. The hook closure reads m.ctrlHook at each send so hooks
+// installed mid-operation (as the fault injector does) take effect
+// immediately, exactly as the legacy ctrl path did.
+func (m *Manager) newPlane(n int, override *coord.Config) *coord.Plane {
+	cfg := override
+	if cfg == nil {
+		cfg = m.coordCfg
+	}
+	return coord.NewPlane(m.w, coord.NewTopology(n, cfg), func() (bool, sim.Duration) {
+		if m.ctrlHook != nil {
+			return m.ctrlHook()
+		}
+		return false, 0
+	}, m.reg)
+}
+
 func (m *Manager) notify(p Phase) {
 	if m.phaseHook != nil {
 		m.phaseHook(p)
@@ -463,8 +507,16 @@ func (m *Manager) Checkpoint(pods []*pod.Pod, opts Options, onDone func(*Checkpo
 		onDone: onDone,
 	}
 	for i, p := range pods {
-		op.agents[i] = &ckptAgent{op: op, pod: p}
+		op.agents[i] = &ckptAgent{op: op, pod: p, idx: i}
 	}
+	// The control plane for this operation: the flat star unless a
+	// coordination tree is configured, in which case sub-coordinators
+	// relay fan-outs and aggregate fan-ins into one batched message per
+	// link per phase.
+	op.plane = m.newPlane(len(pods), opts.Coord)
+	op.readyG = op.plane.Gather("precopy-ready", func(int) { op.readyArrived() })
+	op.metaG = op.plane.Gather("meta", func(int) { op.metaArrived() })
+	op.doneG = op.plane.Gather("done", func(i int) { op.doneArrived(op.agents[i]) })
 	// Arm the watchdog: a stalled agent (lost control message, node
 	// wedged before reporting) aborts the operation and resumes the
 	// pods rather than hanging until the caller's deadline.
@@ -486,11 +538,10 @@ func (m *Manager) Checkpoint(pods []*pod.Pod, opts Options, onDone func(*Checkpo
 		trace.I64("incremental", b2i(opts.Incr != nil)),
 		trace.I64("precopy", b2i(opts.Precopy != nil)))
 	m.notify(PhaseCheckpointStart)
-	// Step M1: broadcast 'checkpoint' to all agents.
-	for _, a := range op.agents {
-		a := a
-		m.ctrl(func() { a.start() })
-	}
+	// Step M1: broadcast 'checkpoint' to all agents (one message per
+	// member on the flat star, one batched message per tree link
+	// otherwise).
+	op.plane.Broadcast("start", nil, func(i int) { op.agents[i].start() })
 }
 
 type ckptOp struct {
@@ -508,6 +559,10 @@ type ckptOp struct {
 	result   *CheckpointResult
 	onDone   func(*CheckpointResult)
 	span     *trace.Span
+	plane    *coord.Plane
+	readyG   *coord.Gather // pre-copy convergence reports
+	metaG    *coord.Gather // meta-data reports
+	doneG    *coord.Gather // completion reports
 }
 
 // b2i renders a bool as a 0/1 trace attribute.
@@ -520,6 +575,7 @@ func b2i(b bool) int64 {
 
 type ckptAgent struct {
 	op          *ckptOp
+	idx         int // member index in the coordination topology
 	pod         *pod.Pod
 	began       sim.Time
 	suspendedAt sim.Time     // when the pod was SIGSTOPped (== began for stop-and-copy)
@@ -559,6 +615,11 @@ func (op *ckptOp) abort(err error) {
 			a.pod.Resume()
 		}
 	}
+	// The abort decision still fans down the tree; the simulation
+	// applies its effects synchronously at decision time (agents also
+	// detect failure independently, per §4), so only the control-plane
+	// accounting is charged.
+	op.plane.AccountAbort()
 	op.m.tr.Instant(op.span, "ckpt/abort", trace.Str("err", err.Error()))
 	op.span.End(trace.Str("outcome", "aborted"))
 	op.m.reg.Counter("ckpt_aborts_total").Add(1)
@@ -717,7 +778,7 @@ func (a *ckptAgent) precopyRoundDone(rec *ckpt.PrecopyRecord, roundStart sim.Tim
 		trace.I64("rounds", int64(round)))
 	a.preSpan.End(trace.I64("rounds", int64(round)),
 		trace.I64("resent_bytes", a.preResent))
-	a.op.m.ctrl(func() { a.op.readyArrived() })
+	a.op.readyG.Report(a.idx, 0)
 }
 
 // readyArrived is the pre-copy synchronization point: once every agent's
@@ -734,15 +795,12 @@ func (op *ckptOp) readyArrived() {
 	}
 	op.stopSent = true
 	op.m.tr.Instant(op.span, "ckpt/precopy/sync", trace.I64("agents", int64(len(op.agents))))
-	for _, a := range op.agents {
-		a := a
-		op.m.ctrl(func() {
-			if op.aborted || op.checkFailure() {
-				return
-			}
-			a.quiesce()
-		})
-	}
+	op.plane.Broadcast("quiesce", nil, func(i int) {
+		if op.aborted || op.checkFailure() {
+			return
+		}
+		op.agents[i].quiesce()
+	})
 }
 
 // precopyRound runs one more live round: re-snapshot, diff against the
@@ -827,8 +885,10 @@ func (a *ckptAgent) netCheckpoint() {
 		a.op.m.reg.Counter("netstack_drained_msgs").Add(netImg.QueueMsgs())
 		a.op.m.reg.Counter("netstack_drained_bytes").Add(a.queueLen)
 		// 2a: report meta-data (the manager only needs the connectivity
-		// map; transferring it costs latency plus wire time).
-		a.op.m.ctrlAfter(costs.NetTransferTime(a.netBytes), func() { a.op.metaArrived() })
+		// map; transferring it costs latency plus wire time). In a tree
+		// the report ascends in per-link batches; sub-coordinators hold
+		// their subtree's reports until all have arrived.
+		a.op.metaG.Report(a.idx, costs.NetTransferTime(a.netBytes))
 		if a.op.opts.NaiveSync {
 			// Ablation: wait for 'continue' before the standalone save.
 			return
@@ -995,17 +1055,15 @@ func (op *ckptOp) metaArrived() {
 	op.contSent = true
 	op.m.tr.Instant(op.span, "ckpt/meta-sync", trace.I64("agents", int64(len(op.agents))))
 	op.m.notify(PhaseMetaSync)
-	for _, a := range op.agents {
-		a := a
-		op.m.ctrl(func() {
-			a.contRecvd = true
-			if op.opts.NaiveSync && !a.saDone && a.img == nil {
-				a.standalone()
-				return
-			}
-			a.maybeFinish()
-		})
-	}
+	op.plane.Broadcast("continue", nil, func(i int) {
+		a := op.agents[i]
+		a.contRecvd = true
+		if op.opts.NaiveSync && !a.saDone && a.img == nil {
+			a.standalone()
+			return
+		}
+		a.maybeFinish()
+	})
 }
 
 // maybeFinish is agent steps 3a/4/4a: the agent completes only after
@@ -1046,7 +1104,7 @@ func (a *ckptAgent) maybeFinish() {
 		a.op.m.tr.Instant(a.span, "ckpt/teardown", trace.I64("suspend_window_ns", int64(a.window)))
 	}
 	// 4: report 'done'.
-	a.op.m.ctrlAfter(cost, func() { a.op.doneArrived(a) })
+	a.op.doneG.Report(a.idx, cost)
 }
 
 // doneArrived is manager step M4: collect completion reports.
@@ -1106,8 +1164,20 @@ func (op *ckptOp) doneArrived(a *ckptAgent) {
 		netckpt.ApplyRedirect(nets)
 	}
 	op.result.Stats.Total = sim.Duration(op.m.w.Now() - op.start)
+	var lastStart sim.Time
+	for _, ag := range op.agents {
+		if ag.began > lastStart {
+			lastStart = ag.began
+		}
+	}
+	op.result.Stats.CoordBarrier = sim.Duration(lastStart - op.start)
+	op.result.Stats.Coord = op.plane.Stats()
 	op.m.w.Cancel(op.watchdog)
 	if op.opts.FlushTo != "" {
+		if !op.plane.Flat() {
+			op.flushStaggered()
+			return
+		}
 		// Flush after resume; charged to the SAN, not to checkpoint time.
 		// Full generations write <pod>.img, deltas write <pod>.delta.
 		// Pre-copy agents flushed their base (<pod>.img) and round
@@ -1116,21 +1186,83 @@ func (op *ckptOp) doneArrived(a *ckptAgent) {
 		// store — at no point does a flushed record exist as one
 		// contiguous buffer.
 		for _, ag := range op.agents {
-			ext := "img"
-			if (ag.pend != nil && !ag.pend.Full()) || ag.pre != nil {
-				ext = "delta"
-			}
-			path := fmt.Sprintf("%s/%s.%s", op.opts.FlushTo, ag.img.PodName, ext)
-			fSpan := op.m.tr.Start(op.span, "store/flush",
-				trace.Track(ag.img.PodName), trace.Str("path", path))
-			if err := op.flushRecord(path, ag); err != nil {
-				op.result.Err = err
-				fSpan.End(trace.Str("err", err.Error()))
-			} else {
-				fSpan.End(trace.I64("bytes", ag.stats.Bytes))
-			}
+			op.flushAgent(ag)
 		}
 	}
+	op.finishOK()
+}
+
+// flushAgent streams one agent's record into the manager's store.
+func (op *ckptOp) flushAgent(ag *ckptAgent) {
+	ext := "img"
+	if (ag.pend != nil && !ag.pend.Full()) || ag.pre != nil {
+		ext = "delta"
+	}
+	path := fmt.Sprintf("%s/%s.%s", op.opts.FlushTo, ag.img.PodName, ext)
+	fSpan := op.m.tr.Start(op.span, "store/flush",
+		trace.Track(ag.img.PodName), trace.Str("path", path))
+	if err := op.flushRecord(path, ag); err != nil {
+		op.result.Err = err
+		fSpan.End(trace.Str("err", err.Error()))
+	} else {
+		fSpan.End(trace.I64("bytes", ag.stats.Bytes))
+	}
+}
+
+// flushStaggered flushes each top-level subtree's records in its own
+// wave, consecutive waves separated by the previous wave's modeled SAN
+// time — concurrent flush bandwidth is bounded by one subtree instead
+// of all N pods hitting the store at once. The result is delivered
+// after the last wave, matching the flat path's records-durable-first
+// semantics. Wave order (root children ascending, agents in member
+// order within a wave) is deterministic.
+func (op *ckptOp) flushStaggered() {
+	topo := op.plane.Topology()
+	costs := op.m.w.Costs
+	var waves [][]*ckptAgent
+	for _, rc := range topo.RootChildren() {
+		var wave []*ckptAgent
+		for _, ag := range op.agents {
+			if topo.RootAncestor(ag.idx) == rc {
+				wave = append(wave, ag)
+			}
+		}
+		if len(wave) > 0 {
+			waves = append(waves, wave)
+		}
+	}
+	if len(waves) == 0 {
+		op.finishOK()
+		return
+	}
+	var offset sim.Duration
+	for i, wave := range waves {
+		wave := wave
+		last := i == len(waves)-1
+		op.m.w.After(offset, func() {
+			op.m.tr.Instant(op.span, "ckpt/flush-wave",
+				trace.I64("agents", int64(len(wave))))
+			for _, ag := range wave {
+				op.flushAgent(ag)
+			}
+			if last {
+				op.finishOK()
+			}
+		})
+		var bytes int64
+		for _, ag := range wave {
+			bytes += costs.EffImageBytes(ag.stats.Bytes)
+		}
+		offset += costs.DiskTime(bytes)
+	}
+}
+
+// finishOK closes the operation: per-level barrier spans (tree mode
+// only — a flat plane emits nothing, keeping legacy traces
+// byte-identical), the coordinated span, counters, the phase
+// notification, and the caller's callback.
+func (op *ckptOp) finishOK() {
+	op.plane.EmitLevelSpans(op.m.tr, op.span)
 	op.span.End(trace.Str("outcome", "ok"),
 		trace.I64("total_ns", int64(op.result.Stats.Total)))
 	op.m.reg.Counter("ckpt_ops_total").Add(1)
@@ -1174,6 +1306,9 @@ type Placement struct {
 type RestartStats struct {
 	Total  sim.Duration
 	Agents []RestartAgentStats
+	// Coord is the control-plane accounting of the operation (see
+	// CheckpointStats.Coord).
+	Coord coord.Stats
 }
 
 // RestartAgentStats is one agent's restart breakdown.
@@ -1214,12 +1349,18 @@ func (m *Manager) Restart(placements []Placement, remap map[netstack.IP]netstack
 		return
 	}
 	op := &restartOp{
-		m:      m,
-		start:  m.w.Now(),
-		total:  len(placements),
-		result: &RestartResult{},
-		onDone: onDone,
+		m:       m,
+		start:   m.w.Now(),
+		total:   len(placements),
+		result:  &RestartResult{},
+		onDone:  onDone,
+		plane:   m.newPlane(len(placements), nil),
+		reports: make([]restartReport, len(placements)),
 	}
+	op.doneG = op.plane.Gather("done", func(i int) {
+		r := op.reports[i]
+		op.agentDone(r.name, r.netT, r.saT, r.total, r.pod)
+	})
 	// Routing for the restored virtual addresses is in place before any
 	// agent starts, so early reconnection attempts are refused (and
 	// promptly retried) rather than lost.
@@ -1237,12 +1378,24 @@ func (m *Manager) Restart(placements []Placement, remap map[netstack.IP]netstack
 		trace.I64("pods", int64(len(placements))),
 		trace.I64("remapped", b2i(remap != nil)))
 	m.notify(PhaseRestartStart)
-	for _, pl := range placements {
-		pl := pl
-		plan := plans[pl.Image.VIP]
-		// R1: send 'restart' plus modified meta-data to each agent.
-		m.ctrlAfter(pl.Delay, func() { op.runAgent(pl, plan) })
-	}
+	// R1: send 'restart' plus modified meta-data to each agent. The
+	// per-placement Delay (an image still streaming in during a direct
+	// migration) rides on the member's final hop.
+	op.plane.Broadcast("restart",
+		func(i int) sim.Duration { return placements[i].Delay },
+		func(i int) {
+			pl := placements[i]
+			op.runAgent(i, pl, plans[pl.Image.VIP])
+		})
+}
+
+// restartReport holds one agent's completion report until the batched
+// fan-in delivers it to the root.
+type restartReport struct {
+	name      string
+	netT, saT sim.Duration
+	total     sim.Duration
+	pod       *pod.Pod
 }
 
 type restartOp struct {
@@ -1257,13 +1410,16 @@ type restartOp struct {
 	result   *RestartResult
 	onDone   func(*RestartResult)
 	span     *trace.Span
+	plane    *coord.Plane
+	doneG    *coord.Gather
+	reports  []restartReport
 }
 
 // runAgent executes the agent-side restart of Figure 3: create a pod,
 // recover connectivity, restore network state, standalone restart,
 // report done. The pod resumes as soon as its own restart concludes —
 // no cross-agent barrier.
-func (op *restartOp) runAgent(pl Placement, plan *netckpt.EndpointPlan) {
+func (op *restartOp) runAgent(idx int, pl Placement, plan *netckpt.EndpointPlan) {
 	if op.aborted || op.checkFailure(pl.Node) {
 		return
 	}
@@ -1322,9 +1478,11 @@ func (op *restartOp) runAgent(pl Placement, plan *netckpt.EndpointPlan) {
 					np.Resume() // no further delay, per the paper
 					agSpan.End()
 					op.m.reg.Histogram("restart_agent_total_ns").Observe(int64(w.Now() - began))
-					op.m.ctrl(func() {
-						op.agentDone(pl.PodName, netTime, saCost, sim.Duration(w.Now()-began), np)
-					})
+					op.reports[idx] = restartReport{
+						name: pl.PodName, netT: netTime, saT: saCost,
+						total: sim.Duration(w.Now() - began), pod: np,
+					}
+					op.doneG.Report(idx, 0)
 				})
 			})
 		if np != nil {
@@ -1372,6 +1530,7 @@ func (op *restartOp) fail(err error) {
 	for _, ip := range op.vips {
 		op.m.nw.Release(ip)
 	}
+	op.plane.AccountAbort()
 	op.m.tr.Instant(op.span, "restart/abort", trace.Str("err", err.Error()))
 	op.span.End(trace.Str("outcome", "aborted"))
 	op.m.reg.Counter("restart_aborts_total").Add(1)
@@ -1391,7 +1550,9 @@ func (op *restartOp) agentDone(name string, netT, saT, total sim.Duration, np *p
 	op.dones++
 	if op.dones == op.total {
 		op.result.Stats.Total = sim.Duration(op.m.w.Now() - op.start)
+		op.result.Stats.Coord = op.plane.Stats()
 		op.m.w.Cancel(op.watchdog)
+		op.plane.EmitLevelSpans(op.m.tr, op.span)
 		op.span.End(trace.Str("outcome", "ok"),
 			trace.I64("total_ns", int64(op.result.Stats.Total)))
 		op.m.reg.Counter("restart_ops_total").Add(1)

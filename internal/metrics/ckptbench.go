@@ -84,6 +84,22 @@ type CkptBenchRecord struct {
 	// cost over a single full image.
 	PrecopyRounds      int   `json:"precopy_rounds,omitempty"`
 	PrecopyResentBytes int64 `json:"precopy_resent_bytes,omitempty"`
+	// CoordPods / CoordFanout / CoordDepth identify the coordination
+	// scaling point measured for the coord_* figures: a CoordPods-member
+	// checkpoint run once over the flat star and once over a
+	// CoordFanout-ary tree. CoordBarrierUs is the tree run's
+	// coordination barrier (manager invocation to the last agent's
+	// start receipt, simulated microseconds) and CoordFlatBarrierUs the
+	// flat run's; CoordRootMsgs / CoordFlatRootMsgs are the matching
+	// root message counts. zapc-benchdiff guards CoordBarrierUs against
+	// growth. Zero in records written before the fields existed.
+	CoordPods          int     `json:"coord_pods,omitempty"`
+	CoordFanout        int     `json:"coord_fanout,omitempty"`
+	CoordDepth         int     `json:"coord_depth,omitempty"`
+	CoordRootMsgs      int64   `json:"coord_root_msgs,omitempty"`
+	CoordFlatRootMsgs  int64   `json:"coord_flat_root_msgs,omitempty"`
+	CoordBarrierUs     float64 `json:"coord_barrier_us,omitempty"`
+	CoordFlatBarrierUs float64 `json:"coord_flat_barrier_us,omitempty"`
 	// WallNs is the host wall-clock time of the whole benchmark run.
 	WallNs int64 `json:"wall_ns"`
 }
@@ -174,6 +190,25 @@ func CompareStoredBytes(prev, cur CkptBenchRecord, tolPct float64) error {
 		growth := 100 * float64(cur.StoredBytesPerGen-prev.StoredBytesPerGen) / float64(prev.StoredBytesPerGen)
 		return fmt.Errorf("stored bytes per generation regressed %.1f%% (%d -> %d bytes, tolerance %.0f%%)",
 			growth, prev.StoredBytesPerGen, cur.StoredBytesPerGen, tolPct)
+	}
+	return nil
+}
+
+// CompareCoordBarrier checks cur against prev and returns an error
+// when the tree-coordinated barrier time grew by more than tolPct
+// percent — the regression that would mean the coordination tree's
+// fan-out/fan-in batching quietly degraded back toward the flat O(N)
+// serialization. Records from before the field existed (prev <= 0)
+// compare clean.
+func CompareCoordBarrier(prev, cur CkptBenchRecord, tolPct float64) error {
+	if prev.CoordBarrierUs <= 0 {
+		return nil // nothing to compare against
+	}
+	limit := prev.CoordBarrierUs * (1 + tolPct/100)
+	if cur.CoordBarrierUs > limit {
+		growth := 100 * (cur.CoordBarrierUs - prev.CoordBarrierUs) / prev.CoordBarrierUs
+		return fmt.Errorf("coordination barrier regressed %.1f%% (%.0f -> %.0f us, tolerance %.0f%%)",
+			growth, prev.CoordBarrierUs, cur.CoordBarrierUs, tolPct)
 	}
 	return nil
 }

@@ -34,6 +34,8 @@ type Pod struct {
 	nextVPID  vos.PID
 	vip       netstack.IP
 	destroyed bool
+	frozen    bool
+	frozenAt  sim.Time
 }
 
 // DefaultVirtOverhead is the per-syscall cost of the thin virtualization
@@ -156,15 +158,27 @@ func (p *Pod) Procs() []*vos.Process {
 	return out
 }
 
-// Suspend sends SIGSTOP to every member process (checkpoint step 1).
+// Suspend sends SIGSTOP to every member process (checkpoint step 1) and
+// freezes the pod's virtual clock at the suspension instant: the
+// application never observes time passing while stopped, so a
+// checkpoint image stamps the quiesce instant rather than whenever the
+// coordinator got around to the capture step. That makes image bytes a
+// pure function of the frozen pod state, independent of control-plane
+// latency (and so identical across coordination topologies).
 func (p *Pod) Suspend() {
+	if !p.frozen {
+		p.frozenAt = p.VirtualNow()
+		p.frozen = true
+	}
 	for _, proc := range p.Procs() {
 		proc.Signal(vos.SIGSTOP)
 	}
 }
 
-// Resume sends SIGCONT to every member process (snapshot continuation).
+// Resume sends SIGCONT to every member process (snapshot continuation)
+// and unfreezes the virtual clock.
 func (p *Pod) Resume() {
+	p.frozen = false
 	for _, proc := range p.Procs() {
 		proc.Signal(vos.SIGCONT)
 	}
@@ -190,8 +204,13 @@ func (p *Pod) UnblockNetwork() { p.stack.Filter().UnblockAll() }
 // NetworkBlocked reports whether the pod's traffic is frozen.
 func (p *Pod) NetworkBlocked() bool { return p.stack.Filter().Blocked() }
 
-// VirtualNow returns the application-visible time inside the pod.
+// VirtualNow returns the application-visible time inside the pod. While
+// the pod is suspended it holds at the suspension instant (see
+// Suspend).
 func (p *Pod) VirtualNow() sim.Time {
+	if p.frozen {
+		return p.frozenAt
+	}
 	return p.node.World().Now() + sim.Time(p.env.TimeBias)
 }
 

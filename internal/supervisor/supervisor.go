@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	"zapc/internal/ckpt"
+	"zapc/internal/coord"
 	"zapc/internal/core"
 	"zapc/internal/imagestore"
 	"zapc/internal/memfs"
@@ -109,6 +110,11 @@ type Policy struct {
 	// PrecopyConvergeBytes is the pre-copy convergence threshold
 	// (0 selects core.DefaultPrecopyConvergeBytes).
 	PrecopyConvergeBytes int64
+	// Fanout selects the coordination-tree arity handed to the
+	// coordinated checkpoint and restart operations. Positive values
+	// route control traffic through a k-ary tree of sub-coordinators;
+	// zero keeps the manager's default (flat) topology.
+	Fanout int
 }
 
 func (p Policy) withDefaults() Policy {
@@ -555,6 +561,9 @@ func (s *Supervisor) checkpointAttempt() {
 		Workers: s.pol.Workers,
 		Incr:    s.incr,
 	}
+	if s.pol.Fanout > 0 {
+		opts.Coord = &coord.Config{Fanout: s.pol.Fanout}
+	}
 	if s.incr == nil && !s.pol.StopAndCopy {
 		// Periodic non-incremental checkpoints default to pre-copy: the
 		// application keeps running through the bulk of the serialization
@@ -949,6 +958,9 @@ func (s *Supervisor) startRecovery() {
 		}
 	}
 	s.t.Mgr.SetWorkers(s.pol.Workers)
+	if s.pol.Fanout > 0 {
+		s.t.Mgr.SetCoord(&coord.Config{Fanout: s.pol.Fanout})
+	}
 	s.t.Mgr.Restart(placements, nil, s.restartDone)
 }
 

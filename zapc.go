@@ -29,6 +29,7 @@ import (
 	"zapc/internal/chaos"
 	"zapc/internal/ckpt"
 	"zapc/internal/cluster"
+	"zapc/internal/coord"
 	"zapc/internal/core"
 	"zapc/internal/faultinject"
 	"zapc/internal/imagestore"
@@ -52,6 +53,14 @@ type (
 	Job = cluster.Job
 	// CheckpointOptions tunes a coordinated checkpoint.
 	CheckpointOptions = core.Options
+	// CoordConfig selects the coordination-tree topology for coordinated
+	// operations (CheckpointOptions.Coord, Config.Fanout,
+	// SupervisorPolicy.Fanout). The zero value selects the default
+	// fan-out; unset means the legacy flat star.
+	CoordConfig = coord.Config
+	// CoordStats is the per-link control-plane accounting of one
+	// coordinated operation (message, byte, and root-message counts).
+	CoordStats = coord.Stats
 	// PrecopyOptions selects iterative pre-copy live checkpointing via
 	// CheckpointOptions.Precopy: the pod keeps running through the bulk
 	// of the serialization and is quiesced only for the residual dirty
@@ -191,6 +200,14 @@ func CompareBenchStoredBytes(prev, cur CkptBenchRecord, tolPct float64) error {
 // the quiesce window stays O(residual dirty set), not O(image)).
 func CompareBenchSuspend(prev, cur CkptBenchRecord, tolPct float64) error {
 	return metrics.CompareSuspend(prev, cur, tolPct)
+}
+
+// CompareBenchCoordBarrier fails when cur's tree-coordinated barrier
+// time grew more than tolPct percent above prev's (zapc-benchdiff's
+// guard that fan-out/fan-in batching keeps the root off the O(N)
+// serialization path).
+func CompareBenchCoordBarrier(prev, cur CkptBenchRecord, tolPct float64) error {
+	return metrics.CompareCoordBarrier(prev, cur, tolPct)
 }
 
 // Pipeline observability (see internal/trace). c.EnableTracing() turns
