@@ -6,14 +6,15 @@ BENCH_OUT ?= BENCH_ckpt.json
 GOTESTFLAGS ?= -race -count=1
 GOTEST = $(GO) test $(GOTESTFLAGS)
 
-.PHONY: ci fmt vet build test race race-precopy fuzz chaos dedup-check scale-check cover bench benchdiff trace-check examples clean
+.PHONY: ci fmt vet build test race race-precopy fuzz chaos dedup-check scale-check obs-check cover bench benchdiff trace-check examples clean
 
 # Full CI gate: static checks, a clean build, the race-enabled suite,
 # the pre-copy live-checkpoint scenario under the race detector, short
 # fuzzing of the image-format decoders, trace determinism, the chaos
 # fuzzer sweep + corpus replay gate, the dedup-store layout gate, the
-# coordination-tree scaling gate, and coverage totals.
-ci: fmt vet build race race-precopy fuzz trace-check chaos dedup-check scale-check cover
+# coordination-tree scaling gate, the observability/availability gate,
+# and coverage totals.
+ci: fmt vet build race race-precopy fuzz trace-check chaos dedup-check scale-check obs-check cover
 
 # gofmt gate: fails listing any file that is not gofmt-clean.
 fmt:
@@ -88,6 +89,27 @@ scale-check:
 	$(GOTEST) ./internal/coord
 	$(GOTEST) -run '^TestCoordCrossTopologyBitIdentity$$|^TestCoordScalingSublinear$$' .
 	ZAPC_SCALE=1 $(GOTEST) -timeout 30m -run '^TestCoordScaling1024$$' .
+	$(GO) run ./cmd/zapc-benchdiff $(BENCH_OUT)
+
+# Observability gate: the trace-analyzer and metric-naming unit suites
+# under -race, the failover RTO/RPO scenario gates (determinism, bench
+# stamping, naming lint over the canonical scenario), byte-determinism
+# of the critical-path render across two same-seed runs, a strict
+# dangling-span check on the canonical trace, and the benchdiff RTO
+# comparison against the recorded trajectory.
+obs-check:
+	$(GOTEST) -run '^TestCriticalPath|^TestContainment|^TestWindow|^TestStraggler|^TestAnalyzer|^TestFailoverReport|^TestPhaseStats|^TestCheckMetricName|^TestRegistryCheckNames|^TestLegacyAliases|^TestWriteProm' ./internal/trace
+	$(GOTEST) -run '^TestFailoverRTO|^TestMetricNamesConform$$' .
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/zapc-bench -fig trace -events $$dir/a.jsonl -trace $$dir/a.json >/dev/null && \
+	$(GO) run ./cmd/zapc-bench -fig trace -events $$dir/b.jsonl -trace $$dir/b.json >/dev/null && \
+	$(GO) run ./cmd/zapc-inspect -trace -strict $$dir/a.jsonl >/dev/null && \
+	$(GO) run ./cmd/zapc-inspect -critpath -rto $$dir/a.jsonl > $$dir/a.txt && \
+	$(GO) run ./cmd/zapc-inspect -critpath -rto $$dir/b.jsonl > $$dir/b.txt && \
+	sed "s,$$dir/a,TRACE," $$dir/a.txt > $$dir/a.norm && \
+	sed "s,$$dir/b,TRACE," $$dir/b.txt > $$dir/b.norm && \
+	cmp $$dir/a.norm $$dir/b.norm && echo "obs-check: critical-path render deterministic ($$(wc -l < $$dir/a.norm) lines)"; \
+	st=$$?; rm -rf $$dir; exit $$st
 	$(GO) run ./cmd/zapc-benchdiff $(BENCH_OUT)
 
 # Coverage profile plus per-package totals.

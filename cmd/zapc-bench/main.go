@@ -15,6 +15,7 @@
 //	zapc-bench -fig ckpt       # parallel/incremental checkpoint pipeline
 //	zapc-bench -fig coord      # coordination-tree scaling, flat vs fan-out 16
 //	zapc-bench -fig trace      # traced checkpoint–failover–restart run
+//	zapc-bench -fig rto        # failover RTO/RPO decomposition sweep
 //	zapc-bench -fig all        # everything
 //
 // -fig ckpt additionally appends one record per run to the trajectory
@@ -52,7 +53,7 @@ func coordBenchCfg(cfg zapc.ExperimentConfig) zapc.ExperimentConfig {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, net, timeline, sync, redirect, reconnect, ckpt, coord, trace, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6a, 6b, 6c, net, timeline, sync, redirect, reconnect, ckpt, coord, trace, rto, all")
 	scale := flag.Float64("scale", 1.0/16, "memory footprint scale (1.0 = paper scale)")
 	work := flag.Float64("work", 0.25, "application runtime scale")
 	ckpts := flag.Int("ckpts", 10, "checkpoints per measured run")
@@ -255,6 +256,13 @@ func main() {
 			return err
 		}
 		coordRow.Stamp(&rec)
+		// One failover-availability point (the canonical 4-pod supervised
+		// crash) rides along so the benchdiff gate also covers RTO/RPO.
+		rtoRow, err := zapc.RunFailoverRTO(cfg, 4, 0, true)
+		if err != nil {
+			return err
+		}
+		rtoRow.Stamp(&rec)
 		prev, err := os.ReadFile(*out)
 		if err != nil && !os.IsNotExist(err) {
 			return err
@@ -267,9 +275,31 @@ func main() {
 		fmt.Printf("pre-copy downtime: suspend %.0f us vs stop-and-copy %.0f us (%.1fx) in %d rounds, %s resent\n",
 			rec.SuspendUs, rec.ScSuspendUs, rec.ScSuspendUs/rec.SuspendUs,
 			rec.PrecopyRounds, zapc.HumanBytes(rec.PrecopyResentBytes))
-		fmt.Printf("coordination: %d pods fan-out %d barrier %.0f us (flat %.0f us), root msgs %d (flat %d)\n\n",
+		fmt.Printf("coordination: %d pods fan-out %d barrier %.0f us (flat %.0f us), root msgs %d (flat %d)\n",
 			rec.CoordPods, rec.CoordFanout, rec.CoordBarrierUs, rec.CoordFlatBarrierUs,
 			rec.CoordRootMsgs, rec.CoordFlatRootMsgs)
+		fmt.Printf("availability: failover rto %.0f us, rpo %.0f us (detect %.0f, load %.0f, barrier %.0f, agent %.0f us; coverage %.1f%%)\n\n",
+			rec.RTOUs, rec.RPOUs, rec.RTODetectUs, rec.RTOLoadUs,
+			rec.RTORestartBarrierUs, rec.RTORestartAgentUs, rec.RTOCoveragePct)
+		return nil
+	})
+
+	run("rto", func() error {
+		fmt.Println("== Failover availability: RTO decomposition, flat vs fan-out 16, full vs incremental chains ==")
+		var rows []zapc.FailoverRTORow
+		for _, pt := range []struct {
+			pods, fanout int
+			incremental  bool
+		}{
+			{4, 0, false}, {4, 0, true}, {18, 16, false}, {18, 16, true},
+		} {
+			row, err := zapc.RunFailoverRTO(cfg, pt.pods, pt.fanout, pt.incremental)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+		}
+		fmt.Println(zapc.FailoverRTOTable(rows))
 		return nil
 	})
 

@@ -3,8 +3,9 @@
 // appended by `zapc-bench -fig ckpt`) and compares the newest record
 // against the one before it, exiting non-zero when the parallel
 // encoder's host throughput dropped — or the streaming serializer's
-// peak buffering, the pre-copy suspension window, or the tree-
-// coordinated barrier time, grew — by more than the tolerance.
+// peak buffering, the pre-copy suspension window, the tree-coordinated
+// barrier time, or the failover recovery window (RTO), grew — by more
+// than the tolerance.
 //
 // Usage:
 //
@@ -62,6 +63,13 @@ func main() {
 			prev.CoordBarrierUs, cur.CoordBarrierUs, prev.CoordFlatBarrierUs, cur.CoordFlatBarrierUs,
 			prev.CoordRootMsgs, cur.CoordRootMsgs)
 	}
+	if prev.RTOUs > 0 || cur.RTOUs > 0 {
+		fmt.Printf("zapc-benchdiff: failover rto %.0f -> %.0f us, rpo %.0f -> %.0f us (detect %.0f -> %.0f, load %.0f -> %.0f, barrier %.0f -> %.0f, agent %.0f -> %.0f us; coverage %.1f%%)\n",
+			prev.RTOUs, cur.RTOUs, prev.RPOUs, cur.RPOUs,
+			prev.RTODetectUs, cur.RTODetectUs, prev.RTOLoadUs, cur.RTOLoadUs,
+			prev.RTORestartBarrierUs, cur.RTORestartBarrierUs,
+			prev.RTORestartAgentUs, cur.RTORestartAgentUs, cur.RTOCoveragePct)
+	}
 	if err := zapc.CompareBenchThroughput(prev, cur, *tol); err != nil {
 		fatal(err)
 	}
@@ -75,6 +83,9 @@ func main() {
 		fatal(err)
 	}
 	if err := zapc.CompareBenchCoordBarrier(prev, cur, *tol); err != nil {
+		fatal(err)
+	}
+	if err := zapc.CompareBenchRTO(prev, cur, *tol); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("zapc-benchdiff: within %.0f%% tolerance\n", *tol)

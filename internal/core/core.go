@@ -882,8 +882,8 @@ func (a *ckptAgent) netCheckpoint() {
 		nSpan.End(trace.I64("bytes", a.netBytes),
 			trace.I64("queue_bytes", a.queueLen),
 			trace.I64("queue_msgs", netImg.QueueMsgs()))
-		a.op.m.reg.Counter("netstack_drained_msgs").Add(netImg.QueueMsgs())
-		a.op.m.reg.Counter("netstack_drained_bytes").Add(a.queueLen)
+		a.op.m.reg.Counter("netstack_drained_msgs_total").Add(netImg.QueueMsgs())
+		a.op.m.reg.Counter("netstack_drained_bytes_total").Add(a.queueLen)
 		// 2a: report meta-data (the manager only needs the connectivity
 		// map; transferring it costs latency plus wire time). In a tree
 		// the report ascends in per-link batches; sub-coordinators hold
@@ -1091,6 +1091,7 @@ func (a *ckptAgent) maybeFinish() {
 	// The downtime window closes here: the pod resumes (or is torn
 	// down) at the current instant in either mode.
 	a.window = sim.Duration(w.Now() - a.suspendedAt)
+	a.op.m.reg.Histogram("ckpt_suspend_window_ns").Observe(int64(a.window))
 	var cost sim.Duration
 	switch a.op.opts.Mode {
 	case Snapshot:
@@ -1457,8 +1458,8 @@ func (op *restartOp) runAgent(idx int, pl Placement, plan *netckpt.EndpointPlan)
 				netSpan.End(trace.I64("queue_bytes", queueBytes),
 					trace.I64("queue_msgs", queueMsgs),
 					trace.I64("queue_copy_ns", int64(queueCopy)))
-				op.m.reg.Counter("netstack_reinjected_msgs").Add(queueMsgs)
-				op.m.reg.Counter("netstack_reinjected_bytes").Add(queueBytes)
+				op.m.reg.Counter("netstack_reinjected_msgs_total").Add(queueMsgs)
+				op.m.reg.Counter("netstack_reinjected_bytes_total").Add(queueBytes)
 				// Standalone restart cost: fixed + restore bandwidth
 				// (divided by the decode/rebuild parallelism) +
 				// per-process creation.

@@ -100,6 +100,28 @@ type CkptBenchRecord struct {
 	CoordFlatRootMsgs  int64   `json:"coord_flat_root_msgs,omitempty"`
 	CoordBarrierUs     float64 `json:"coord_barrier_us,omitempty"`
 	CoordFlatBarrierUs float64 `json:"coord_flat_barrier_us,omitempty"`
+	// RTOUs is the failover recovery window measured by the RTO
+	// experiment arm: heartbeat-miss instant to pods-serving instant
+	// (simulated microseconds). RPOUs is the matching data-loss window —
+	// virtual time between the restored generation's commit and the
+	// miss. The RTO*Us fields decompose RTOUs into its critical-path
+	// segments (detection, decision, generation load, chain reconstruct,
+	// restart barrier, per-pod restart, resume, retry wait), and
+	// RTOCoveragePct is the share of the window those named segments
+	// reconstruct (the analyzer's self-check; ~100 by construction).
+	// zapc-benchdiff guards RTOUs against growth. Zero in records
+	// written before the fields existed.
+	RTOUs               float64 `json:"rto_us,omitempty"`
+	RPOUs               float64 `json:"rpo_us,omitempty"`
+	RTODetectUs         float64 `json:"rto_detect_us,omitempty"`
+	RTODecideUs         float64 `json:"rto_decide_us,omitempty"`
+	RTOLoadUs           float64 `json:"rto_load_us,omitempty"`
+	RTOReconstructUs    float64 `json:"rto_reconstruct_us,omitempty"`
+	RTORestartBarrierUs float64 `json:"rto_restart_barrier_us,omitempty"`
+	RTORestartAgentUs   float64 `json:"rto_restart_agent_us,omitempty"`
+	RTOResumeUs         float64 `json:"rto_resume_us,omitempty"`
+	RTOWaitUs           float64 `json:"rto_wait_us,omitempty"`
+	RTOCoveragePct      float64 `json:"rto_coverage_pct,omitempty"`
 	// WallNs is the host wall-clock time of the whole benchmark run.
 	WallNs int64 `json:"wall_ns"`
 }
@@ -209,6 +231,25 @@ func CompareCoordBarrier(prev, cur CkptBenchRecord, tolPct float64) error {
 		growth := 100 * (cur.CoordBarrierUs - prev.CoordBarrierUs) / prev.CoordBarrierUs
 		return fmt.Errorf("coordination barrier regressed %.1f%% (%.0f -> %.0f us, tolerance %.0f%%)",
 			growth, prev.CoordBarrierUs, cur.CoordBarrierUs, tolPct)
+	}
+	return nil
+}
+
+// CompareRTO checks cur against prev and returns an error when the
+// failover recovery window grew by more than tolPct percent — the
+// regression that would mean recovery quietly got slower (a longer
+// outage per failure) even though every checkpoint-path figure still
+// looks healthy. Records from before the field existed (prev <= 0)
+// compare clean.
+func CompareRTO(prev, cur CkptBenchRecord, tolPct float64) error {
+	if prev.RTOUs <= 0 {
+		return nil // nothing to compare against
+	}
+	limit := prev.RTOUs * (1 + tolPct/100)
+	if cur.RTOUs > limit {
+		growth := 100 * (cur.RTOUs - prev.RTOUs) / prev.RTOUs
+		return fmt.Errorf("failover RTO regressed %.1f%% (%.0f -> %.0f us, tolerance %.0f%%)",
+			growth, prev.RTOUs, cur.RTOUs, tolPct)
 	}
 	return nil
 }

@@ -254,7 +254,7 @@ func (img *NetImage) QueueBytes() int64 {
 // receive streams, out-of-band marks, send chunks, and datagrams. These
 // are the units the restart path reinjects into fresh sockets, so the
 // figure pairs with QueueBytes in trace attributes and the
-// netstack_reinjected_msgs counter.
+// netstack_reinjected_msgs_total counter.
 func (img *NetImage) QueueMsgs() int64 {
 	var n int64
 	for _, r := range img.Sockets {

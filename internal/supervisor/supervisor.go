@@ -210,6 +210,14 @@ type Stats struct {
 	NodesDeclared  int // node failures declared by the detector
 	CorruptSkipped int // generations skipped for failed validation
 	GCCollected    int // generations garbage collected
+	// LastRTO is the recovery window of the most recent successful
+	// failover: heartbeat-miss instant to pods-serving instant (0 before
+	// the first failover).
+	LastRTO sim.Duration
+	// LastRPO is the data-loss window of the most recent successful
+	// failover: virtual time between the commit of the generation
+	// actually restored from and the heartbeat-miss instant.
+	LastRPO sim.Duration
 }
 
 // Generation is one committed checkpoint generation.
@@ -257,6 +265,16 @@ type Supervisor struct {
 	reg       *trace.Registry
 	cycleSpan *trace.Span // supervisor/ckpt-cycle, open across retries
 	recSpan   *trace.Span // supervisor/failover, open across retries
+
+	// RTO bookkeeping. pendingMissT/pendingDetectT capture the first
+	// unclaimed failure declaration (the heartbeat-miss instant and the
+	// declaration instant); the next recovery episode consumes them into
+	// recMissT/recDetectT. recGenT is the commit time of the generation
+	// the episode actually restored from.
+	pendingMissT   sim.Time
+	pendingDetectT sim.Time
+	recMissT       sim.Time
+	recGenT        sim.Time
 }
 
 // New builds a supervisor for the target under the given policy. Call
@@ -346,10 +364,16 @@ func counterOf(kind EventKind) string {
 }
 
 func (s *Supervisor) log(kind EventKind, format string, args ...any) {
+	s.logA(kind, nil, format, args...)
+}
+
+// logA is log with extra structured attributes on the mirrored trace
+// instant (the activity-log entry itself stays plain text).
+func (s *Supervisor) logA(kind EventKind, attrs []trace.Attr, format string, args ...any) {
 	detail := fmt.Sprintf(format, args...)
 	s.events = append(s.events, Event{T: s.t.W.Now(), Kind: kind, Detail: detail})
-	s.tr.Instant(nil, "supervisor/"+string(kind), trace.Track("supervisor"),
-		trace.Str("detail", detail))
+	all := append([]trace.Attr{trace.Track("supervisor"), trace.Str("detail", detail)}, attrs...)
+	s.tr.Instant(nil, "supervisor/"+string(kind), all...)
 	if name := counterOf(kind); name != "" {
 		s.reg.Counter(name).Add(1)
 	}
@@ -363,12 +387,24 @@ func (s *Supervisor) endCycleSpan(outcome string) {
 	}
 }
 
-// endRecSpan closes the current failover span, if one is open.
-func (s *Supervisor) endRecSpan(outcome string) {
+// endRecSpan closes the current failover span, if one is open, with the
+// outcome plus any extra attributes.
+func (s *Supervisor) endRecSpan(outcome string, attrs ...trace.Attr) {
 	if s.recSpan != nil {
-		s.recSpan.End(trace.Str("outcome", outcome))
+		s.recSpan.End(append([]trace.Attr{trace.Str("outcome", outcome)}, attrs...)...)
 		s.recSpan = nil
 	}
+}
+
+// opSpan is the causal parent for supervisor sub-phase spans: the open
+// failover span during recovery, the checkpoint-cycle span during a
+// cycle, nil otherwise. Nesting the sub-phases keeps the critical-path
+// analyzer's DAG explicit instead of relying on containment adoption.
+func (s *Supervisor) opSpan() *trace.Span {
+	if s.recSpan != nil {
+		return s.recSpan
+	}
+	return s.cycleSpan
 }
 
 // Start arms the failure detector and the checkpoint policy.
@@ -491,7 +527,18 @@ func (s *Supervisor) nodeDown(n *vos.Node) {
 	}
 	s.declared[n] = true
 	s.stats.NodesDeclared++
-	s.log(EvNodeDown, "node %s: heartbeat silent for %v", n.Name(), s.pol.HeartbeatTimeout)
+	// The unavailability clock starts when the heartbeat became overdue,
+	// not when the detector got around to declaring it; the miss instant
+	// is stamped on the declaration so offline RTO analysis can recover
+	// the detection segment. The first unclaimed declaration seeds the
+	// next recovery episode's RTO window.
+	missT := s.lastSeen[n] + sim.Time(s.pol.HeartbeatTimeout)
+	if s.pendingDetectT == 0 || missT < s.pendingMissT {
+		s.pendingMissT = missT
+		s.pendingDetectT = s.t.W.Now()
+	}
+	s.logA(EvNodeDown, []trace.Attr{trace.I64("miss_t", int64(missT)), trace.Str("node", n.Name())},
+		"node %s: heartbeat silent for %v", n.Name(), s.pol.HeartbeatTimeout)
 	if s.recovering || s.ckptBusy {
 		// An operation is in flight; it will abort (agent failure or
 		// watchdog) and its completion callback re-enters recovery.
@@ -828,7 +875,7 @@ func (s *Supervisor) chainPaths(gi int) (map[string][]string, error) {
 // record (or chain) fails validation.
 func (s *Supervisor) loadGeneration(gi int) ([]*ckpt.Image, error) {
 	g := s.gens[gi]
-	span := s.tr.Start(nil, "supervisor/load-generation", trace.Track("supervisor"),
+	span := s.tr.Start(s.opSpan(), "supervisor/load-generation", trace.Track("supervisor"),
 		trace.Str("dir", g.Dir), trace.I64("seq", int64(g.Seq)))
 	images, err := s.loadGenerationRecords(gi)
 	if err != nil {
@@ -883,7 +930,7 @@ func (s *Supervisor) loadGenerationRecords(gi int) ([]*ckpt.Image, error) {
 			images = append(images, img)
 			continue
 		}
-		cSpan := s.tr.Start(nil, "supervisor/chain-reconstruct", trace.Track("supervisor"),
+		cSpan := s.tr.Start(s.opSpan(), "supervisor/chain-reconstruct", trace.Track("supervisor"),
 			trace.Str("pod", name), trace.I64("links", int64(len(paths))))
 		img, err := ckpt.ReconstructChainFrom(len(paths), func(i int) (io.ReadCloser, error) {
 			return s.t.Store.Open(paths[i])
@@ -910,6 +957,15 @@ func (s *Supervisor) startRecovery() {
 		s.recovering = true
 		s.attempt = 0
 		s.t.W.Cancel(s.ckptTimer)
+		// Claim the pending failure declaration as this episode's RTO
+		// window start. Recovery entered from a checkpoint abort before
+		// the detector fired has no declaration yet; the episode then
+		// starts (and the window opens) now.
+		s.recMissT = s.pendingMissT
+		if s.pendingDetectT == 0 {
+			s.recMissT = s.t.W.Now()
+		}
+		s.pendingMissT, s.pendingDetectT = 0, 0
 		s.recSpan = s.tr.Start(nil, "supervisor/failover", trace.Track("supervisor"),
 			trace.I64("generations", int64(len(s.gens))))
 	}
@@ -934,6 +990,7 @@ func (s *Supervisor) startRecovery() {
 		var err error
 		images, err = s.loadGeneration(i)
 		if err == nil {
+			s.recGenT = s.gens[i].T
 			break
 		}
 		s.stats.CorruptSkipped++
@@ -999,9 +1056,24 @@ func (s *Supervisor) restartDone(res *core.RestartResult) {
 	}
 	s.recovering = false
 	s.stats.Failovers++
-	s.log(EvFailover, "restarted %d pods on %d surviving nodes in %v",
-		len(res.Pods), len(s.survivors()), res.Stats.Total)
-	s.endRecSpan("ok")
+	// Availability figures for this failover: RTO runs from the
+	// heartbeat-miss instant to this instant (the pods are serving
+	// again); RPO is the virtual time between the restored generation's
+	// commit and the miss — the work the job lost.
+	now := s.t.W.Now()
+	rto := sim.Duration(now - s.recMissT)
+	rpo := sim.Duration(s.recMissT - s.recGenT)
+	if rpo < 0 {
+		rpo = 0
+	}
+	rtoUs, rpoUs := int64(rto)/1e3, int64(rpo)/1e3
+	s.reg.Histogram("supervisor_rto_us").Observe(rtoUs)
+	s.reg.Histogram("supervisor_rpo_us").Observe(rpoUs)
+	s.stats.LastRTO, s.stats.LastRPO = rto, rpo
+	s.logA(EvFailover, []trace.Attr{trace.I64("rto_us", rtoUs), trace.I64("rpo_us", rpoUs)},
+		"restarted %d pods on %d surviving nodes in %v (rto %v, rpo %v)",
+		len(res.Pods), len(s.survivors()), res.Stats.Total, rto, rpo)
+	s.endRecSpan("ok", trace.I64("rto_us", rtoUs), trace.I64("rpo_us", rpoUs))
 	if s.incr != nil {
 		// The trackers' bases refer to pods that no longer exist; the
 		// next generation of every pod starts a fresh chain.

@@ -91,20 +91,42 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 // chromeEvent is one entry of the Chrome trace-event JSON array
 // (loadable by about:tracing and ui.perfetto.dev).
 type chromeEvent struct {
-	Name string            `json:"name"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"` // microseconds
-	Dur  float64           `json:"dur,omitempty"`
-	Pid  int               `json:"pid"`
-	Tid  int               `json:"tid"`
-	S    string            `json:"s,omitempty"` // instant scope
-	Args map[string]string `json:"args,omitempty"`
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"` // microseconds
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	S    string  `json:"s,omitempty"` // instant scope
+	// Cname selects a reserved Chrome/Perfetto color ("terrible" renders
+	// red) — used to highlight critical-path spans.
+	Cname string            `json:"cname,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
 }
 
 // ChromeTrace converts an event log into Chrome trace-event format.
 // Spans become complete ("X") events, instants become thread-scoped
 // instant ("i") events, and each track maps to a named tid lane.
 func ChromeTrace(events []Event) ([]byte, error) {
+	return chromeTrace(events, nil)
+}
+
+// ChromeTraceHighlighted is ChromeTrace with critical-path highlighting:
+// spans on the given critical path render red (Chrome's "terrible"
+// reserved color), and the path's segments additionally appear as a
+// dedicated "critical-path" lane so the bottleneck chain reads as one
+// contiguous bar in Perfetto.
+func ChromeTraceHighlighted(events []Event, path []Segment) ([]byte, error) {
+	return chromeTrace(events, path)
+}
+
+func chromeTrace(events []Event, path []Segment) ([]byte, error) {
+	critical := map[uint64]bool{}
+	for _, s := range path {
+		if s.Span != nil {
+			critical[s.Span.ID] = true
+		}
+	}
 	// Assign tids per track in order of first appearance.
 	tids := map[string]int{}
 	tidOf := func(track string) int {
@@ -146,11 +168,15 @@ func ChromeTrace(events []Event) ([]byte, error) {
 				}
 				args = merged
 			}
-			out = append(out, chromeEvent{
+			ce := chromeEvent{
 				Name: ev.Name, Ph: "X",
 				Ts: float64(b.ev.T) / 1e3, Dur: float64(ev.T-b.ev.T) / 1e3,
 				Pid: 1, Tid: b.tid, Args: args,
-			})
+			}
+			if critical[ev.ID] {
+				ce.Cname = "terrible"
+			}
+			out = append(out, ce)
 		case PhInstant:
 			out = append(out, chromeEvent{
 				Name: ev.Name, Ph: "i", Ts: float64(ev.T) / 1e3,
@@ -164,6 +190,19 @@ func ChromeTrace(events []Event) ([]byte, error) {
 			Name: b.ev.Name, Ph: "X", Ts: float64(b.ev.T) / 1e3,
 			Pid: 1, Tid: b.tid, Args: b.ev.Args,
 		})
+	}
+	// The critical path gets its own lane: the bottleneck chain rendered
+	// as contiguous red bars, one per attributed segment.
+	if len(path) > 0 {
+		critTid := len(tids) + 1
+		tids["critical-path"] = critTid
+		for _, s := range path {
+			out = append(out, chromeEvent{
+				Name: s.Name, Ph: "X",
+				Ts: float64(s.Start) / 1e3, Dur: float64(s.Dur()) / 1e3,
+				Pid: 1, Tid: critTid, Cname: "terrible",
+			})
+		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
 	// Lane-name metadata, in tid order so the file is deterministic.

@@ -1,0 +1,162 @@
+package zapc
+
+import (
+	"fmt"
+	"strings"
+
+	"zapc/internal/metrics"
+	"zapc/internal/sim"
+	"zapc/internal/trace"
+)
+
+// FailoverRTORow is one point of the failover-availability experiment:
+// a supervised job loses a node mid-run, and the row records how long
+// the automatic recovery took (RTO), how much virtual time of work was
+// lost (RPO), and the critical-path decomposition of the recovery
+// window — which named phase the outage was actually spent in.
+type FailoverRTORow struct {
+	Pods        int
+	Fanout      int // 0 = flat star
+	Incremental bool
+	// Report is the trace-derived decomposition of the (first)
+	// failover: RTO window, RPO, and labeled critical-path segments.
+	Report trace.RTOReport
+	// SupRTO / SupRPO are the supervisor's own online measurements of
+	// the same episode; the trace-derived figures must agree with them.
+	SupRTO Duration
+	SupRPO Duration
+	// Events is the scenario's full event log, for exports.
+	Events []TraceEvent
+}
+
+// RunFailoverRTO measures one failover-availability point: a cpi job on
+// pods endpoints runs under a supervisor taking periodic checkpoints
+// (incremental or full-only chains, flat or fanout-ary coordinated
+// restart), a scripted fault crashes one node at half progress, and the
+// supervisor detects, decides, reloads the newest valid generation, and
+// restarts the job on the survivors. The returned row carries both the
+// supervisor's online rto/rpo figures and the trace analyzer's
+// critical-path decomposition of the same window; the run is
+// deterministic per cfg.Seed.
+func RunFailoverRTO(cfg ExperimentConfig, pods, fanout int, incremental bool) (FailoverRTORow, error) {
+	cfg = cfg.defaults()
+	row := FailoverRTORow{Pods: pods, Fanout: fanout, Incremental: incremental}
+	c := clusterFor(pods, cfg)
+	c.EnableTracing()
+	job, err := c.Launch(cfg.spec("cpi", pods, false))
+	if err != nil {
+		return row, err
+	}
+	sup, err := c.Supervise(job, SupervisorPolicy{
+		HeartbeatInterval: 50 * Millisecond,
+		CheckpointEvery:   250 * Millisecond,
+		Incremental:       incremental,
+		Workers:           3,
+		Retain:            2,
+		Fanout:            fanout,
+	})
+	if err != nil {
+		return row, err
+	}
+	// The crash must land after the first committed generation or the
+	// recovery (correctly) halts with nothing to restore — larger
+	// configurations finish faster, so a fixed crash progress races the
+	// first commit. Drive to the first commit, then crash at half
+	// progress or just past wherever the run already is.
+	if err := c.Drive(func() bool {
+		return sup.Stats().Checkpoints >= 1 || job.Finished()
+	}, runDeadline); err != nil {
+		return row, err
+	}
+	crashAt := job.Progress() + 0.05
+	if crashAt < 0.5 {
+		crashAt = 0.5
+	}
+	if job.Finished() || crashAt >= 0.95 {
+		return row, fmt.Errorf("rto %d pods: job outran the first checkpoint generation (progress %.2f)", pods, job.Progress())
+	}
+	inj := NewFaultInjector(c)
+	inj.SetProgressProbe(job.Progress, 0)
+	if err := inj.Arm([]FaultStep{{
+		Name: "crash-node", Progress: crashAt, Action: FaultCrashNode, Node: c.Nodes[1],
+	}}); err != nil {
+		return row, err
+	}
+	if err := c.Drive(job.Finished, runDeadline); err != nil {
+		return row, err
+	}
+	sup.Stop()
+	stats := sup.Stats()
+	if stats.Failovers == 0 {
+		return row, fmt.Errorf("rto %d pods: scenario completed without a failover", pods)
+	}
+	row.SupRTO, row.SupRPO = stats.LastRTO, stats.LastRPO
+	row.Events = c.Tracer().Events()
+	reports := trace.FailoverReports(row.Events)
+	if len(reports) == 0 {
+		return row, fmt.Errorf("rto %d pods: supervisor reported %d failover(s) but the trace analyzer found none", pods, stats.Failovers)
+	}
+	row.Report = reports[len(reports)-1]
+	// The offline decomposition must reconstruct the online measurement:
+	// same window, and the named segments must cover (almost) all of it.
+	if got, want := row.Report.RTO(), int64(row.SupRTO); got != want {
+		return row, fmt.Errorf("rto %d pods: trace window %d ns disagrees with supervisor %d ns", pods, got, want)
+	}
+	if cov := row.Report.Coverage(); cov < 0.95 {
+		return row, fmt.Errorf("rto %d pods: critical-path segments cover only %.1f%% of the failover window", pods, 100*cov)
+	}
+	return row, nil
+}
+
+// Stamp writes the availability point into a bench trajectory record so
+// zapc-benchdiff can gate RTO regressions alongside the checkpoint-path
+// figures.
+func (r FailoverRTORow) Stamp(rec *metrics.CkptBenchRecord) {
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	rec.RTOUs = us(r.Report.RTO())
+	if r.Report.RPOUs >= 0 {
+		rec.RPOUs = float64(r.Report.RPOUs)
+	} else {
+		rec.RPOUs = us(int64(r.SupRPO))
+	}
+	rec.RTODetectUs = us(r.Report.SegmentTotal(trace.SegDetect))
+	rec.RTODecideUs = us(r.Report.SegmentTotal(trace.SegDecide))
+	rec.RTOLoadUs = us(r.Report.SegmentTotal(trace.SegLoad))
+	rec.RTOReconstructUs = us(r.Report.SegmentTotal(trace.SegReconstruct))
+	rec.RTORestartBarrierUs = us(r.Report.SegmentTotal(trace.SegRestartBarrier))
+	rec.RTORestartAgentUs = us(r.Report.SegmentTotal(trace.SegRestartAgent))
+	rec.RTOResumeUs = us(r.Report.SegmentTotal(trace.SegResume))
+	rec.RTOWaitUs = us(r.Report.SegmentTotal(trace.SegWait))
+	rec.RTOCoveragePct = 100 * r.Report.Coverage()
+}
+
+// FailoverRTOTable renders the availability sweep: one line per
+// configuration with the headline rto/rpo and the dominant segments.
+func FailoverRTOTable(rows []FailoverRTORow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-8s %-6s  %-12s %-12s  %-10s %-10s %-10s %-10s %-10s\n",
+		"pods", "coord", "chain", "rto", "rpo", "detect", "load", "reconstr", "barrier", "agent")
+	for _, r := range rows {
+		coordName := "flat"
+		if r.Fanout > 0 {
+			coordName = fmt.Sprintf("fan-%d", r.Fanout)
+		}
+		chain := "full"
+		if r.Incremental {
+			chain = "incr"
+		}
+		rpo := sim.Duration(r.Report.RPOUs * 1e3)
+		if r.Report.RPOUs < 0 {
+			rpo = r.SupRPO
+		}
+		fmt.Fprintf(&b, "%-5d %-8s %-6s  %-12v %-12v  %-10v %-10v %-10v %-10v %-10v\n",
+			r.Pods, coordName, chain,
+			sim.Duration(r.Report.RTO()), rpo,
+			sim.Duration(r.Report.SegmentTotal(trace.SegDetect)),
+			sim.Duration(r.Report.SegmentTotal(trace.SegLoad)),
+			sim.Duration(r.Report.SegmentTotal(trace.SegReconstruct)),
+			sim.Duration(r.Report.SegmentTotal(trace.SegRestartBarrier)),
+			sim.Duration(r.Report.SegmentTotal(trace.SegRestartAgent)))
+	}
+	return b.String()
+}

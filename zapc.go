@@ -202,6 +202,13 @@ func CompareBenchSuspend(prev, cur CkptBenchRecord, tolPct float64) error {
 	return metrics.CompareSuspend(prev, cur, tolPct)
 }
 
+// CompareBenchRTO fails when cur's failover recovery window grew more
+// than tolPct percent above prev's (zapc-benchdiff's guard that
+// automatic recovery keeps its outage-per-failure budget).
+func CompareBenchRTO(prev, cur CkptBenchRecord, tolPct float64) error {
+	return metrics.CompareRTO(prev, cur, tolPct)
+}
+
 // CompareBenchCoordBarrier fails when cur's tree-coordinated barrier
 // time grew more than tolPct percent above prev's (zapc-benchdiff's
 // guard that fan-out/fan-in batching keeps the root off the O(N)
@@ -258,6 +265,57 @@ func TracePhaseStats(events []TraceEvent) []TracePhaseStat { return trace.PhaseS
 
 // TracePhaseSummary formats the per-phase latency breakdown as a table.
 func TracePhaseSummary(events []TraceEvent) string { return trace.PhaseSummary(events) }
+
+// Causal trace analysis (see internal/trace/analyze.go). BuildTraceDAG
+// reconstructs the span DAG from an event log — explicit parent links
+// plus containment adoption for separately-rooted subsystems — and the
+// critical-path functions decompose any operation or window into the
+// slowest chain of attributed segments. FailoverRTOReports turns a
+// traced crash-and-recover run into per-failover RTO/RPO decompositions.
+type (
+	// TraceDAG is the reconstructed span graph of one trace.
+	TraceDAG = trace.DAG
+	// TraceSpanNode is one reconstructed span in the DAG.
+	TraceSpanNode = trace.SpanNode
+	// TraceSegment is one attributed interval of a critical path.
+	TraceSegment = trace.Segment
+	// TraceStraggler is one entry of a fan-out straggler ranking.
+	TraceStraggler = trace.Straggler
+	// TraceRTOReport decomposes one completed failover into RTO/RPO and
+	// labeled critical-path segments.
+	TraceRTOReport = trace.RTOReport
+)
+
+// BuildTraceDAG reconstructs the span DAG from an event log.
+func BuildTraceDAG(events []TraceEvent) *TraceDAG { return trace.BuildDAG(events) }
+
+// TraceCriticalPath computes the critical path through one span.
+func TraceCriticalPath(root *TraceSpanNode) []TraceSegment { return trace.CriticalPath(root) }
+
+// TraceStragglerRanking ranks a fan-out span's children by completion
+// time, slowest first.
+func TraceStragglerRanking(parent *TraceSpanNode, childName string) []TraceStraggler {
+	return trace.StragglerRanking(parent, childName)
+}
+
+// FailoverRTOReports returns one RTO/RPO decomposition per completed
+// failover in the event log, in time order.
+func FailoverRTOReports(events []TraceEvent) []TraceRTOReport {
+	return trace.FailoverReports(events)
+}
+
+// ChromeTraceHighlightedBytes is ChromeTraceBytes with the given
+// critical path rendered red and mirrored into a dedicated
+// "critical-path" lane.
+func ChromeTraceHighlightedBytes(events []TraceEvent, path []TraceSegment) ([]byte, error) {
+	return trace.ChromeTraceHighlighted(events, path)
+}
+
+// FormatTraceCriticalPath renders a critical path as an aligned table.
+func FormatTraceCriticalPath(segs []TraceSegment) string { return trace.FormatCriticalPath(segs) }
+
+// FormatTraceStragglers renders a straggler ranking, slowest first.
+func FormatTraceStragglers(rank []TraceStraggler) string { return trace.FormatStragglers(rank) }
 
 // BenchSchema is the schema version stamped into new CkptBenchRecord
 // trajectory entries.
