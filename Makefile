@@ -6,15 +6,15 @@ BENCH_OUT ?= BENCH_ckpt.json
 GOTESTFLAGS ?= -race -count=1
 GOTEST = $(GO) test $(GOTESTFLAGS)
 
-.PHONY: ci fmt vet build test race race-precopy fuzz chaos dedup-check scale-check obs-check cover bench benchdiff trace-check examples clean
+.PHONY: ci fmt vet build test race race-precopy fuzz chaos dedup-check scale-check obs-check standby-check cover bench benchdiff trace-check examples clean
 
 # Full CI gate: static checks, a clean build, the race-enabled suite,
 # the pre-copy live-checkpoint scenario under the race detector, short
 # fuzzing of the image-format decoders, trace determinism, the chaos
 # fuzzer sweep + corpus replay gate, the dedup-store layout gate, the
 # coordination-tree scaling gate, the observability/availability gate,
-# and coverage totals.
-ci: fmt vet build race race-precopy fuzz trace-check chaos dedup-check scale-check obs-check cover
+# the warm-standby replication gate, and coverage totals.
+ci: fmt vet build race race-precopy fuzz trace-check chaos dedup-check scale-check obs-check standby-check cover
 
 # gofmt gate: fails listing any file that is not gofmt-clean.
 fmt:
@@ -68,6 +68,7 @@ chaos:
 	$(GOTEST) -run '^TestChaosCorpusReplays$$' .
 	$(GO) run ./cmd/zapc-chaos -from 1 -to 24
 	$(GO) run ./cmd/zapc-chaos -from 10000 -to 10008
+	$(GO) run ./cmd/zapc-chaos -from 20000 -to 20008
 
 # Dedup-store layout gate: two generations with overlapping content,
 # written twice into fresh stores, must produce byte-identical physical
@@ -110,6 +111,19 @@ obs-check:
 	sed "s,$$dir/b,TRACE," $$dir/b.txt > $$dir/b.norm && \
 	cmp $$dir/a.norm $$dir/b.norm && echo "obs-check: critical-path render deterministic ($$(wc -l < $$dir/a.norm) lines)"; \
 	st=$$?; rm -rf $$dir; exit $$st
+	$(GO) run ./cmd/zapc-benchdiff $(BENCH_OUT)
+
+# Warm-standby replication gate: the plane's unit suite (shipping,
+# CRC-verified apply, watermark resume, promotion handover), the
+# supervisor's ack-pinned GC scenario, and the end-to-end standby
+# scenarios — promoted-vs-store speedup floor, cross-path result
+# equivalence, shadow byte-identity, trace determinism, and the
+# standby_* metric lint — all under -race, then the benchdiff gate
+# holding the recorded standby RTO and speedup floor.
+standby-check:
+	$(GOTEST) ./internal/standby
+	$(GOTEST) -run '^TestGCPinsUnackedGenerations$$' ./internal/supervisor
+	$(GOTEST) -timeout 20m -run '^TestStandby' .
 	$(GO) run ./cmd/zapc-benchdiff $(BENCH_OUT)
 
 # Coverage profile plus per-package totals.

@@ -15,7 +15,7 @@
 //	zapc-bench -fig ckpt       # parallel/incremental checkpoint pipeline
 //	zapc-bench -fig coord      # coordination-tree scaling, flat vs fan-out 16
 //	zapc-bench -fig trace      # traced checkpoint–failover–restart run
-//	zapc-bench -fig rto        # failover RTO/RPO decomposition sweep
+//	zapc-bench -fig rto        # failover RTO/RPO sweep + standby-vs-store comparison
 //	zapc-bench -fig all        # everything
 //
 // -fig ckpt additionally appends one record per run to the trajectory
@@ -257,12 +257,16 @@ func main() {
 		}
 		coordRow.Stamp(&rec)
 		// One failover-availability point (the canonical 4-pod supervised
-		// crash) rides along so the benchdiff gate also covers RTO/RPO.
-		rtoRow, err := zapc.RunFailoverRTO(cfg, 4, 0, true)
+		// crash) rides along so the benchdiff gate also covers RTO/RPO —
+		// measured as the standby-vs-store pair, so the same run stamps
+		// the store-restore decomposition and the promoted-standby
+		// speedup that zapc-benchdiff holds to the 10x floor.
+		sbRes, err := zapc.RunStandbyRTO(cfg, 4, 0, true)
 		if err != nil {
 			return err
 		}
-		rtoRow.Stamp(&rec)
+		sbRes.Store.Stamp(&rec)
+		sbRes.Stamp(&rec)
 		prev, err := os.ReadFile(*out)
 		if err != nil && !os.IsNotExist(err) {
 			return err
@@ -278,9 +282,11 @@ func main() {
 		fmt.Printf("coordination: %d pods fan-out %d barrier %.0f us (flat %.0f us), root msgs %d (flat %d)\n",
 			rec.CoordPods, rec.CoordFanout, rec.CoordBarrierUs, rec.CoordFlatBarrierUs,
 			rec.CoordRootMsgs, rec.CoordFlatRootMsgs)
-		fmt.Printf("availability: failover rto %.0f us, rpo %.0f us (detect %.0f, load %.0f, barrier %.0f, agent %.0f us; coverage %.1f%%)\n\n",
+		fmt.Printf("availability: failover rto %.0f us, rpo %.0f us (detect %.0f, load %.0f, barrier %.0f, agent %.0f us; coverage %.1f%%)\n",
 			rec.RTOUs, rec.RPOUs, rec.RTODetectUs, rec.RTOLoadUs,
 			rec.RTORestartBarrierUs, rec.RTORestartAgentUs, rec.RTOCoveragePct)
+		fmt.Printf("standby: promoted rto %.0f us vs store %.0f us (%.1fx, catch-up %.0f us)\n\n",
+			rec.StandbyRTOUs, rec.StandbyStoreRTOUs, rec.StandbyRTOSpeedup, rec.StandbyCatchUpUs)
 		return nil
 	})
 
@@ -300,6 +306,21 @@ func main() {
 			rows = append(rows, row)
 		}
 		fmt.Println(zapc.FailoverRTOTable(rows))
+		fmt.Println("== Warm standby vs store restore: both failover paths on the same seed ==")
+		var pairs []zapc.StandbyRTOResult
+		for _, pt := range []struct {
+			pods, fanout int
+			incremental  bool
+		}{
+			{4, 0, false}, {4, 0, true}, {18, 16, false}, {18, 16, true},
+		} {
+			pair, err := zapc.RunStandbyRTO(cfg, pt.pods, pt.fanout, pt.incremental)
+			if err != nil {
+				return err
+			}
+			pairs = append(pairs, pair)
+		}
+		fmt.Println(zapc.StandbyRTOTable(pairs))
 		return nil
 	})
 

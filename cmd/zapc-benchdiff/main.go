@@ -5,7 +5,10 @@
 // encoder's host throughput dropped — or the streaming serializer's
 // peak buffering, the pre-copy suspension window, the tree-coordinated
 // barrier time, or the failover recovery window (RTO), grew — by more
-// than the tolerance.
+// than the tolerance. The warm-standby point is gated twice: the
+// promoted-failover RTO must not grow past the tolerance, and the
+// standby-vs-store speedup must stay above the order-of-magnitude
+// floor regardless of the previous record.
 //
 // Usage:
 //
@@ -70,6 +73,11 @@ func main() {
 			prev.RTORestartBarrierUs, cur.RTORestartBarrierUs,
 			prev.RTORestartAgentUs, cur.RTORestartAgentUs, cur.RTOCoveragePct)
 	}
+	if prev.StandbyRTOUs > 0 || cur.StandbyRTOUs > 0 {
+		fmt.Printf("zapc-benchdiff: standby rto %.0f -> %.0f us vs store %.0f -> %.0f us (speedup %.1fx -> %.1fx, catch-up %.0f -> %.0f us)\n",
+			prev.StandbyRTOUs, cur.StandbyRTOUs, prev.StandbyStoreRTOUs, cur.StandbyStoreRTOUs,
+			prev.StandbyRTOSpeedup, cur.StandbyRTOSpeedup, prev.StandbyCatchUpUs, cur.StandbyCatchUpUs)
+	}
 	if err := zapc.CompareBenchThroughput(prev, cur, *tol); err != nil {
 		fatal(err)
 	}
@@ -86,6 +94,9 @@ func main() {
 		fatal(err)
 	}
 	if err := zapc.CompareBenchRTO(prev, cur, *tol); err != nil {
+		fatal(err)
+	}
+	if err := zapc.CompareBenchStandbyRTO(prev, cur, *tol); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("zapc-benchdiff: within %.0f%% tolerance\n", *tol)

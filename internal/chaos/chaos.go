@@ -68,6 +68,14 @@ type Config struct {
 	// tree-band seeds set it so chaos exercises sub-coordinator
 	// crashes and lossy tree edges mid-barrier.
 	Fanout int `json:"fanout,omitempty"`
+
+	// Standby attaches a warm-standby replication plane to the
+	// supervised job. The standby-band seeds set it so promotion racing
+	// the primary's failure, replication-feed cuts, and the standby
+	// node dying mid-apply get their own deterministic corner of the
+	// seed space. The standby node is appended after the primary nodes,
+	// so schedules target it as node index Nodes.
+	Standby bool `json:"standby,omitempty"`
 }
 
 // DefaultConfig is the canonical chaos scenario: the four-endpoint cpi
@@ -165,10 +173,11 @@ type Verdict struct {
 	Result float64 `json:"result,omitempty"`
 	// FaultsFired counts schedule steps that actually fired.
 	FaultsFired int `json:"faults_fired"`
-	// Checkpoints and Failovers record supervisor activity (informational;
-	// not part of replay equality).
+	// Checkpoints, Failovers, and Promotions record supervisor activity
+	// (informational; not part of replay equality).
 	Checkpoints int `json:"checkpoints,omitempty"`
 	Failovers   int `json:"failovers,omitempty"`
+	Promotions  int `json:"promotions,omitempty"`
 	// Detail is a human-readable note (not part of replay equality).
 	Detail string `json:"detail,omitempty"`
 }
@@ -308,6 +317,18 @@ func (r *Runner) run(seed int64, sched faultinject.Schedule, traced bool) (Verdi
 		return Verdict{}, nil, nil, err
 	}
 
+	// The standby plane attaches before binding so the schedule can
+	// target both its node (appended to c.Nodes by AttachStandby) and
+	// its replication feed.
+	var feedTrunc *imagestore.TruncStore
+	if r.cfg.Standby {
+		plane, err := c.AttachStandby(sup, cluster.StandbyConfig{})
+		if err != nil {
+			return Verdict{}, nil, nil, err
+		}
+		feedTrunc = plane.Trunc()
+	}
+
 	inj := faultinject.New(c.W, c.FS)
 	inj.ObservePhases(c.Mgr)
 	inj.InterposeCtrl(c.Mgr)
@@ -317,7 +338,7 @@ func (r *Runner) run(seed int64, sched faultinject.Schedule, traced bool) (Verdi
 	inj.SetTracer(c.Tracer(), c.Metrics())
 	inj.SetProgressProbe(job.Progress, 0)
 
-	steps, err := sched.Bind(faultinject.Env{Nodes: c.Nodes, Mgr: c.Mgr, Trunc: trunc})
+	steps, err := sched.Bind(faultinject.Env{Nodes: c.Nodes, Mgr: c.Mgr, Trunc: trunc, FeedTrunc: feedTrunc})
 	if err != nil {
 		return Verdict{}, nil, nil, err
 	}
@@ -330,7 +351,7 @@ func (r *Runner) run(seed int64, sched faultinject.Schedule, traced bool) (Verdi
 
 	v := Verdict{FaultsFired: len(inj.Fired())}
 	st := sup.Stats()
-	v.Checkpoints, v.Failovers = st.Checkpoints, st.Failovers
+	v.Checkpoints, v.Failovers, v.Promotions = st.Checkpoints, st.Failovers, st.Promotions
 	switch {
 	case derr == nil && job.Finished():
 		v.Result = job.Result()

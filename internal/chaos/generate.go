@@ -23,15 +23,27 @@ import (
 // perturbing the flat-band seed pins below.
 const TreeSeedBase = 10000
 
+// StandbySeedBase starts the warm-standby seed band: seeds at or above
+// it attach a standby replication plane and draw schedules from the
+// replication-surface template (standby crash mid-apply, feed cuts,
+// promotion racing the primary's failure), so the promote-the-standby
+// failover path gets its own deterministic corner of the seed space.
+const StandbySeedBase = 20000
+
 // ConfigForSeed derives the per-seed scenario: odd seeds run the
 // incremental delta-chain pipeline, even seeds the pre-copy pipeline,
 // so a contiguous range sweeps both recovery surfaces through every
 // template. Seeds in the tree band additionally route coordination
-// through a fanout-2 tree (the deepest tree four endpoints allow).
+// through a fanout-2 tree (the deepest tree four endpoints allow);
+// seeds in the standby band attach a warm standby on a flat control
+// plane instead.
 func ConfigForSeed(base Config, seed int64) Config {
 	c := base.withDefaults()
 	c.Incremental = seed%2 == 1
-	if seed >= TreeSeedBase {
+	switch {
+	case seed >= StandbySeedBase:
+		c.Standby = true
+	case seed >= TreeSeedBase:
 		c.Fanout = 2
 	}
 	return c
@@ -45,6 +57,8 @@ func Generate(seed int64, cfg Config) faultinject.Schedule {
 	rng := rand.New(rand.NewSource(seed))
 	var steps []faultinject.SpecStep
 	switch {
+	case seed >= StandbySeedBase:
+		steps = genStandby(rng, cfg)
 	case seed >= TreeSeedBase:
 		steps = genTreeBarrier(rng, cfg)
 	default:
@@ -90,6 +104,66 @@ func genTreeBarrier(rng *rand.Rand, cfg Config) []faultinject.SpecStep {
 		steps = append(steps, faultinject.SpecStep{
 			Phase: "checkpoint-start", PhaseSkip: skip, Action: "delay-control",
 			DelayNS: msIn(rng, 1, 40), WindowNS: msIn(rng, 200, 1200)})
+	}
+	return steps
+}
+
+// genStandby is the standby-band template: a primary-node crash forces
+// a promotion decision while the replication surface is itself under
+// attack. The composition rotates through the standby node dying right
+// around the primary's failure (promotion must never be attempted
+// against a dead or dying standby), a replication-feed cut that the
+// plane must resume from, the promoted standby being killed after it
+// served a failover (the second recovery falls back to the store with
+// the replica consumed), a total wipeout that takes the standby along
+// with every primary (the only legal endings are named errors), and a
+// lossy control plane delaying the detector across the promotion.
+// Whatever fires, the invariant is unchanged: recover exactly — via
+// promotion or store fallback — or fail named, never hang.
+func genStandby(rng *rand.Rand, cfg Config) []faultinject.SpecStep {
+	p := progIn(rng, 0.3, 0.6)
+	steps := []faultinject.SpecStep{
+		{Progress: p, Action: "crash-node", Node: rng.Intn(cfg.Nodes)},
+	}
+	standbyNode := cfg.Nodes // AttachStandby appends it after the primaries
+	switch rng.Intn(5) {
+	case 0:
+		// Standby dies just before (or at) the primary crash: promotion
+		// races the plane's death and must fall back to the store.
+		off := 0.05 * float64(rng.Intn(2))
+		steps = append(steps, faultinject.SpecStep{
+			Progress: p - off, Action: "crash-node", Node: standbyNode})
+	case 1:
+		// Feed cut mid-replication before the crash: the plane must
+		// resume from its ack watermark and still serve the promotion.
+		steps = append(steps, faultinject.SpecStep{
+			Progress: progIn(rng, 0.1, 0.25), Action: "truncate-feed", Count: 1 + rng.Intn(2)})
+	case 2:
+		// Kill the promoted standby after it served the failover: the
+		// second recovery runs with the replica consumed.
+		steps = append(steps, faultinject.SpecStep{
+			Progress: p + 0.1, Action: "crash-node", Node: standbyNode})
+	case 3:
+		// Total wipeout, standby included: staggered crashes take every
+		// node, so promotion (if it wins the race) only buys a doomed
+		// reprieve. The run must end in ErrNoSurvivors or ErrGivenUp —
+		// a warm replica must not turn an unsurvivable fault set into a
+		// hang or a silent wrong answer.
+		at := msIn(rng, 300, 1200)
+		steps = steps[:0]
+		for i := 0; i <= standbyNode; i++ {
+			steps = append(steps, faultinject.SpecStep{AfterNS: at, Action: "crash-node", Node: i})
+			at += msIn(rng, 10, 250)
+		}
+	default:
+		// Lossy control plane across the promotion window.
+		steps = append(steps, faultinject.SpecStep{
+			Progress: p, Action: "delay-control",
+			DelayNS: msIn(rng, 1, 40), WindowNS: msIn(rng, 200, 1200)})
+	}
+	if rng.Intn(3) == 0 { // sometimes a feed cut rides along
+		steps = append(steps, faultinject.SpecStep{
+			Progress: progIn(rng, 0.1, 0.3), Action: "truncate-feed", Count: 1})
 	}
 	return steps
 }

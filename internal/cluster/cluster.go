@@ -52,11 +52,12 @@ type Cluster struct {
 	Nodes []*vos.Node
 	Mgr   *core.Manager
 
-	nextVIP netstack.IP
-	jobSeq  int
-	tr      *trace.Tracer
-	reg     *trace.Registry
-	dedup   *imagestore.DedupStore
+	nextVIP       netstack.IP
+	nextStandbyIP netstack.IP
+	jobSeq        int
+	tr            *trace.Tracer
+	reg           *trace.Registry
+	dedup         *imagestore.DedupStore
 }
 
 // EnableTracing turns on pipeline observability for the whole cluster:

@@ -372,6 +372,7 @@ type Manager struct {
 	coordCfg  *coord.Config
 	tr        *trace.Tracer
 	reg       *trace.Registry
+	ckptOps   []*ckptOp // in-flight coordinated checkpoints, registration order
 }
 
 // SetTracer installs an observability pair: every coordinated operation
@@ -467,6 +468,33 @@ func NewManager(w *sim.World, nw *netstack.Network, fs *memfs.FS) *Manager {
 	return &Manager{w: w, nw: nw, fs: fs, store: imagestore.NewFS(fs)}
 }
 
+// dropOp removes a finished or aborted checkpoint operation from the
+// in-flight registry.
+func (m *Manager) dropOp(op *ckptOp) {
+	for i, o := range m.ckptOps {
+		if o == op {
+			m.ckptOps = append(m.ckptOps[:i], m.ckptOps[i+1:]...)
+			return
+		}
+	}
+}
+
+// AbortCheckpoints synchronously aborts every in-flight coordinated
+// checkpoint with the given reason; each operation's completion
+// callback fires with the error before this returns (restart
+// operations are unaffected). The supervisor uses it to preempt a
+// doomed cycle once the failure detector has decided a failover —
+// left alone, the cycle only aborts when the agent failure propagates
+// or the watchdog fires, and that whole wait would sit on the recovery
+// critical path.
+func (m *Manager) AbortCheckpoints(err error) int {
+	ops := append([]*ckptOp(nil), m.ckptOps...)
+	for _, op := range ops {
+		op.abort(err)
+	}
+	return len(ops)
+}
+
 // ctrl models one manager<->agent control message.
 func (m *Manager) ctrl(fn func()) { m.ctrlAfter(0, fn) }
 
@@ -514,6 +542,7 @@ func (m *Manager) Checkpoint(pods []*pod.Pod, opts Options, onDone func(*Checkpo
 	// relay fan-outs and aggregate fan-ins into one batched message per
 	// link per phase.
 	op.plane = m.newPlane(len(pods), opts.Coord)
+	m.ckptOps = append(m.ckptOps, op)
 	op.readyG = op.plane.Gather("precopy-ready", func(int) { op.readyArrived() })
 	op.metaG = op.plane.Gather("meta", func(int) { op.metaArrived() })
 	op.doneG = op.plane.Gather("done", func(i int) { op.doneArrived(op.agents[i]) })
@@ -607,6 +636,7 @@ func (op *ckptOp) abort(err error) {
 		return
 	}
 	op.aborted = true
+	op.m.dropOp(op)
 	op.m.w.Cancel(op.watchdog)
 	// Graceful abort: resume every surviving pod.
 	for _, a := range op.agents {
@@ -1263,6 +1293,7 @@ func (op *ckptOp) flushStaggered() {
 // byte-identical), the coordinated span, counters, the phase
 // notification, and the caller's callback.
 func (op *ckptOp) finishOK() {
+	op.m.dropOp(op)
 	op.plane.EmitLevelSpans(op.m.tr, op.span)
 	op.span.End(trace.Str("outcome", "ok"),
 		trace.I64("total_ns", int64(op.result.Stats.Total)))
@@ -1301,6 +1332,12 @@ type Placement struct {
 	// Delay postpones this agent's restart (e.g. while its image is
 	// still streaming in during a direct migration).
 	Delay sim.Duration
+	// Warm marks a standby promotion: the target node already holds the
+	// image's state in pre-built shadow form, so the agent skips pod
+	// creation and the bulk restore, paying only the fixed activation
+	// cost (plus the real network-state recovery, which no placement
+	// escapes).
+	Warm bool
 }
 
 // RestartStats aggregates a coordinated restart.
@@ -1428,13 +1465,21 @@ func (op *restartOp) runAgent(idx int, pl Placement, plan *netckpt.EndpointPlan)
 	costs := w.Costs
 	began := w.Now()
 	agSpan := op.m.tr.Start(op.span, "restart/agent", trace.Track(pl.PodName),
-		trace.Str("node", pl.Node.Name()))
-	// Pod creation cost precedes connectivity recovery.
-	w.After(costs.PodCreate, func() {
+		trace.Str("node", pl.Node.Name()), trace.I64("warm", b2i(pl.Warm)))
+	// Pod creation cost precedes connectivity recovery. A warm placement
+	// activates a pre-built standby shadow, so the namespace already
+	// exists and no creation time is charged.
+	create := costs.PodCreate
+	if pl.Warm {
+		create = 0
+	}
+	w.After(create, func() {
 		if op.aborted || op.checkFailure(pl.Node) {
 			return
 		}
-		op.m.tr.SpanBetween(agSpan, "restart/pod-create", int64(began), int64(w.Now()))
+		if !pl.Warm {
+			op.m.tr.SpanBetween(agSpan, "restart/pod-create", int64(began), int64(w.Now()))
+		}
 		netStart := w.Now()
 		netSpan := op.m.tr.Start(agSpan, "restart/net-restore",
 			trace.I64("entries", int64(len(plan.Entries))))
@@ -1462,11 +1507,19 @@ func (op *restartOp) runAgent(idx int, pl Placement, plan *netckpt.EndpointPlan)
 				op.m.reg.Counter("netstack_reinjected_bytes_total").Add(queueBytes)
 				// Standalone restart cost: fixed + restore bandwidth
 				// (divided by the decode/rebuild parallelism) +
-				// per-process creation.
+				// per-process creation. A warm placement's state is
+				// already resident (the standby paid the restore when it
+				// applied each replicated record), so only the fixed
+				// activation cost remains.
 				bytes := costs.EffImageBytes(pl.Image.Bytes())
-				saCost := w.Jitter(costs.RestartFixed, 0.25) +
-					costs.RestoreTime(bytes)/parSpeedup(effWorkers(op.m.workers), len(pl.Image.Procs)) +
-					costs.ProcCreate*sim.Duration(len(pl.Image.Procs))
+				var saCost sim.Duration
+				if pl.Warm {
+					saCost = w.Jitter(costs.PromoteFixed, 0.25)
+				} else {
+					saCost = w.Jitter(costs.RestartFixed, 0.25) +
+						costs.RestoreTime(bytes)/parSpeedup(effWorkers(op.m.workers), len(pl.Image.Procs)) +
+						costs.ProcCreate*sim.Duration(len(pl.Image.Procs))
+				}
 				saStart := w.Now()
 				w.After(queueCopy+saCost, func() {
 					if op.aborted || op.checkFailure(pl.Node) {

@@ -305,6 +305,7 @@ const (
 	ActTruncateStream // truncate the next Count image write streams (Step.Trunc)
 	ActTruncateReads  // truncate the next Count image read streams (Step.Trunc)
 	ActRecoverManager // a replacement coordination manager takes over
+	ActTruncateFeed   // truncate the next Count standby replication-feed streams (Step.Trunc)
 )
 
 func (a Action) String() string {
@@ -325,6 +326,8 @@ func (a Action) String() string {
 		return "truncate-reads"
 	case ActRecoverManager:
 		return "recover-manager"
+	case ActTruncateFeed:
+		return "truncate-feed"
 	default:
 		return fmt.Sprintf("action(%d)", int(a))
 	}
@@ -333,7 +336,7 @@ func (a Action) String() string {
 // ParseAction is the inverse of Action.String, used by the declarative
 // JSON schedule grammar. Unknown names return zero.
 func ParseAction(s string) Action {
-	for a := ActCrashNode; a <= ActRecoverManager; a++ {
+	for a := ActCrashNode; a <= ActTruncateFeed; a++ {
 		if a.String() == s {
 			return a
 		}
@@ -362,7 +365,7 @@ type Step struct {
 	Count   int                    // ActDropControl/ActTruncate*: units (default 1)
 	Delay   sim.Duration           // ActDelayControl: per-message delay
 	Window  sim.Duration           // ActDelayControl: window length
-	Trunc   *imagestore.TruncStore // ActTruncateStream/ActTruncateReads
+	Trunc   *imagestore.TruncStore // ActTruncateStream/ActTruncateReads/ActTruncateFeed
 }
 
 // triggerKind classifies a step's trigger for canonical ordering:
@@ -508,7 +511,7 @@ func (inj *Injector) compile(i int, s Step) (func(), error) {
 			return nil, fmt.Errorf("%w: step %d (%s) delay-control needs Delay and Window", ErrBadStep, i, s.Name)
 		}
 		return inj.DelayControl(s.Delay, s.Window), nil
-	case ActTruncateStream, ActTruncateReads:
+	case ActTruncateStream, ActTruncateReads, ActTruncateFeed:
 		if s.Trunc == nil {
 			return nil, fmt.Errorf("%w: step %d (%s) %s without a truncating store", ErrNoTarget, i, s.Name, s.Action)
 		}

@@ -56,6 +56,10 @@ type Env struct {
 	// manager's image store (required by truncate-stream/truncate-reads
 	// steps).
 	Trunc *imagestore.TruncStore
+	// FeedTrunc is the armable truncation wrapper on the warm standby's
+	// replication feed (required by truncate-feed steps; only present
+	// when the scenario attaches a standby plane).
+	FeedTrunc *imagestore.TruncStore
 }
 
 func (s SpecStep) describe(i int) string {
@@ -203,6 +207,12 @@ func (s Schedule) Bind(env Env) ([]Step, error) {
 					ErrNoTarget, st.describe(i), st.Action)
 			}
 			out.Trunc = env.Trunc
+		case ActTruncateFeed:
+			if env.FeedTrunc == nil {
+				return nil, fmt.Errorf("%w: %s %s without a standby feed in the environment",
+					ErrNoTarget, st.describe(i), st.Action)
+			}
+			out.Trunc = env.FeedTrunc
 		}
 		steps = append(steps, out)
 	}

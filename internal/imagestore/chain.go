@@ -1,0 +1,48 @@
+// Record-chain layout helpers, shared by every consumer that must walk
+// a generation directory in restore order: the supervisor's
+// chain-validating load path and the warm-standby replication plane
+// both reconstruct per-pod base+delta chains from the same file-name
+// conventions (<pod>.img, <pod>.rNN.delta pre-copy rounds,
+// <pod>.delta residual).
+package imagestore
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ChainRank orders one pod's records within a generation for chain
+// reconstruction: the full image first, then pre-copy round deltas by
+// round number, then the residual delta. Lexicographic store order is
+// NOT restore order ("p.delta" < "p.img" < "p.r01.delta"), so the
+// ordering must be explicit.
+func ChainRank(path string) int {
+	base := path[strings.LastIndex(path, "/")+1:]
+	if strings.HasSuffix(base, ".img") {
+		return 0
+	}
+	trimmed := strings.TrimSuffix(base, ".delta")
+	if i := strings.LastIndex(trimmed, ".r"); i >= 0 {
+		if n, err := strconv.Atoi(trimmed[i+2:]); err == nil {
+			return n
+		}
+	}
+	return 1 << 30 // the residual (plain .delta) closes the chain
+}
+
+// PodChains groups one generation directory's files into per-pod record
+// chains in restore order. A stop-and-copy generation yields one-element
+// chains; a pre-copy generation yields base + round deltas + residual.
+func PodChains(files []string) map[string][]string {
+	chains := make(map[string][]string)
+	for _, f := range files {
+		name := PodOf(f)
+		chains[name] = append(chains[name], f)
+	}
+	for name, fs := range chains {
+		sort.Slice(fs, func(i, j int) bool { return ChainRank(fs[i]) < ChainRank(fs[j]) })
+		chains[name] = fs
+	}
+	return chains
+}

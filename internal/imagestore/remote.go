@@ -179,6 +179,7 @@ type Server struct {
 	received []string
 	errs     []error
 	onImage  func(path string)
+	onError  func(path string, err error)
 }
 
 // NewServer creates a network stack at ip, listens on port, and commits
@@ -223,6 +224,12 @@ func (s *Server) Errs() []error { return append([]error(nil), s.errs...) }
 // SetOnImage registers a callback invoked when an image has been fully
 // received and committed.
 func (s *Server) SetOnImage(fn func(path string)) { s.onImage = fn }
+
+// SetOnError registers a callback invoked when a transfer dies without
+// committing. The path is what the failed stream's header named (""
+// when the stream died before the path arrived), so a replication
+// sender can resume the affected record instead of polling Errs.
+func (s *Server) SetOnError(fn func(path string, err error)) { s.onError = fn }
 
 func (s *Server) acceptLoop() {
 	for {
@@ -305,6 +312,9 @@ func (c *serverConn) fail(err error) {
 	c.wc = nil // uncommitted writer is simply dropped; no partial image
 	c.srv.errs = append(c.srv.errs, err)
 	c.sock.Close()
+	if c.srv.onError != nil {
+		c.srv.onError(string(c.path), err)
+	}
 }
 
 func (c *serverConn) feed(data []byte) error {

@@ -122,6 +122,20 @@ type CkptBenchRecord struct {
 	RTOResumeUs         float64 `json:"rto_resume_us,omitempty"`
 	RTOWaitUs           float64 `json:"rto_wait_us,omitempty"`
 	RTOCoveragePct      float64 `json:"rto_coverage_pct,omitempty"`
+	// StandbyRTOUs is the recovery window of the same failover scenario
+	// with a warm standby attached: promotion activates pre-built shadow
+	// state in place, so the window contains no generation load or chain
+	// reconstruct, only detection, a bounded catch-up
+	// (StandbyCatchUpUs), and the warm restart. StandbyStoreRTOUs is the
+	// same-seed store-restore baseline measured in the same run, and
+	// StandbyRTOSpeedup their ratio (store/standby). zapc-benchdiff
+	// guards StandbyRTOUs against growth and StandbyRTOSpeedup against
+	// dipping below the order-of-magnitude floor. Zero in records
+	// written before the fields existed.
+	StandbyRTOUs      float64 `json:"standby_rto_us,omitempty"`
+	StandbyStoreRTOUs float64 `json:"standby_store_rto_us,omitempty"`
+	StandbyCatchUpUs  float64 `json:"standby_catch_up_us,omitempty"`
+	StandbyRTOSpeedup float64 `json:"standby_rto_speedup,omitempty"`
 	// WallNs is the host wall-clock time of the whole benchmark run.
 	WallNs int64 `json:"wall_ns"`
 }
@@ -250,6 +264,34 @@ func CompareRTO(prev, cur CkptBenchRecord, tolPct float64) error {
 		growth := 100 * (cur.RTOUs - prev.RTOUs) / prev.RTOUs
 		return fmt.Errorf("failover RTO regressed %.1f%% (%.0f -> %.0f us, tolerance %.0f%%)",
 			growth, prev.RTOUs, cur.RTOUs, tolPct)
+	}
+	return nil
+}
+
+// StandbySpeedupFloor is the minimum store-restore-to-standby RTO ratio
+// the warm-standby path must maintain: promotion that is not at least
+// an order of magnitude faster than reading the chain back from the
+// store means the shadow state quietly stopped being warm.
+const StandbySpeedupFloor = 10.0
+
+// CompareStandbyRTO checks the warm-standby recovery window: an error
+// when cur's standby RTO grew more than tolPct percent over prev, or
+// when cur's store-vs-standby speedup fell below StandbySpeedupFloor.
+// Records from before the fields existed (prev or cur <= 0) compare
+// clean on the missing side.
+func CompareStandbyRTO(prev, cur CkptBenchRecord, tolPct float64) error {
+	if cur.StandbyRTOUs > 0 && cur.StandbyRTOSpeedup > 0 && cur.StandbyRTOSpeedup < StandbySpeedupFloor {
+		return fmt.Errorf("standby promotion speedup %.1fx is below the %.0fx floor (standby rto %.0f us vs store rto %.0f us)",
+			cur.StandbyRTOSpeedup, StandbySpeedupFloor, cur.StandbyRTOUs, cur.StandbyStoreRTOUs)
+	}
+	if prev.StandbyRTOUs <= 0 {
+		return nil // nothing to compare against
+	}
+	limit := prev.StandbyRTOUs * (1 + tolPct/100)
+	if cur.StandbyRTOUs > limit {
+		growth := 100 * (cur.StandbyRTOUs - prev.StandbyRTOUs) / prev.StandbyRTOUs
+		return fmt.Errorf("standby failover RTO regressed %.1f%% (%.0f -> %.0f us, tolerance %.0f%%)",
+			growth, prev.StandbyRTOUs, cur.StandbyRTOUs, tolPct)
 	}
 	return nil
 }

@@ -270,6 +270,22 @@ type Costs struct {
 	PrecopyResidualFixed Duration
 	// RestartFixed is the per-agent fixed overhead of a restart.
 	RestartFixed Duration
+	// StoreReadBandwidth models pulling checkpoint state *back* from the
+	// shared store on the recovery path, bytes/second over the logical
+	// image mass (the same basis as every other image cost). It is far
+	// below DiskBandwidth: a failover reads cold data through the
+	// commodity shared-storage fabric under contention (every surviving
+	// node re-reads at once) and pays seek, decode, and verification per
+	// record, where the flush side streams sequentially into the array's
+	// write cache. Checkpoint-time validation read-back is NOT charged
+	// at this rate — it re-reads data still resident in the array cache,
+	// overlapped with the running job, off every critical path.
+	StoreReadBandwidth float64
+	// PromoteFixed is the per-pod fixed overhead of activating a warm
+	// standby shadow (rebinding the VIP and reattaching the netstack to
+	// state already resident in memory) — the warm counterpart of
+	// RestartFixed, minus everything a cold restore pays for.
+	PromoteFixed Duration
 	// ImageCostScale multiplies checkpoint-image byte counts before they
 	// are converted to time or wire transfer. Experiments that shrink
 	// application memory by a Scale factor set this to 1/Scale so the
@@ -310,6 +326,8 @@ func DefaultCosts() Costs {
 		PrecopyRoundFixed:    3 * Millisecond,
 		PrecopyResidualFixed: 8 * Millisecond,
 		RestartFixed:         180 * Millisecond,
+		StoreReadBandwidth:   25e6, // cold shared-store read-back under failover contention (2005 NFS/SAN class)
+		PromoteFixed:         2 * Millisecond,
 	}
 }
 
@@ -332,6 +350,17 @@ func (c Costs) NetTransferTime(bytes int64) Duration {
 // DiskTime converts a byte count into simulated SAN write time.
 func (c Costs) DiskTime(bytes int64) Duration {
 	return Duration(float64(bytes) / c.DiskBandwidth * 1e9)
+}
+
+// StoreReadTime converts a byte count into simulated recovery-path
+// store read-back time. Costs built by hand (not via DefaultCosts) may
+// leave the bandwidth zero; they read back for free, matching the
+// pre-StoreReadBandwidth model.
+func (c Costs) StoreReadTime(bytes int64) Duration {
+	if c.StoreReadBandwidth <= 0 {
+		return 0
+	}
+	return Duration(float64(bytes) / c.StoreReadBandwidth * 1e9)
 }
 
 func (c Costs) String() string {

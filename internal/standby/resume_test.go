@@ -1,0 +1,144 @@
+// Replication-feed resilience: a cut standby feed must surface as a
+// named imagestore.ErrTruncatedStream, must never abort the primary's
+// checkpoint cycle, and the replicator must resume from the last acked
+// generation on the next committed checkpoint — converging back to the
+// primary's watermark without any operator action.
+package standby_test
+
+import (
+	"strings"
+	"testing"
+
+	"zapc/internal/cluster"
+	"zapc/internal/sim"
+	"zapc/internal/supervisor"
+)
+
+const deadline = 30 * 60 * sim.Second
+
+func TestStandbyFeedCutResumesFromWatermark(t *testing.T) {
+	spec := cluster.JobSpec{App: "cpi", Endpoints: 4, Work: 0.25, Scale: 0.001}
+	const seed = 13
+
+	// Reference duration for a sane checkpoint cadence.
+	ref := cluster.New(cluster.Config{Nodes: 4, Seed: seed})
+	refJob, err := ref.Launch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDur, err := ref.RunJob(refJob, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := cluster.New(cluster.Config{Nodes: 4, Seed: seed})
+	job, err := c.Launch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := c.Supervise(job, supervisor.Policy{
+		HeartbeatInterval: 50 * sim.Millisecond,
+		CheckpointEvery:   refDur / 24,
+		Incremental:       true,
+		Workers:           3,
+		Retain:            2,
+		Dir:               "sbcut",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane, err := c.AttachStandby(sup, cluster.StandbyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the first generation replicate cleanly, then cut the next
+	// shipped record mid-stream.
+	if err := c.Drive(func() bool {
+		return plane.AckedSeq() >= 0 || job.Finished()
+	}, deadline); err != nil {
+		t.Fatal(err)
+	}
+	if job.Finished() {
+		t.Fatal("job finished before the first replication — raise Work")
+	}
+	watermark := plane.AckedSeq()
+	ckptsAtCut := sup.Stats().Checkpoints
+	plane.Trunc().ArmWrites(1)
+
+	if err := c.Drive(func() bool {
+		return sup.Stats().ReplicaErrors >= 1 || job.Finished()
+	}, deadline); err != nil {
+		t.Fatal(err)
+	}
+	if job.Finished() {
+		t.Fatal("job finished before the cut fired — raise Work")
+	}
+	if cuts := plane.Trunc().Cuts(); len(cuts) != 1 {
+		t.Fatalf("expected exactly one cut stream, got %v", cuts)
+	}
+
+	// The failure must be the named truncation error, carrying both the
+	// pod whose stream died and the generation the stream will resume
+	// past.
+	errEvents := sup.EventsOf(supervisor.EvReplicaErr)
+	if len(errEvents) == 0 {
+		t.Fatalf("no replica-error event; events: %v", sup.Events())
+	}
+	detail := errEvents[0].Detail
+	if !strings.Contains(detail, "image stream truncated") {
+		t.Fatalf("replication failure is not the named truncation error: %q", detail)
+	}
+	if !strings.Contains(detail, "pod ") {
+		t.Fatalf("truncation error does not name the pod: %q", detail)
+	}
+	if !strings.Contains(detail, "resume past gen seq") {
+		t.Fatalf("truncation error does not name the resume generation: %q", detail)
+	}
+
+	// The cut must not have rolled back the watermark, aborted the
+	// primary's checkpoint cycle, or triggered a failover.
+	if got := plane.AckedSeq(); got < watermark {
+		t.Fatalf("ack watermark went backwards: %d -> %d", watermark, got)
+	}
+	st := sup.Stats()
+	if st.Failovers != 0 {
+		t.Fatalf("replication cut triggered %d failover(s)", st.Failovers)
+	}
+	if sup.Err() != nil {
+		t.Fatalf("supervisor halted on a replication cut: %v", sup.Err())
+	}
+
+	// Resume: the next committed generations re-trigger the sync from
+	// the watermark; the standby must catch back up past the cut point
+	// while the primary's checkpoint cadence continues undisturbed.
+	target := watermark + 2
+	if err := c.Drive(func() bool {
+		return plane.AckedSeq() >= target || job.Finished()
+	}, deadline); err != nil {
+		t.Fatalf("standby never caught up past the cut: %v (acked %d, want %d)",
+			err, plane.AckedSeq(), target)
+	}
+	if sup.Stats().Checkpoints <= ckptsAtCut {
+		t.Fatal("primary checkpoint cycle stalled across the cut")
+	}
+	pst := plane.Stats()
+	if pst.SyncErrors < 1 {
+		t.Fatalf("plane recorded no sync error: %+v", pst)
+	}
+	if pst.Syncs < 2 {
+		t.Fatalf("plane never resumed after the cut: %+v", pst)
+	}
+	if !plane.Ready() {
+		t.Fatal("plane no longer promotable after a recovered cut")
+	}
+
+	// The run must still finish with the replica attached and healthy.
+	sup.Stop()
+	if err := c.Drive(job.Finished, deadline); err != nil {
+		t.Fatal(err)
+	}
+	if got := job.Result(); got != refJob.Result() {
+		t.Fatalf("supervised result %v != reference %v", got, refJob.Result())
+	}
+}

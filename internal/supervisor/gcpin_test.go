@@ -1,0 +1,171 @@
+// Retention GC racing a lagging standby. A generation the replica has
+// not acknowledged must never be collected, no matter how far the
+// retention depth is exceeded; the pin must release the moment the
+// replica acks (or dies), and the store must converge back to exactly
+// the advertised generations.
+package supervisor_test
+
+import (
+	"path"
+	"testing"
+
+	"zapc/internal/ckpt"
+	"zapc/internal/cluster"
+	"zapc/internal/sim"
+	"zapc/internal/supervisor"
+	"zapc/internal/vos"
+)
+
+// stubReplica is a minimal supervisor.Replica whose acknowledgement
+// watermark the test controls directly: while hold is set, syncs are
+// parked without acking, exactly like a standby whose apply loop has
+// stalled behind the primary.
+type stubReplica struct {
+	ready bool
+	hold  bool
+	acked int
+	// parked syncs: the generations of the last held Sync and its
+	// completion callback, released by release().
+	heldGens []supervisor.Generation
+	heldDone func(error)
+}
+
+func (r *stubReplica) Sync(gens []supervisor.Generation, done func(error)) {
+	if r.hold {
+		r.heldGens, r.heldDone = gens, done
+		return
+	}
+	r.acked = gens[len(gens)-1].Seq
+	done(nil)
+}
+
+// release acks everything the parked sync carried and completes it.
+func (r *stubReplica) release() {
+	if r.heldDone == nil {
+		return
+	}
+	r.hold = false
+	r.acked = r.heldGens[len(r.heldGens)-1].Seq
+	done := r.heldDone
+	r.heldGens, r.heldDone = nil, nil
+	done(nil)
+}
+
+func (r *stubReplica) AckedSeq() int   { return r.acked }
+func (r *stubReplica) Ready() bool     { return r.ready }
+func (r *stubReplica) Node() *vos.Node { return nil }
+func (r *stubReplica) Promote(cb func([]*ckpt.Image, sim.Time, error)) {
+	cb(nil, 0, supervisor.ErrNoValidCheckpoint)
+}
+
+func TestGCPinsUnackedGenerations(t *testing.T) {
+	spec := cluster.JobSpec{App: "cpi", Endpoints: 4, Work: 0.25, Scale: 0.001}
+	const seed = 9
+	_, refDur := reference(t, seed, spec)
+
+	c := cluster.New(cluster.Config{Nodes: 4, Seed: seed})
+	job, err := c.Launch(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := c.Supervise(job, supervisor.Policy{
+		HeartbeatInterval: 50 * sim.Millisecond,
+		CheckpointEvery:   refDur / 24,
+		Retain:            2,
+		Dir:               "gcpin",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &stubReplica{ready: true, hold: true, acked: -1}
+	sup.SetReplica(rep)
+
+	checkStoreMatches := func(stage string) {
+		t.Helper()
+		advertised := make(map[string]bool)
+		for _, g := range sup.Generations() {
+			advertised[g.Dir] = true
+			if len(c.Mgr.Store().List(g.Dir)) == 0 {
+				t.Fatalf("%s: advertised generation %s has no records on disk", stage, g.Dir)
+			}
+		}
+		for _, f := range c.Mgr.Store().List("gcpin") {
+			if dir := path.Dir(f); !advertised[dir] {
+				t.Fatalf("%s: store holds unadvertised generation %s", stage, dir)
+			}
+		}
+	}
+
+	// Stage 1: the replica never acks, so every generation past the
+	// retention depth must stay pinned on disk.
+	if err := c.Drive(func() bool {
+		return sup.Stats().Checkpoints >= 6 || job.Finished()
+	}, deadline); err != nil {
+		t.Fatal(err)
+	}
+	if job.Finished() {
+		t.Fatal("job finished before the pin could be observed — raise Work")
+	}
+	st := sup.Stats()
+	if st.GCPinned == 0 {
+		t.Fatalf("no GC pin recorded with an unacked replica; events: %v", sup.Events())
+	}
+	if st.GCCollected != 0 {
+		t.Fatalf("GC collected %d generation(s) the standby never acked", st.GCCollected)
+	}
+	if got := len(sup.Generations()); got <= 2 {
+		t.Fatalf("retention depth 2 was enforced (%d gens) despite the unacked replica", got)
+	}
+	checkStoreMatches("pinned")
+
+	// Stage 2: release the parked sync — the watermark jumps to the
+	// newest shipped generation and the next checkpoint's GC collects
+	// the backlog down to the retention depth.
+	rep.release()
+	want := sup.Stats().Checkpoints + 2
+	if err := c.Drive(func() bool {
+		return sup.Stats().Checkpoints >= want || job.Finished()
+	}, deadline); err != nil {
+		t.Fatal(err)
+	}
+	if sup.Stats().GCCollected == 0 {
+		t.Fatal("acked backlog was never collected")
+	}
+	checkStoreMatches("released")
+
+	// Stage 3: park the sync again to rebuild a pinned backlog, then
+	// kill the replica — a dead (or promoted) standby must not pin GC.
+	rep.hold = true
+	want = sup.Stats().Checkpoints + 3
+	if err := c.Drive(func() bool {
+		return sup.Stats().Checkpoints >= want || job.Finished()
+	}, deadline); err != nil {
+		t.Fatal(err)
+	}
+	if job.Finished() {
+		t.Fatal("job finished before the second pin could be observed — raise Work")
+	}
+	if got := len(sup.Generations()); got <= 2 {
+		t.Fatalf("second backlog never accumulated (%d gens)", got)
+	}
+	rep.ready = false
+	collected := sup.Stats().GCCollected
+	want = sup.Stats().Checkpoints + 2
+	if err := c.Drive(func() bool {
+		return sup.Stats().Checkpoints >= want || job.Finished()
+	}, deadline); err != nil {
+		t.Fatal(err)
+	}
+	if sup.Stats().GCCollected <= collected {
+		t.Fatal("dead replica still pins GC")
+	}
+	if got := len(sup.Generations()); got != 2 {
+		t.Fatalf("retention depth not restored after replica death: %d gens", got)
+	}
+	checkStoreMatches("replica-dead")
+
+	sup.Stop()
+	if err := c.Drive(job.Finished, deadline); err != nil {
+		t.Fatal(err)
+	}
+}

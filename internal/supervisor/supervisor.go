@@ -34,7 +34,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strconv"
 	"strings"
 
 	"zapc/internal/ckpt"
@@ -189,6 +188,10 @@ const (
 	EvSkipCorrupt  EventKind = "skip-corrupt"  // generation failed CRC validation
 	EvRestartRetry EventKind = "restart-retry" // restart attempt failed, backing off
 	EvGC           EventKind = "gc"            // old generation collected
+	EvGCPin        EventKind = "gc-pin"        // retention held open by the standby ack watermark
+	EvReplicate    EventKind = "replicate"     // standby acknowledged replicated generations
+	EvReplicaErr   EventKind = "replica-err"   // replication stream error or promotion fallback
+	EvPromote      EventKind = "promote"       // standby promoted on failover
 	EvHalt         EventKind = "halt"          // supervisor gave up (see Err)
 	EvDone         EventKind = "done"          // job finished, standing down
 )
@@ -210,6 +213,9 @@ type Stats struct {
 	NodesDeclared  int // node failures declared by the detector
 	CorruptSkipped int // generations skipped for failed validation
 	GCCollected    int // generations garbage collected
+	GCPinned       int // gc passes held open by the standby ack watermark
+	Promotions     int // failovers served by promoting the warm standby
+	ReplicaErrors  int // replication sync errors and promotion fallbacks
 	// LastRTO is the recovery window of the most recent successful
 	// failover: heartbeat-miss instant to pods-serving instant (0 before
 	// the first failover).
@@ -218,6 +224,36 @@ type Stats struct {
 	// failover: virtual time between the commit of the generation
 	// actually restored from and the heartbeat-miss instant.
 	LastRPO sim.Duration
+}
+
+// Replica is a warm-standby replication plane attached to the
+// supervisor (see internal/standby). The supervisor ships every
+// committed generation to it, consults its acknowledgement watermark
+// before collecting a chain, and promotes it on failover instead of
+// restoring from the store.
+type Replica interface {
+	// Sync ships every committed generation the replica has not yet
+	// acknowledged, oldest first, and applies each into the standby's
+	// shadow state. done fires exactly once — nil when the ack
+	// watermark reached the newest shipped generation, or the first
+	// transport/apply error (a cut stream surfaces as
+	// imagestore.ErrTruncatedStream naming the pod). Sync never blocks
+	// the caller: all work happens on simulation events, and a failed
+	// sync must never abort the primary's checkpoint cycle.
+	Sync(gens []Generation, done func(error))
+	// AckedSeq is the newest generation sequence the standby has fully
+	// received AND applied into its shadows (-1 before the first).
+	AckedSeq() int
+	// Ready reports whether the standby can still be promoted: its
+	// node is alive and no previous promotion consumed it.
+	Ready() bool
+	// Node is the standby node promotion places the pods onto.
+	Node() *vos.Node
+	// Promote performs bounded catch-up (applying any generation whose
+	// records are fully received but not yet applied), retires the
+	// replica, and hands over the shadow images sorted by pod name
+	// together with the commit time of the generation they represent.
+	Promote(cb func(images []*ckpt.Image, genT sim.Time, err error))
 }
 
 // Generation is one committed checkpoint generation.
@@ -255,8 +291,12 @@ type Supervisor struct {
 
 	ctrlHook core.CtrlHook
 
-	hbTimer   sim.EventID
-	ckptTimer sim.EventID
+	replica  Replica
+	syncBusy bool
+
+	hbTimer    sim.EventID
+	ckptTimer  sim.EventID
+	retryTimer sim.EventID // pending checkpoint retry backoff, for preemption
 
 	events []Event
 	stats  Stats
@@ -302,6 +342,19 @@ func (s *Supervisor) Policy() Policy { return s.pol }
 // supervisor's heartbeat messages (the fault-injection harness shares
 // one hook between the supervisor and the core manager).
 func (s *Supervisor) SetCtrlHook(h core.CtrlHook) { s.ctrlHook = h }
+
+// SetReplica attaches a warm-standby replication plane: every committed
+// generation is streamed to it, retention never collects past its ack
+// watermark, and failover promotes it instead of restoring from the
+// store (falling back to the store path if the standby is dead or the
+// handover fails). Passing nil detaches.
+func (s *Supervisor) SetReplica(r Replica) {
+	s.replica = r
+	s.syncReplica()
+}
+
+// Replica returns the attached replication plane (nil when detached).
+func (s *Supervisor) Replica() Replica { return s.replica }
 
 // Events returns the activity log.
 func (s *Supervisor) Events() []Event { return s.events }
@@ -359,6 +412,14 @@ func counterOf(kind EventKind) string {
 		return "supervisor_restart_retries_total"
 	case EvGC:
 		return "supervisor_gc_total"
+	case EvGCPin:
+		return "supervisor_gc_pins_total"
+	case EvReplicate:
+		return "supervisor_replica_syncs_total"
+	case EvReplicaErr:
+		return "supervisor_replica_errors_total"
+	case EvPromote:
+		return "supervisor_promotions_total"
 	}
 	return ""
 }
@@ -539,10 +600,29 @@ func (s *Supervisor) nodeDown(n *vos.Node) {
 	}
 	s.logA(EvNodeDown, []trace.Attr{trace.I64("miss_t", int64(missT)), trace.Str("node", n.Name())},
 		"node %s: heartbeat silent for %v", n.Name(), s.pol.HeartbeatTimeout)
-	if s.recovering || s.ckptBusy {
-		// An operation is in flight; it will abort (agent failure or
-		// watchdog) and its completion callback re-enters recovery.
+	if s.recovering {
+		// Recovery is already running; it re-checks survivors itself and
+		// the pending flag re-enters it when the current episode ends.
 		s.pendingRecover = true
+		return
+	}
+	if s.ckptBusy {
+		// A checkpoint cycle is in flight against a dead member, so it
+		// can only abort. Preempt it now instead of waiting it out: an
+		// in-flight operation is aborted through the manager (its
+		// completion callback diverts to recovery synchronously), and a
+		// cycle parked in a retry backoff has its timer cancelled and
+		// diverts here directly. Either way the doomed cycle's remainder
+		// — agent-failure propagation, watchdog, backoff — never lands
+		// on the RTO critical path.
+		s.pendingRecover = true
+		if s.t.Mgr.AbortCheckpoints(fmt.Errorf(
+			"supervisor: checkpoint preempted: node %s declared down mid-cycle", n.Name())) == 0 {
+			s.t.W.Cancel(s.retryTimer)
+			s.ckptBusy = false
+			s.endCycleSpan("diverted-to-recovery")
+			s.startRecovery()
+		}
 		return
 	}
 	s.startRecovery()
@@ -678,6 +758,7 @@ func (s *Supervisor) ckptDone(dir string, res *core.CheckpointResult) {
 		s.log(EvCheckpoint, "generation %s committed (%s, %d records, %.1f KB, took %v)",
 			dir, kind, len(res.Images), float64(bytes)/1024, res.Stats.Total)
 		s.gc()
+		s.syncReplica()
 		s.endCkptCycle()
 	case s.pendingRecover:
 		// The failure detector declared a node while this attempt was in
@@ -704,7 +785,7 @@ func (s *Supervisor) ckptDone(dir string, res *core.CheckpointResult) {
 		d := s.backoff()
 		s.stats.Retries++
 		s.log(EvRetry, "checkpoint attempt %d aborted (%v), retrying in %v", s.attempt, err, d)
-		s.t.W.After(d, s.checkpointAttempt)
+		s.retryTimer = s.t.W.After(d, s.checkpointAttempt)
 	}
 }
 
@@ -773,6 +854,11 @@ func (s *Supervisor) validateGeneration(dir string) error {
 // gc drops generations beyond the retention depth, oldest first. A full
 // generation and the deltas depending on it form a chain that is only
 // ever dropped whole, so every retained delta keeps a restorable base.
+// With a live replica attached, collection additionally never passes
+// the standby's acknowledgement watermark: a cut replication stream
+// resumes by re-shipping everything past the last applied generation,
+// and those records must still exist to re-ship. A dead or consumed
+// replica releases the pin.
 func (s *Supervisor) gc() {
 	for len(s.gens) > s.pol.Retain {
 		chainLen := 1
@@ -781,6 +867,17 @@ func (s *Supervisor) gc() {
 		}
 		if len(s.gens)-chainLen < s.pol.Retain {
 			return // dropping the chain would dip below the retention depth
+		}
+		if s.replica != nil && s.replica.Ready() {
+			// Generations are ordered and acks are monotone, so the
+			// newest member of the candidate chain decides.
+			if acked := s.replica.AckedSeq(); s.gens[chainLen-1].Seq > acked {
+				s.stats.GCPinned++
+				s.logA(EvGCPin, []trace.Attr{trace.I64("acked_seq", int64(acked))},
+					"retaining %d generation(s) beyond depth %d: standby acked through seq %d",
+					len(s.gens)-s.pol.Retain, s.pol.Retain, acked)
+				return
+			}
 		}
 		for i := 0; i < chainLen; i++ {
 			g := s.gens[i]
@@ -793,54 +890,37 @@ func (s *Supervisor) gc() {
 	s.sweepStore()
 }
 
-// podOf extracts the pod name from a generation record path. Pre-copy
-// generations name their round deltas <pod>.rNN.delta; the round suffix
-// is stripped along with the extension.
-func podOf(f string) string {
-	base := f[strings.LastIndex(f, "/")+1:]
-	base = strings.TrimSuffix(base, ".img")
-	base = strings.TrimSuffix(base, ".delta")
-	if i := strings.LastIndex(base, ".r"); i >= 0 {
-		if _, err := strconv.Atoi(base[i+2:]); err == nil && len(base) > i+2 {
-			base = base[:i]
+// syncReplica ships unacknowledged generations to the standby. At most
+// one sync is in flight at a time; each completion chains the next if
+// the primary committed further generations meanwhile. Replication
+// errors never abort the primary's checkpoint cycle: the stream resumes
+// from the replica's acknowledgement watermark when the next committed
+// generation re-triggers the sync.
+func (s *Supervisor) syncReplica() {
+	r := s.replica
+	if r == nil || s.done || s.recovering || s.syncBusy || !r.Ready() {
+		return
+	}
+	if len(s.gens) == 0 || s.gens[len(s.gens)-1].Seq <= r.AckedSeq() {
+		return
+	}
+	s.syncBusy = true
+	s.logA(EvReplicate, []trace.Attr{trace.I64("from_seq", int64(r.AckedSeq()+1))},
+		"replicating generations past seq %d to standby", r.AckedSeq())
+	r.Sync(append([]Generation(nil), s.gens...), func(err error) {
+		s.syncBusy = false
+		if s.done {
+			return
 		}
-	}
-	return base
-}
-
-// chainRank orders one pod's records within a generation for chain
-// reconstruction: the full image first, then pre-copy round deltas by
-// round number, then the residual delta. Lexicographic store order is
-// NOT restore order ("p.delta" < "p.img" < "p.r01.delta"), so the
-// ordering must be explicit.
-func chainRank(f string) int {
-	base := f[strings.LastIndex(f, "/")+1:]
-	if strings.HasSuffix(base, ".img") {
-		return 0
-	}
-	trimmed := strings.TrimSuffix(base, ".delta")
-	if i := strings.LastIndex(trimmed, ".r"); i >= 0 {
-		if n, err := strconv.Atoi(trimmed[i+2:]); err == nil {
-			return n
+		if err != nil {
+			s.stats.ReplicaErrors++
+			s.logA(EvReplicaErr, nil, "replication sync: %v (will resume past gen seq %d)", err, r.AckedSeq())
+			return
 		}
-	}
-	return 1 << 30 // the residual (plain .delta) closes the chain
-}
-
-// podChains groups one generation directory's files into per-pod record
-// chains in restore order. A stop-and-copy generation yields one-element
-// chains; a pre-copy generation yields base + round deltas + residual.
-func podChains(files []string) map[string][]string {
-	chains := make(map[string][]string)
-	for _, f := range files {
-		name := podOf(f)
-		chains[name] = append(chains[name], f)
-	}
-	for name, fs := range chains {
-		sort.Slice(fs, func(i, j int) bool { return chainRank(fs[i]) < chainRank(fs[j]) })
-		chains[name] = fs
-	}
-	return chains
+		if !s.recovering && len(s.gens) > 0 && s.gens[len(s.gens)-1].Seq > r.AckedSeq() {
+			s.syncReplica()
+		}
+	})
 }
 
 // chainPaths collects, for the generation at index gi, each pod's
@@ -855,7 +935,7 @@ func (s *Supervisor) chainPaths(gi int) (map[string][]string, error) {
 	if base < 0 {
 		return nil, fmt.Errorf("generation %s: no full base generation retained", s.gens[gi].Dir)
 	}
-	chains := podChains(s.t.Store.List(s.gens[base].Dir))
+	chains := imagestore.PodChains(s.t.Store.List(s.gens[base].Dir))
 	for j := base + 1; j <= gi; j++ {
 		for name := range chains {
 			f := fmt.Sprintf("%s/%s.delta", s.gens[j].Dir, name)
@@ -898,7 +978,7 @@ func (s *Supervisor) loadGenerationRecords(gi int) ([]*ckpt.Image, error) {
 	// generations via chainPaths.
 	var chains map[string][]string
 	if g.Full {
-		chains = podChains(files)
+		chains = imagestore.PodChains(files)
 	} else {
 		var err error
 		chains, err = s.chainPaths(gi)
@@ -982,25 +1062,128 @@ func (s *Supervisor) startRecovery() {
 	for _, p := range s.t.Pods() {
 		p.Destroy()
 	}
+	// A ready standby short-circuits the store path entirely: its shadow
+	// pods already hold applied state, so recovery reduces to a bounded
+	// catch-up plus warm activation.
+	if s.replica != nil && s.replica.Ready() && s.replica.AckedSeq() >= 0 {
+		s.promoteStandby()
+		return
+	}
 	// Newest valid generation wins; corrupted ones (or delta chains
 	// with a broken link) are skipped with an explicit record,
 	// restarting from the previous valid generation.
-	var images []*ckpt.Image
-	for i := len(s.gens) - 1; i >= 0; i-- {
-		var err error
-		images, err = s.loadGeneration(i)
-		if err == nil {
-			s.recGenT = s.gens[i].T
-			break
-		}
-		s.stats.CorruptSkipped++
-		s.log(EvSkipCorrupt, "skipping generation %s: %v", s.gens[i].Dir, err)
-		images = nil
+	s.tryRestore(len(s.gens) - 1)
+}
+
+// tryRestore restores from the generation at index gi, falling back to
+// older generations when a record is corrupt and halting with
+// ErrNoValidCheckpoint when none is left. Reading the state back is
+// charged at Costs.StoreReadBandwidth over the *logical* image mass —
+// the same byte basis as every other image cost in the model — because
+// recovery must stream and rehydrate the full application state
+// through the cold store path regardless of how compactly the records
+// sit on disk. Unlike checkpoint-time validation, which overlaps the
+// running job, this read sits on the failover critical path. Chained
+// deltas pay an additional replay charge on top of the read.
+func (s *Supervisor) tryRestore(gi int) {
+	if s.done {
+		return
 	}
-	if images == nil {
+	if gi < 0 {
 		s.halt(ErrNoValidCheckpoint)
 		return
 	}
+	g := s.gens[gi]
+	span := s.tr.Start(s.opSpan(), "supervisor/load-generation", trace.Track("supervisor"),
+		trace.Str("dir", g.Dir), trace.I64("seq", int64(g.Seq)))
+	replayBytes, err := s.chainReplayBytes(gi)
+	if err != nil {
+		// A chain link is already missing; nothing was read, no cost.
+		span.End(trace.Str("err", err.Error()))
+		s.skipCorrupt(gi, err)
+		return
+	}
+	// Decode and verify host-side first (free): a corrupt generation is
+	// skipped without charging a read that never completes usefully.
+	images, err := s.loadGenerationRecords(gi)
+	if err != nil {
+		span.End(trace.Str("err", err.Error()))
+		s.skipCorrupt(gi, err)
+		return
+	}
+	var logical int64
+	for _, img := range images {
+		logical += img.Bytes()
+	}
+	costs := s.t.W.Costs
+	s.t.W.After(costs.StoreReadTime(costs.EffImageBytes(logical)), func() {
+		if s.done {
+			return
+		}
+		span.End(trace.I64("images", int64(len(images))), trace.I64("bytes", logical))
+		if replayBytes == 0 {
+			s.restartFrom(images, g.T)
+			return
+		}
+		cSpan := s.tr.Start(s.opSpan(), "supervisor/chain-reconstruct", trace.Track("supervisor"),
+			trace.Str("dir", g.Dir), trace.I64("bytes", replayBytes))
+		s.t.W.After(costs.MemCopyTime(costs.EffImageBytes(replayBytes)), func() {
+			if s.done {
+				return
+			}
+			cSpan.End()
+			s.restartFrom(images, g.T)
+		})
+	})
+}
+
+// chainReplayBytes sizes the delta-replay work for the generation at
+// index gi: the stored bytes of every delta record that must be
+// replayed onto its base (pre-copy rounds and incremental deltas). It
+// also verifies every chain link still exists; a Stat failure means a
+// link is gone before any read happened.
+func (s *Supervisor) chainReplayBytes(gi int) (replayBytes int64, err error) {
+	g := s.gens[gi]
+	var chains map[string][]string
+	if g.Full {
+		files := s.t.Store.List(g.Dir)
+		if len(files) == 0 {
+			return 0, fmt.Errorf("generation %s: %w", g.Dir, ErrNoValidCheckpoint)
+		}
+		chains = imagestore.PodChains(files)
+	} else {
+		chains, err = s.chainPaths(gi)
+		if err != nil {
+			return 0, err
+		}
+	}
+	for _, paths := range chains {
+		for _, p := range paths {
+			info, serr := s.t.Store.Stat(p)
+			if serr != nil {
+				return 0, fmt.Errorf("generation %s: %s: %w", g.Dir, p, serr)
+			}
+			if strings.HasSuffix(p, ".delta") {
+				replayBytes += info.Size
+			}
+		}
+	}
+	return replayBytes, nil
+}
+
+// skipCorrupt records a generation that failed validation during
+// recovery and falls back to the previous one.
+func (s *Supervisor) skipCorrupt(gi int, err error) {
+	s.stats.CorruptSkipped++
+	s.log(EvSkipCorrupt, "skipping generation %s: %v", s.gens[gi].Dir, err)
+	s.tryRestore(gi - 1)
+}
+
+// restartFrom places the restored images round-robin over the surviving
+// nodes and hands them to the manager. genT is the restored state's
+// commit time, the RPO reference point.
+func (s *Supervisor) restartFrom(images []*ckpt.Image, genT sim.Time) {
+	s.recGenT = genT
 	survivors := s.survivors()
 	if len(survivors) == 0 {
 		s.halt(ErrNoSurvivors)
@@ -1019,6 +1202,59 @@ func (s *Supervisor) startRecovery() {
 		s.t.Mgr.SetCoord(&coord.Config{Fanout: s.pol.Fanout})
 	}
 	s.t.Mgr.Restart(placements, nil, s.restartDone)
+}
+
+// promoteStandby activates the warm standby: the replica hands over its
+// shadow images (finishing any in-flight apply first — the bounded
+// catch-up), and the restart runs with Warm placements on the standby
+// node, skipping load, reconstruct, and the cold per-pod restore
+// entirely. Any failure falls back to the store-restore path; Promote
+// consumes the replica either way, so a retried recovery episode takes
+// the store path too.
+func (s *Supervisor) promoteStandby() {
+	rep := s.replica
+	pSpan := s.tr.Start(s.opSpan(), "standby/promote", trace.Track("standby"),
+		trace.I64("acked_seq", int64(rep.AckedSeq())))
+	rep.Promote(func(images []*ckpt.Image, genT sim.Time, err error) {
+		if s.done {
+			return
+		}
+		if err == nil && len(images) == 0 {
+			err = fmt.Errorf("supervisor: standby handed over no shadow images")
+		}
+		if err == nil {
+			if node := rep.Node(); node == nil || node.Failed() {
+				err = fmt.Errorf("supervisor: standby node failed before activation")
+			}
+		}
+		if err != nil {
+			pSpan.End(trace.Str("err", err.Error()))
+			s.stats.ReplicaErrors++
+			s.logA(EvReplicaErr, nil, "promotion failed (%v), falling back to store restore", err)
+			s.tryRestore(len(s.gens) - 1)
+			return
+		}
+		pSpan.End(trace.I64("images", int64(len(images))))
+		s.stats.Promotions++
+		node := rep.Node()
+		s.logA(EvPromote, []trace.Attr{trace.I64("gen_t", int64(genT))},
+			"promoting standby %s: %d shadow pods, state through t=%v", node.Name(), len(images), genT)
+		s.recGenT = genT
+		placements := make([]core.Placement, len(images))
+		for i, img := range images {
+			placements[i] = core.Placement{
+				Image:   img,
+				PodName: img.PodName,
+				Node:    node,
+				Warm:    true,
+			}
+		}
+		s.t.Mgr.SetWorkers(s.pol.Workers)
+		if s.pol.Fanout > 0 {
+			s.t.Mgr.SetCoord(&coord.Config{Fanout: s.pol.Fanout})
+		}
+		s.t.Mgr.Restart(placements, nil, s.restartDone)
+	})
 }
 
 // survivors returns the usable restart targets.

@@ -380,6 +380,7 @@ const (
 	SegReconstruct    = "reconstruct"     // base+delta chain replay
 	SegRestartBarrier = "restart-barrier" // coordinated restart fan-out/fan-in
 	SegRestartAgent   = "restart-agent"   // per-pod restore work
+	SegCatchUp        = "catch-up"        // standby promotion: apply in-flight records
 	SegResume         = "resume"          // rebind to serving
 	SegWait           = "wait"            // retry backoff / in-flight abort
 	SegOther          = "other"           // anything else on the path
@@ -542,6 +543,10 @@ func rtoSegments(r RTOReport, f *SpanNode) []RTOSegment {
 			return SegRestartBarrier
 		case strings.HasPrefix(s.Name, "restart/"):
 			return SegRestartAgent
+		case strings.HasPrefix(s.Name, "standby/"):
+			// Promotion catch-up: applying in-flight replication records
+			// before activating the shadows.
+			return SegCatchUp
 		case s.Name == spanFailover:
 			return "" // positional, resolved below
 		case strings.HasPrefix(s.Name, "ckpt/") || s.Name == "supervisor/ckpt-cycle":

@@ -21,8 +21,9 @@ import (
 // their consumers migrate.
 
 // promSuffixes are the accepted unit suffixes for gauges and
-// histograms.
-var promSuffixes = []string{"_bytes", "_us", "_ns"}
+// histograms. "_gens" counts checkpoint generations (the replication
+// lag unit of the warm-standby plane).
+var promSuffixes = []string{"_bytes", "_us", "_ns", "_gens"}
 
 // CheckMetricName validates one metric name against the naming scheme
 // for its kind ("counter", "gauge", "histogram"). It returns nil for a

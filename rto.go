@@ -25,6 +25,13 @@ type FailoverRTORow struct {
 	// the same episode; the trace-derived figures must agree with them.
 	SupRTO Duration
 	SupRPO Duration
+	// Promotions counts failovers served by promoting a warm standby
+	// (zero on the store-restore path).
+	Promotions int
+	// Result is the job's final answer after the recovered run completed
+	// (cross-path equivalence: promotion and store restore must converge
+	// to the same value as an uninterrupted run).
+	Result float64
 	// Events is the scenario's full event log, for exports.
 	Events []TraceEvent
 }
@@ -39,6 +46,10 @@ type FailoverRTORow struct {
 // critical-path decomposition of the same window; the run is
 // deterministic per cfg.Seed.
 func RunFailoverRTO(cfg ExperimentConfig, pods, fanout int, incremental bool) (FailoverRTORow, error) {
+	return runFailoverRTO(cfg, pods, fanout, incremental, false)
+}
+
+func runFailoverRTO(cfg ExperimentConfig, pods, fanout int, incremental, standby bool) (FailoverRTORow, error) {
 	cfg = cfg.defaults()
 	row := FailoverRTORow{Pods: pods, Fanout: fanout, Incremental: incremental}
 	c := clusterFor(pods, cfg)
@@ -57,6 +68,11 @@ func RunFailoverRTO(cfg ExperimentConfig, pods, fanout int, incremental bool) (F
 	})
 	if err != nil {
 		return row, err
+	}
+	if standby {
+		if _, err := c.AttachStandby(sup, StandbyConfig{}); err != nil {
+			return row, err
+		}
 	}
 	// The crash must land after the first committed generation or the
 	// recovery (correctly) halts with nothing to restore — larger
@@ -91,6 +107,8 @@ func RunFailoverRTO(cfg ExperimentConfig, pods, fanout int, incremental bool) (F
 		return row, fmt.Errorf("rto %d pods: scenario completed without a failover", pods)
 	}
 	row.SupRTO, row.SupRPO = stats.LastRTO, stats.LastRPO
+	row.Promotions = stats.Promotions
+	row.Result = job.Result()
 	row.Events = c.Tracer().Events()
 	reports := trace.FailoverReports(row.Events)
 	if len(reports) == 0 {
@@ -105,7 +123,94 @@ func RunFailoverRTO(cfg ExperimentConfig, pods, fanout int, incremental bool) (F
 	if cov := row.Report.Coverage(); cov < 0.95 {
 		return row, fmt.Errorf("rto %d pods: critical-path segments cover only %.1f%% of the failover window", pods, 100*cov)
 	}
+	if standby {
+		if row.Promotions == 0 {
+			return row, fmt.Errorf("rto %d pods: standby attached but the failover was not served by promotion", pods)
+		}
+		if load := row.Report.SegmentTotal(trace.SegLoad) + row.Report.SegmentTotal(trace.SegReconstruct); load != 0 {
+			return row, fmt.Errorf("rto %d pods: promoted failover still spent %v loading/reconstructing from the store", pods, sim.Duration(load))
+		}
+	}
 	return row, nil
+}
+
+// StandbyRTOResult pairs the warm-standby failover with its same-seed
+// store-restore baseline — the standby-vs-store comparison of the
+// availability experiment.
+type StandbyRTOResult struct {
+	Standby FailoverRTORow
+	Store   FailoverRTORow
+	// Speedup is the store baseline's RTO over the promoted standby's.
+	Speedup float64
+}
+
+// RunStandbyRTO measures one standby-vs-store availability point: the
+// exact RunFailoverRTO scenario run twice on the same seed — once with
+// a warm standby attached (the failover must be served by promotion,
+// with zero load/reconstruct time) and once restoring from the store.
+func RunStandbyRTO(cfg ExperimentConfig, pods, fanout int, incremental bool) (StandbyRTOResult, error) {
+	var res StandbyRTOResult
+	st, err := runFailoverRTO(cfg, pods, fanout, incremental, true)
+	if err != nil {
+		return res, fmt.Errorf("standby arm: %w", err)
+	}
+	base, err := runFailoverRTO(cfg, pods, fanout, incremental, false)
+	if err != nil {
+		return res, fmt.Errorf("store arm: %w", err)
+	}
+	res.Standby, res.Store = st, base
+	if rto := st.Report.RTO(); rto > 0 {
+		res.Speedup = float64(base.Report.RTO()) / float64(rto)
+	}
+	return res, nil
+}
+
+// Stamp writes the standby-vs-store comparison into a bench trajectory
+// record so zapc-benchdiff can gate both the absolute standby window
+// and the order-of-magnitude speedup floor.
+func (r StandbyRTOResult) Stamp(rec *metrics.CkptBenchRecord) {
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	rec.StandbyRTOUs = us(r.Standby.Report.RTO())
+	rec.StandbyStoreRTOUs = us(r.Store.Report.RTO())
+	rec.StandbyCatchUpUs = us(r.Standby.Report.SegmentTotal(trace.SegCatchUp))
+	rec.StandbyRTOSpeedup = r.Speedup
+}
+
+// StandbyRTOTable renders the standby-vs-store sweep: both arms of each
+// configuration with the per-segment decomposition showing where the
+// win concentrates (load/reconstruct vanish; catch-up stays bounded).
+func StandbyRTOTable(rows []StandbyRTOResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-8s %-6s %-8s  %-12s %-12s  %-10s %-10s %-10s %-10s %-10s  %-8s\n",
+		"pods", "coord", "chain", "path", "rto", "rpo", "detect", "load", "reconstr", "catchup", "agent", "speedup")
+	line := func(r FailoverRTORow, path, speedup string) {
+		coordName := "flat"
+		if r.Fanout > 0 {
+			coordName = fmt.Sprintf("fan-%d", r.Fanout)
+		}
+		chain := "full"
+		if r.Incremental {
+			chain = "incr"
+		}
+		rpo := sim.Duration(r.Report.RPOUs * 1e3)
+		if r.Report.RPOUs < 0 {
+			rpo = r.SupRPO
+		}
+		fmt.Fprintf(&b, "%-5d %-8s %-6s %-8s  %-12v %-12v  %-10v %-10v %-10v %-10v %-10v  %-8s\n",
+			r.Pods, coordName, chain, path,
+			sim.Duration(r.Report.RTO()), rpo,
+			sim.Duration(r.Report.SegmentTotal(trace.SegDetect)),
+			sim.Duration(r.Report.SegmentTotal(trace.SegLoad)),
+			sim.Duration(r.Report.SegmentTotal(trace.SegReconstruct)),
+			sim.Duration(r.Report.SegmentTotal(trace.SegCatchUp)),
+			sim.Duration(r.Report.SegmentTotal(trace.SegRestartAgent)),
+			speedup)
+	}
+	for _, row := range rows {
+		line(row.Store, "store", "")
+		line(row.Standby, "standby", fmt.Sprintf("%.1fx", row.Speedup))
+	}
+	return b.String()
 }
 
 // Stamp writes the availability point into a bench trajectory record so

@@ -35,6 +35,7 @@ import (
 	"zapc/internal/imagestore"
 	"zapc/internal/metrics"
 	"zapc/internal/sim"
+	"zapc/internal/standby"
 	"zapc/internal/supervisor"
 	"zapc/internal/trace"
 )
@@ -107,6 +108,27 @@ type (
 	FaultStep = faultinject.Step
 	// FaultRecord logs one fired fault.
 	FaultRecord = faultinject.Record
+)
+
+// Warm-standby continuous replication (see internal/standby). A spare
+// node attached with c.AttachStandby(sup, cfg) trails the supervisor's
+// checkpoint stream by at most one generation; on failover the
+// supervisor promotes its pre-built shadow state in place instead of
+// reading the image chain back from the store:
+//
+//	sup, _ := c.Supervise(job, zapc.SupervisorPolicy{CheckpointEvery: 2 * zapc.Second})
+//	plane, _ := c.AttachStandby(sup, zapc.StandbyConfig{})
+//	c.Drive(job.Finished, 10*zapc.Minute) // promotion happens underneath
+//	_ = plane.Stats().GensApplied
+type (
+	// StandbyConfig sizes the warm standby (node CPUs, replication
+	// port, stall timeout).
+	StandbyConfig = cluster.StandbyConfig
+	// StandbyPlane is the replication plane on the standby node: the
+	// record receiver, the shadow state, and the promotion handover.
+	StandbyPlane = standby.Plane
+	// StandbyStats counts replication-plane activity.
+	StandbyStats = standby.Stats
 )
 
 // Parallel + incremental checkpoint pipeline (see internal/ckpt). The
@@ -207,6 +229,14 @@ func CompareBenchSuspend(prev, cur CkptBenchRecord, tolPct float64) error {
 // automatic recovery keeps its outage-per-failure budget).
 func CompareBenchRTO(prev, cur CkptBenchRecord, tolPct float64) error {
 	return metrics.CompareRTO(prev, cur, tolPct)
+}
+
+// CompareBenchStandbyRTO fails when cur's warm-standby recovery window
+// grew more than tolPct percent over prev's, or when the standby's
+// store-vs-promotion speedup fell below the order-of-magnitude floor
+// (zapc-benchdiff's check).
+func CompareBenchStandbyRTO(prev, cur CkptBenchRecord, tolPct float64) error {
+	return metrics.CompareStandbyRTO(prev, cur, tolPct)
 }
 
 // CompareBenchCoordBarrier fails when cur's tree-coordinated barrier
